@@ -1,0 +1,58 @@
+"""Figure 5 — CDF of translation reuse distances at the IOMMU TLB.
+
+Paper: a substantial fraction of reuses lies beyond the 4096-entry IOMMU
+TLB capacity — 45% on average across the nine applications — which is why
+capacity (reach) is the binding constraint.
+"""
+
+from common import SINGLE_APP_NAMES, baseline_config, save_table
+from repro.metrics.reuse_distance import fraction_within, reuse_distances
+from repro.sim.driver import run_single_app
+
+IOMMU_CAPACITY = 4096
+APPS = SINGLE_APP_NAMES
+
+
+def test_fig05_reuse_distance_cdf(lab, benchmark):
+    def run():
+        out = {}
+        for app in APPS:
+            result = run_single_app(
+                app, baseline_config(), "baseline",
+                scale=lab.scale, record_iommu_stream=True,
+            )
+            out[app] = reuse_distances(result.iommu_stream)
+        return out
+
+    distances = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for app in APPS:
+        d = distances[app]
+        finite = d[d >= 0]
+        rows.append([
+            app,
+            len(finite),
+            fraction_within(d, 512),
+            fraction_within(d, IOMMU_CAPACITY),
+            1.0 - fraction_within(d, IOMMU_CAPACITY),
+        ])
+    save_table(
+        "fig05_reuse_cdf",
+        "Figure 5: IOMMU-level reuse distances "
+        "(paper: on average 45% of reuses exceed the 4096-entry capacity)",
+        ["app", "reuses", "<=512", "<=4096", ">4096"],
+        rows,
+    )
+
+    beyond = {r[0]: r[4] for r in rows if r[1] > 0}
+    # High-MPKI sweep kernels have most reuses beyond capacity...
+    assert beyond["MT"] > 0.5
+    assert beyond["ST"] > 0.3
+    # ...while small-footprint apps are mostly within capacity.
+    assert beyond["FIR"] < 0.4
+    assert beyond["BS"] < 0.5
+    # Averaged over workloads with meaningful reuse traffic, a large
+    # fraction escapes the IOMMU TLB (the paper's 45% figure).
+    mean_beyond = sum(beyond.values()) / len(beyond)
+    assert 0.2 < mean_beyond < 0.8

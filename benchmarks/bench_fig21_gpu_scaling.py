@@ -1,0 +1,67 @@
+"""Figure 21 + Table 5 — scalability to 8 and 16 GPUs.
+
+Paper: single-application gains average 24.1% (8 GPUs) and 22.5%
+(16 GPUs); multi-application gains 20.2% and 14.0% — least-TLB keeps
+delivering as the system scales.
+"""
+
+from common import save_table
+from repro.config.presets import scaled_config
+from repro.workloads.multi_app import SCALED_WORKLOADS
+
+SINGLE_APPS = ("KM", "PR", "MM", "ST")
+EIGHT_GPU_WORKLOADS = ("W11", "W13")
+SIXTEEN_GPU_WORKLOAD = "W16"
+
+
+def test_fig21_gpu_scaling(lab, benchmark):
+    def run():
+        out = {"single": {}, "multi": {}}
+        for num_gpus in (8, 16):
+            config = scaled_config(num_gpus)
+            tag = f"{num_gpus}gpu"
+            for app in SINGLE_APPS:
+                base = lab.single(app, "baseline", config=config, tag=tag)
+                least = lab.single(app, "least-tlb", config=config, tag=tag)
+                out["single"][(num_gpus, app)] = least.speedup_vs(base)
+        config8 = scaled_config(8)
+        for wl in EIGHT_GPU_WORKLOADS:
+            base = lab.multi(wl, "baseline", config=config8, tag="8gpu")
+            least = lab.multi(wl, "least-tlb", config=config8, tag="8gpu")
+            out["multi"][wl] = sum(least.per_app_speedup_vs(base).values()) / len(base.apps)
+        config16 = scaled_config(16)
+        base = lab.multi(SIXTEEN_GPU_WORKLOAD, "baseline", config=config16, tag="16gpu")
+        least = lab.multi(SIXTEEN_GPU_WORKLOAD, "least-tlb", config=config16, tag="16gpu")
+        out["multi"][SIXTEEN_GPU_WORKLOAD] = (
+            sum(least.per_app_speedup_vs(base).values()) / len(base.apps)
+        )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [f"{n} GPUs", app, out["single"][(n, app)]]
+        for n in (8, 16)
+        for app in SINGLE_APPS
+    ]
+    rows += [
+        [f"{'8' if wl != 'W16' else '16'} GPUs", f"{wl} ({SCALED_WORKLOADS[wl][1]})",
+         out["multi"][wl]]
+        for wl in (*EIGHT_GPU_WORKLOADS, SIXTEEN_GPU_WORKLOAD)
+    ]
+    save_table(
+        "fig21_gpu_scaling",
+        "Figure 21: least-TLB speedups at 8 and 16 GPUs "
+        "(paper: +24.1%/+22.5% single-app, +20.2%/+14.0% multi-app)",
+        ["system", "workload", "least-TLB speedup"],
+        rows,
+    )
+
+    eight = [out["single"][(8, a)] for a in SINGLE_APPS]
+    sixteen = [out["single"][(16, a)] for a in SINGLE_APPS]
+    # Gains persist at scale for the M/H applications.
+    assert sum(eight) / len(eight) > 1.05
+    assert sum(sixteen) / len(sixteen) > 1.0
+    # Multi-application mixes also keep improving.
+    assert out["multi"]["W11"] > 1.0
+    assert out["multi"]["W16"] > 0.98

@@ -1,0 +1,135 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+required simulations (cached across benches in a session-scoped
+:class:`ResultLab`), prints the same rows/series the paper reports, writes
+them to ``benchmarks/results/<name>.txt``, and asserts the qualitative
+shape (who wins, roughly by how much, where crossovers fall).
+
+Trace scale comes from ``REPRO_SCALE`` (default 0.5).  Absolute cycle
+numbers are simulator-relative; the shapes are what reproduce.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.config.presets import baseline_config
+from repro.config.system import SystemConfig
+from repro.sim.driver import run_alone, run_mix, run_multi_app, run_single_app
+from repro.sim.results import AppResult, SimulationResult
+from repro.workloads.multi_app import MULTI_APP_WORKLOADS, SINGLE_APP_NAMES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+class ResultLab:
+    """Caching simulation runner shared by every benchmark."""
+
+    def __init__(self, scale: float = DEFAULT_SCALE) -> None:
+        self.scale = scale
+        self._cache: dict[tuple, SimulationResult] = {}
+
+    def _run(self, key: tuple, factory: Callable[[], SimulationResult]) -> SimulationResult:
+        if key not in self._cache:
+            self._cache[key] = factory()
+        return self._cache[key]
+
+    def single(
+        self,
+        app: str,
+        policy: str = "baseline",
+        config: SystemConfig | None = None,
+        tag: str = "base",
+        **kwargs: Any,
+    ) -> SimulationResult:
+        key = ("single", app, policy, tag, self.scale)
+        return self._run(
+            key, lambda: run_single_app(app, config, policy, scale=self.scale, **kwargs)
+        )
+
+    def multi(
+        self,
+        workload: str,
+        policy: str = "baseline",
+        config: SystemConfig | None = None,
+        tag: str = "base",
+        **kwargs: Any,
+    ) -> SimulationResult:
+        key = ("multi", workload, policy, tag, self.scale)
+        return self._run(
+            key, lambda: run_multi_app(workload, config, policy, scale=self.scale, **kwargs)
+        )
+
+    def mix(
+        self,
+        workload: str,
+        policy: str = "baseline",
+        config: SystemConfig | None = None,
+        tag: str = "base",
+        **kwargs: Any,
+    ) -> SimulationResult:
+        key = ("mix", workload, policy, tag, self.scale)
+        return self._run(
+            key, lambda: run_mix(workload, config, policy, scale=self.scale, **kwargs)
+        )
+
+    def alone(self, app: str, tag: str = "base", config: SystemConfig | None = None) -> SimulationResult:
+        key = ("alone", app, tag, self.scale)
+        return self._run(key, lambda: run_alone(app, config, "baseline", scale=self.scale))
+
+    def alone_refs(self, apps) -> dict[str, AppResult]:
+        """Alone-run references for weighted speedup."""
+        return {app: self.alone(app).apps[1] for app in set(apps)}
+
+    def multi_app_names(self, workload: str) -> tuple[str, ...]:
+        return MULTI_APP_WORKLOADS[workload][0]
+
+
+def geometric_mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def save_table(name: str, title: str, header: list[str], rows: list[list]) -> str:
+    """Format, print, and persist one experiment's table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    widths = [
+        max(len(str(header[i])), *(len(_fmt(r[i])) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(v).ljust(widths[i]) for i, v in enumerate(row)))
+    text = "\n".join(lines)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+__all__ = [
+    "ResultLab",
+    "SINGLE_APP_NAMES",
+    "MULTI_APP_WORKLOADS",
+    "baseline_config",
+    "geometric_mean",
+    "save_table",
+    "DEFAULT_SCALE",
+]

@@ -1,0 +1,15 @@
+"""Benchmark-suite fixtures: the shared, caching simulation lab."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import ResultLab  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def lab() -> ResultLab:
+    return ResultLab()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Extending the simulator with a custom translation policy.
+
+Implements *second-touch insertion* as a worked example: like the
+mostly-inclusive baseline, but a page-walk result enters the shared IOMMU
+TLB only on the page's second walk.  Streaming pages that are walked once
+and never reused stop thrashing the shared capacity, while genuinely
+reused translations still get cached — a classic cache-bypass idea
+applied to the IOMMU TLB.
+
+The recipe for any custom policy:
+
+1. subclass :class:`~repro.policies.base.TranslationPolicy` (here the
+   baseline, overriding the walk-fill hook);
+2. build a :class:`~repro.sim.MultiGPUSystem` and inject the policy;
+3. compare against the stock designs on the same workload.
+
+Run:
+    python examples/custom_policy.py [scale]
+"""
+
+import sys
+
+from repro import MultiGPUSystem, baseline_config, build_single_app_workload
+from repro.gpu.ats import ATSRequest
+from repro.policies.mostly_inclusive import MostlyInclusivePolicy
+from repro.structures.tlb import TLBEntry
+
+
+class SecondTouchPolicy(MostlyInclusivePolicy):
+    """Mostly-inclusive hierarchy with bypass-on-first-walk at the IOMMU.
+
+    The first walk of a page fills only the requesting GPU's L2/L1; the
+    page's VPN is remembered in a (boundless, for clarity) first-touch
+    set.  Only a second walk — proof of long-distance reuse — earns an
+    IOMMU TLB slot.
+    """
+
+    name = "second-touch"
+
+    def __init__(self, system):
+        super().__init__(system)
+        self._walked_once: set[tuple[int, int]] = set()
+        self.bypassed = 0
+
+    def _fill_levels_after_walk(self, request: ATSRequest, ppn: int) -> None:
+        key = request.key
+        if key not in self._walked_once:
+            self._walked_once.add(key)
+            self.bypassed += 1
+            return  # bypass: L2/L1 still fill via the response path
+        entry = TLBEntry(request.pid, request.vpn, ppn, owner_gpu=request.gpu_id)
+        victim = self.iommu.insert_tlb(entry)
+        if victim is not None:
+            self.on_iommu_tlb_evicted(victim)
+
+
+def run_policy(app: str, config, policy, scale: float):
+    workload = build_single_app_workload(app, config, scale=scale)
+    system = MultiGPUSystem(config, workload, "baseline")
+    if isinstance(policy, type):
+        system.policy = policy(system)
+    elif policy != "baseline":
+        system = MultiGPUSystem(config, workload, policy)
+    return system
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    config = baseline_config()
+    app = "PR"
+
+    print(f"Comparing policies on {app} (scale {scale}) ...")
+    systems = {
+        "baseline": run_policy(app, config, "baseline", scale),
+        "second-touch": run_policy(app, config, SecondTouchPolicy, scale),
+        "least-tlb": run_policy(app, config, "least-tlb", scale),
+    }
+    results = {name: system.run() for name, system in systems.items()}
+
+    base = results["baseline"]
+    print(f"\n{'policy':<14}{'exec cycles':>13}{'IOMMU hit':>11}{'walks':>9}{'speedup':>9}")
+    for name, result in results.items():
+        a = result.apps[1]
+        print(
+            f"{name:<14}{a.exec_cycles:>13,}{a.iommu_hit_rate:>11.3f}"
+            f"{a.counters.get('walks', 0):>9,}{result.speedup_vs(base):>9.3f}x"
+        )
+    second_touch = systems["second-touch"].policy
+    print(f"\nsecond-touch bypassed {second_touch.bypassed:,} first-walk fills "
+          f"of the IOMMU TLB")
+    print(
+        "Note the instructive failure: on a reuse-heavy workload every page "
+        "now pays TWO walks before it is cached at the IOMMU, so walk "
+        "traffic rises and performance drops.  Heuristic bypass needs "
+        "accurate prediction; least-TLB instead changes the structure "
+        "(victim-TLB reach + tracker sharing) and wins without predicting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the configuration system.
+
+Sweeps two of the paper's sensitivity axes in one script:
+
+* IOMMU TLB size (1k-8k entries) — how much raw capacity buys vs what
+  least-TLB recovers architecturally;
+* remote access latency (Figure 20) — when is fetching from a peer GPU's
+  L2 still worth it, and why racing the page walk makes the design robust.
+
+Run:
+    python examples/design_space_sweep.py [scale]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import baseline_config, remote_latency_config, run_single_app
+from repro.config import TLBLevelConfig
+
+APP = "MM"
+
+
+def sweep_iommu_size(scale: float) -> None:
+    print(f"\n--- IOMMU TLB size sweep ({APP}) ---")
+    print(f"{'entries':>8}{'baseline hit':>14}{'least hit+rem':>15}{'least speedup':>15}")
+    for entries in (1024, 2048, 4096, 8192):
+        config = baseline_config()
+        config = config.derive(
+            iommu=replace(
+                config.iommu,
+                tlb=TLBLevelConfig(num_entries=entries, associativity=64,
+                                   lookup_latency=200),
+            )
+        )
+        base = run_single_app(APP, config, "baseline", scale=scale)
+        least = run_single_app(APP, config, "least-tlb", scale=scale)
+        b, l = base.apps[1], least.apps[1]
+        print(
+            f"{entries:>8}{b.iommu_hit_rate:>14.3f}"
+            f"{l.iommu_hit_rate + l.remote_hit_rate:>15.3f}"
+            f"{least.speedup_vs(base):>14.3f}x"
+        )
+
+
+def sweep_remote_latency(scale: float) -> None:
+    print(f"\n--- Remote access latency sweep ({APP}, Figure 20) ---")
+    print(f"{'latency x':>10}{'remote-only':>13}{'least (raced)':>15}")
+    base = run_single_app(APP, policy="baseline", scale=scale)
+    for factor in (0.5, 1.0, 2.0, 4.0, 8.0):
+        config = remote_latency_config(factor)
+        serial = run_single_app(
+            APP, config, "least-tlb", scale=scale,
+            policy_options={"race_ptw": False},
+        )
+        raced = run_single_app(APP, config, "least-tlb", scale=scale)
+        print(
+            f"{factor:>10.1f}{serial.speedup_vs(base):>12.3f}x"
+            f"{raced.speedup_vs(base):>14.3f}x"
+        )
+    print("(the raced design never waits on a slow remote: the page walk "
+          "bounds its latency)")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    sweep_iommu_size(scale)
+    sweep_remote_latency(scale)
+
+
+if __name__ == "__main__":
+    main()

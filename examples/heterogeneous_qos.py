@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Heterogeneous devices sharing one IOMMU: QoS-aware spilling.
+
+The paper's discussion (Section 4.4) envisions least-TLB in systems where
+the devices behind the IOMMU are not equal — a latency-critical inference
+accelerator next to best-effort batch GPUs.  Plain spilling treats every
+L2 TLB as a fair victim buffer; the device-aware extension weighs spill
+placement by per-device QoS so the critical device's L2 is protected.
+
+This script runs the W5 mix (AES, FIR, PR, ST), declares the GPU running
+ST latency-critical, and compares:
+
+* baseline (no spilling at all),
+* least-TLB (fairness-blind spilling),
+* least-TLB-qos (weight 8 on the critical device).
+
+Run:
+    python examples/heterogeneous_qos.py [scale]
+"""
+
+import sys
+
+from repro import run_multi_app
+from repro.reporting import bar_chart
+from repro.workloads import MULTI_APP_WORKLOADS
+
+WORKLOAD = "W5"
+CRITICAL_GPU = 3
+WEIGHTS = [1.0, 1.0, 1.0, 8.0]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    apps = MULTI_APP_WORKLOADS[WORKLOAD][0]
+    critical_app = apps[CRITICAL_GPU]
+    print(f"Workload {WORKLOAD}: {', '.join(apps)}; "
+          f"GPU{CRITICAL_GPU} ({critical_app}) is latency-critical "
+          f"(weight {WEIGHTS[CRITICAL_GPU]})")
+
+    base = run_multi_app(WORKLOAD, policy="baseline", scale=scale)
+    plain = run_multi_app(WORKLOAD, policy="least-tlb", scale=scale)
+    qos = run_multi_app(
+        WORKLOAD, policy="least-tlb-qos", scale=scale,
+        policy_options={"qos_weights": WEIGHTS},
+    )
+
+    print(f"\nper-application speedup vs baseline ({critical_app} marked *):")
+    for name, result in (("least-tlb", plain), ("least-tlb-qos", qos)):
+        speedups = result.per_app_speedup_vs(base)
+        items = [
+            (f"{apps[pid - 1]}{'*' if pid - 1 == CRITICAL_GPU else ' '}",
+             speedups[pid])
+            for pid in sorted(speedups)
+        ]
+        print(f"\n[{name}]")
+        print(bar_chart(items, baseline=1.0))
+
+    print("\nspill placement (who hosts the IOMMU TLB victims):")
+    for name, result in (("least-tlb", plain), ("least-tlb-qos", qos)):
+        shares = [
+            result.iommu_counters.get(f"spills_to_gpu{gpu}", 0)
+            for gpu in range(4)
+        ]
+        total = max(1, sum(shares))
+        row = "  ".join(
+            f"GPU{gpu}({apps[gpu]}): {count / total:5.1%}"
+            for gpu, count in enumerate(shares)
+        )
+        print(f"  {name:<14} {row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Replay the paper's Figure 10 walk-through, printing TLB states.
+
+A miniature 4-GPU system (one-entry L2 TLBs, a four-entry IOMMU TLB)
+executes the paper's four-step example under least-TLB, dumping every
+TLB's contents after each step — the exact table of Figure 10, live.
+
+Run:
+    python examples/paper_walkthrough.py
+"""
+
+import numpy as np
+
+from repro import MultiGPUSystem
+from repro.config import (
+    GPUConfig,
+    IOMMUConfig,
+    InterconnectConfig,
+    SystemConfig,
+    TLBLevelConfig,
+    TrackerConfig,
+)
+from repro.workloads import CUStream, Placement, Workload
+
+PID = 1
+STEP = 50_000
+
+
+def tiny_system() -> MultiGPUSystem:
+    config = SystemConfig(
+        num_gpus=4,
+        gpu=GPUConfig(
+            num_cus=1, slots_per_cu=1,
+            l1_tlb=TLBLevelConfig(num_entries=1, associativity=1, lookup_latency=1),
+            l2_tlb=TLBLevelConfig(num_entries=1, associativity=1, lookup_latency=5),
+        ),
+        iommu=IOMMUConfig(
+            tlb=TLBLevelConfig(num_entries=4, associativity=4, lookup_latency=20),
+            num_walkers=2, walker_threads=2, walk_latency=100,
+        ),
+        tracker=TrackerConfig(total_entries=64, kind="perfect"),
+        interconnect=InterconnectConfig(host_link_latency=30, peer_link_latency=10),
+    )
+    steps = [(0, 0x5), (1, 0x1), (2, 0x1), (3, 0x1)]
+    placements = [
+        Placement(
+            gpu_id=gpu, pid=PID, app_name="fig10", cu_ids=[0],
+            streams=[CUStream(
+                np.array([vpn], dtype=np.int64),
+                np.array([(i + 1) * STEP], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )],
+        )
+        for i, (gpu, vpn) in enumerate(steps)
+    ]
+    workload = Workload(
+        name="fig10", kind="single", placements=placements,
+        app_names={PID: "fig10"}, footprints={PID: np.arange(0x10)},
+    )
+    system = MultiGPUSystem(config, workload, "least-tlb")
+    # Initial state: GPU_i's L2 holds page 0x(i+1); the IOMMU TLB is empty.
+    for gpu_id in range(4):
+        system.gpus[gpu_id].receive_fill(PID, gpu_id + 1, gpu_id + 100, 1)
+    return system
+
+
+def dump(system: MultiGPUSystem, label: str) -> None:
+    l2s = [
+        ",".join(f"0x{e.vpn:X}" for e in system.gpus[g].l2_tlb.iter_entries()) or "-"
+        for g in range(4)
+    ]
+    iommu = ",".join(f"0x{e.vpn:X}" for e in system.iommu.tlb.iter_entries()) or "-"
+    print(f"{label:<28} L2s: [{'] ['.join(l2s)}]   IOMMU TLB: {{{iommu}}}")
+
+
+def main() -> None:
+    system = tiny_system()
+    for gpu in system.gpus:
+        gpu.start()
+
+    print("Figure 10 walk-through (least-TLB, single-application mode)\n")
+    dump(system, "initial")
+    steps = [
+        "step 1: GPU0 asks 0x5 (miss everywhere -> walk; 0x1 drops to IOMMU)",
+        "step 2: GPU1 asks 0x1 (IOMMU hit -> entry MOVES to GPU1)",
+        "step 3: GPU2 asks 0x1 (tracker -> remote hit in GPU1, copy kept)",
+        "step 4: GPU3 asks 0x1 (remote hit again)",
+    ]
+    for i, label in enumerate(steps, start=1):
+        system.queue.run(until=(i + 1) * STEP - 1)
+        dump(system, label)
+
+    stats = system.iommu.stats
+    print(
+        f"\nserved: {stats['tlb_hit']} IOMMU hit, {stats['remote_hits']} remote, "
+        f"{system.iommu.walkers.stats['walks_dispatched']} walks "
+        f"({stats.as_dict().get('walks_wasted', 0)} lost the race)"
+    )
+    print("Compare with the paper: baseline (mostly-inclusive) misses steps "
+          "1-2 and hits only 3-4; least-TLB serves steps 2-4 without waiting "
+          "for a page walk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""repro — a reproduction of "Improving Address Translation in Multi-GPUs
+via Sharing and Spilling aware TLB Design" (Li, Yin, Zhang, Tang —
+MICRO 2021).
+
+The package is a trace-driven, discrete-event simulator of IOMMU-organised
+multi-GPU systems, with the paper's least-TLB design, its mostly-inclusive
+baseline, and every comparison policy the evaluation uses.
+
+Quick start::
+
+    from repro import run_single_app
+
+    base = run_single_app("MM", policy="baseline", scale=0.3)
+    least = run_single_app("MM", policy="least-tlb", scale=0.3)
+    print(f"speedup: {least.speedup_vs(base):.2f}x")
+"""
+
+from repro.config import (
+    GPUConfig,
+    IOMMUConfig,
+    InterconnectConfig,
+    SystemConfig,
+    TLBLevelConfig,
+    TrackerConfig,
+    baseline_config,
+    dws_config,
+    infinite_iommu_config,
+    large_page_config,
+    local_page_table_config,
+    remote_latency_config,
+    scaled_config,
+    small_iommu_config,
+    spill_budget_config,
+)
+from repro.analysis import mm_c_wait, walker_operating_point
+from repro.core import (
+    DeviceAwareLeastTLBPolicy,
+    LeastTLBPolicy,
+    LocalTLBTracker,
+    estimate_overhead,
+)
+from repro.reporting import bar_chart, cdf_chart, result_to_dict, save_result_json
+from repro.policies import TranslationPolicy, make_policy, policy_names
+from repro.sim import (
+    AppResult,
+    MultiGPUSystem,
+    SimulationResult,
+    Snapshot,
+    run_alone,
+    run_mix,
+    run_multi_app,
+    run_single_app,
+    simulate,
+)
+from repro.workloads.trace_io import (
+    load_workload,
+    save_workload,
+    workload_from_page_streams,
+)
+from repro.workloads import (
+    APPLICATIONS,
+    MIX_WORKLOADS,
+    MULTI_APP_WORKLOADS,
+    SCALED_WORKLOADS,
+    SINGLE_APP_NAMES,
+    Workload,
+    build_alone_workload,
+    build_mix_workload,
+    build_multi_app_workload,
+    build_single_app_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "IOMMUConfig",
+    "InterconnectConfig",
+    "SystemConfig",
+    "TLBLevelConfig",
+    "TrackerConfig",
+    "baseline_config",
+    "dws_config",
+    "infinite_iommu_config",
+    "large_page_config",
+    "local_page_table_config",
+    "remote_latency_config",
+    "scaled_config",
+    "small_iommu_config",
+    "spill_budget_config",
+    "DeviceAwareLeastTLBPolicy",
+    "LeastTLBPolicy",
+    "LocalTLBTracker",
+    "estimate_overhead",
+    "mm_c_wait",
+    "walker_operating_point",
+    "bar_chart",
+    "cdf_chart",
+    "result_to_dict",
+    "save_result_json",
+    "load_workload",
+    "save_workload",
+    "workload_from_page_streams",
+    "policy_names",
+    "TranslationPolicy",
+    "make_policy",
+    "AppResult",
+    "MultiGPUSystem",
+    "SimulationResult",
+    "Snapshot",
+    "run_alone",
+    "run_mix",
+    "run_multi_app",
+    "run_single_app",
+    "simulate",
+    "APPLICATIONS",
+    "MIX_WORKLOADS",
+    "MULTI_APP_WORKLOADS",
+    "SCALED_WORKLOADS",
+    "SINGLE_APP_NAMES",
+    "Workload",
+    "build_alone_workload",
+    "build_mix_workload",
+    "build_multi_app_workload",
+    "build_single_app_workload",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Analytic models for sanity-checking simulation results."""
+
+from repro.analysis.queueing import QueueEstimate, erlang_c, mm_c_wait, walker_operating_point
+
+__all__ = ["QueueEstimate", "erlang_c", "mm_c_wait", "walker_operating_point"]

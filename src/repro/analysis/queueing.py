@@ -1,0 +1,88 @@
+"""Analytic queueing models for the walker pool.
+
+The multi-application contention the paper measures is, to first order,
+an M/M/c queue: translation misses arrive from hundreds of CUs
+(approximately Poisson in aggregate), and the walker pool serves them
+with ``c = num_walkers x walker_threads`` servers at a mean walk latency.
+These helpers compute the Erlang-C expectation so simulations can be
+sanity-checked against theory (``tests/integration/test_queueing_theory``)
+and so users can size walker pools analytically before simulating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class QueueEstimate:
+    """Erlang-C prediction for a walker pool operating point."""
+
+    arrival_rate: float
+    service_time: float
+    servers: int
+    utilization: float
+    probability_of_wait: float
+    mean_wait: float
+
+    @property
+    def stable(self) -> bool:
+        """True when utilization < 1 (finite queue)."""
+        return self.utilization < 1.0
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Probability an arrival waits in an M/M/c queue.
+
+    ``offered_load`` is ``lambda * service_time`` (in Erlangs); the queue
+    is only stable for ``offered_load < servers``.
+    """
+    if servers <= 0:
+        raise ValueError(f"servers must be positive: {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered_load must be >= 0: {offered_load}")
+    if offered_load >= servers:
+        return 1.0
+    # Iterative form avoids overflow for large server counts.
+    inverse_b = 1.0
+    for k in range(1, servers + 1):
+        inverse_b = 1.0 + inverse_b * k / offered_load if offered_load else float("inf")
+    blocking = 1.0 / inverse_b  # Erlang-B
+    rho = offered_load / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def mm_c_wait(arrival_rate: float, service_time: float, servers: int) -> QueueEstimate:
+    """Mean queueing delay (excluding service) for an M/M/c walker pool."""
+    if arrival_rate < 0 or service_time <= 0:
+        raise ValueError("arrival_rate must be >= 0 and service_time positive")
+    offered = arrival_rate * service_time
+    utilization = offered / servers
+    if utilization >= 1.0:
+        return QueueEstimate(
+            arrival_rate, service_time, servers, utilization,
+            probability_of_wait=1.0, mean_wait=math.inf,
+        )
+    p_wait = erlang_c(servers, offered)
+    mean_wait = p_wait * service_time / (servers * (1.0 - utilization))
+    return QueueEstimate(
+        arrival_rate, service_time, servers, utilization, p_wait, mean_wait
+    )
+
+
+def walker_operating_point(result: SimulationResult, config) -> QueueEstimate:
+    """The walker pool's measured operating point, expressed analytically.
+
+    Arrival rate is measured walks per cycle over the run; service time is
+    the configured full-walk latency.  The returned estimate is what M/M/c
+    *predicts* for that operating point — compare against
+    ``result.walker_queue_wait_mean`` to see how far the real (bursty,
+    correlated) arrival process deviates from Poisson.
+    """
+    cycles = max(1, result.total_cycles)
+    walks = result.walker_counters.get("walks_dispatched", 0)
+    servers = config.iommu.num_walkers * config.iommu.walker_threads
+    return mm_c_wait(walks / cycles, config.iommu.walk_latency, servers)

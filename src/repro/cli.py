@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+::
+
+    repro list                                   # apps, workloads, policies
+    repro run MM --policy least-tlb --scale 0.3  # one simulation
+    repro run W8 --policy baseline --json out.json
+    repro compare MM --policies baseline,least-tlb,tlb-probing
+    repro characterize ST --scale 0.3            # MPKI, hit rates, reuse CDF
+
+Workload names resolve in order: a Table 3 application abbreviation
+(single-application-multi-GPU), a Table 4/5 ``W``-name (one app per GPU),
+a Table 6 mix name (two apps per GPU), or a path to a ``.npz`` workload
+file written by :func:`repro.workloads.trace_io.save_workload`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import presets
+from repro.config.system import SystemConfig
+from repro.metrics.reuse_distance import fraction_within, reuse_cdf, reuse_distances
+from repro.policies import policy_names
+from repro.reporting import bar_chart, cdf_chart, comparison_table, save_result_json
+from repro.sim.driver import simulate
+from repro.sim.results import SimulationResult
+from repro.workloads.applications import APPLICATIONS
+from repro.workloads.multi_app import (
+    MIX_WORKLOADS,
+    MULTI_APP_WORKLOADS,
+    SCALED_WORKLOADS,
+    build_mix_workload,
+    build_multi_app_workload,
+    build_single_app_workload,
+)
+from repro.workloads.trace import Workload
+from repro.workloads.trace_io import load_workload
+
+CONFIG_PRESETS = {
+    "baseline": presets.baseline_config,
+    "infinite-iommu": presets.infinite_iommu_config,
+    "small-iommu": presets.small_iommu_config,
+    "large-pages": presets.large_page_config,
+    "local-page-tables": presets.local_page_table_config,
+    "dws": presets.dws_config,
+    "8gpu": lambda: presets.scaled_config(8),
+    "16gpu": lambda: presets.scaled_config(16),
+}
+
+
+def resolve_config(name: str) -> SystemConfig:
+    """Build the named config preset or exit with the valid choices."""
+    try:
+        return CONFIG_PRESETS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown config preset {name!r}; choose from {sorted(CONFIG_PRESETS)}"
+        ) from None
+
+
+def resolve_workload(name: str, config: SystemConfig, scale: float) -> Workload:
+    """Resolve an application/workload name or ``.npz`` path to a workload."""
+    upper = name.upper()
+    if upper in APPLICATIONS:
+        return build_single_app_workload(upper, config, scale=scale)
+    if upper in MULTI_APP_WORKLOADS or upper in SCALED_WORKLOADS:
+        return build_multi_app_workload(upper, config, scale=scale)
+    if upper in MIX_WORKLOADS:
+        return build_mix_workload(upper, config, scale=scale)
+    path = Path(name)
+    if path.exists():
+        return load_workload(path)
+    raise SystemExit(
+        f"unknown workload {name!r}: not an application, a workload name, "
+        f"or an existing .npz file"
+    )
+
+
+def _print_result(result: SimulationResult) -> None:
+    print(f"workload {result.workload_name} ({result.workload_kind}), "
+          f"policy {result.policy_name}")
+    print(f"total cycles {result.total_cycles:,}  "
+          f"events {result.events_executed:,}")
+    rows = [
+        [a.app_name, a.exec_cycles, f"{a.ipc:.1f}", a.mpki,
+         a.l2_hit_rate, a.iommu_hit_rate, a.remote_hit_rate]
+        for a in result.apps.values()
+    ]
+    print(comparison_table(
+        rows, ["app", "exec cycles", "IPC", "MPKI", "L2 hit", "IOMMU hit", "remote"]
+    ))
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """``repro list``: applications, workloads, policies, presets."""
+    print("applications (Table 3 + SC):")
+    for name, spec in sorted(APPLICATIONS.items()):
+        print(f"  {name:<4} {spec.full_name:<26} {spec.suite:<11} "
+              f"{spec.pattern.pattern:<15} MPKI class {spec.mpki_class}")
+    print("\nmulti-application workloads (Tables 4/5):")
+    for table in (MULTI_APP_WORKLOADS, SCALED_WORKLOADS):
+        for name, (apps, category) in table.items():
+            print(f"  {name:<4} {category:<16} {', '.join(apps)}")
+    print("\nmixed workloads (Table 6):")
+    for name, (pairs, category) in MIX_WORKLOADS.items():
+        print(f"  {name:<4} {category:<10} "
+              + ", ".join(f"{a}+{b}" for a, b in pairs))
+    print(f"\npolicies: {', '.join(policy_names())}")
+    print(f"config presets: {', '.join(sorted(CONFIG_PRESETS))}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: one simulation, optionally exported to JSON."""
+    config = resolve_config(args.config)
+    workload = resolve_workload(args.workload, config, args.scale)
+    result = simulate(
+        config, workload, args.policy,
+        record_iommu_stream=args.record_stream,
+        snapshot_interval=args.snapshot_interval,
+    )
+    _print_result(result)
+    if args.json:
+        path = save_result_json(result, args.json, include_stream=args.record_stream)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: run several policies and chart the speedups."""
+    config = resolve_config(args.config)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if not policies:
+        raise SystemExit("no policies given")
+    results = {}
+    for policy in policies:
+        workload = resolve_workload(args.workload, config, args.scale)
+        results[policy] = simulate(config, workload, policy)
+    base = results[policies[0]]
+    print(f"workload {args.workload}, normalized to {policies[0]}:\n")
+    print(bar_chart(
+        [(policy, results[policy].speedup_vs(base)) for policy in policies],
+        baseline=1.0,
+    ))
+    print()
+    rows = [
+        [policy, r.exec_cycles,
+         sum(a.iommu_hit_rate for a in r.apps.values()) / len(r.apps),
+         sum(a.remote_hit_rate for a in r.apps.values()) / len(r.apps)]
+        for policy, r in results.items()
+    ]
+    print(comparison_table(rows, ["policy", "exec cycles", "IOMMU hit", "remote hit"]))
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """``repro characterize``: hit rates, MPKI, reuse-distance CDF."""
+    config = resolve_config(args.config)
+    workload = resolve_workload(args.workload, config, args.scale)
+    result = simulate(config, workload, "baseline", record_iommu_stream=True)
+    _print_result(result)
+    distances = reuse_distances(result.iommu_stream)
+    finite = (distances >= 0).sum()
+    print(f"\nIOMMU reuse distances ({finite:,} reuses of "
+          f"{len(result.iommu_stream):,} requests):")
+    capacity = config.iommu.tlb.num_entries
+    print(cdf_chart(reuse_cdf(distances), markers={capacity: "IOMMU TLB capacity"}))
+    print(f"\ncapturable by the {capacity}-entry IOMMU TLB: "
+          f"{fraction_within(distances, capacity):.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="least-TLB multi-GPU address-translation simulator (MICRO'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications, workloads, policies").set_defaults(
+        func=cmd_list
+    )
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        """Arguments shared by every simulation subcommand."""
+        p.add_argument("workload", help="application, workload name, or .npz path")
+        p.add_argument("--scale", type=float, default=0.3,
+                       help="trace-length scale (default 0.3)")
+        p.add_argument("--config", default="baseline",
+                       help=f"config preset ({', '.join(sorted(CONFIG_PRESETS))})")
+
+    run = sub.add_parser("run", help="run one simulation")
+    add_common(run)
+    run.add_argument("--policy", default="baseline",
+                     help=f"translation policy ({', '.join(policy_names())})")
+    run.add_argument("--json", help="write the result to this JSON file")
+    run.add_argument("--record-stream", action="store_true",
+                     help="record the IOMMU request stream")
+    run.add_argument("--snapshot-interval", type=int, default=0,
+                     help="TLB-content snapshot interval in cycles")
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="run several policies and compare")
+    add_common(compare)
+    compare.add_argument("--policies", default="baseline,least-tlb",
+                         help="comma-separated policy list (first = reference)")
+    compare.set_defaults(func=cmd_compare)
+
+    characterize = sub.add_parser(
+        "characterize", help="hit rates, MPKI, and reuse-distance CDF"
+    )
+    add_common(characterize)
+    characterize.set_defaults(func=cmd_characterize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

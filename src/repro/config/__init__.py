@@ -1,0 +1,43 @@
+"""System configuration dataclasses and evaluation presets."""
+
+from repro.config.presets import (
+    baseline_config,
+    dws_config,
+    infinite_iommu_config,
+    large_page_config,
+    local_page_table_config,
+    remote_latency_config,
+    scaled_config,
+    small_iommu_config,
+    spill_budget_config,
+)
+from repro.config.system import (
+    PAGE_2MB,
+    PAGE_4KB,
+    GPUConfig,
+    IOMMUConfig,
+    InterconnectConfig,
+    SystemConfig,
+    TLBLevelConfig,
+    TrackerConfig,
+)
+
+__all__ = [
+    "PAGE_2MB",
+    "PAGE_4KB",
+    "GPUConfig",
+    "IOMMUConfig",
+    "InterconnectConfig",
+    "SystemConfig",
+    "TLBLevelConfig",
+    "TrackerConfig",
+    "baseline_config",
+    "dws_config",
+    "infinite_iommu_config",
+    "large_page_config",
+    "local_page_table_config",
+    "remote_latency_config",
+    "scaled_config",
+    "small_iommu_config",
+    "spill_budget_config",
+]

@@ -1,0 +1,16 @@
+"""The paper's contribution: the least-TLB design."""
+
+from repro.core.device_aware import DeviceAwareLeastTLBPolicy
+from repro.core.least_tlb import LeastTLBPolicy
+from repro.core.overhead import OverheadReport, counter_bits_needed, estimate_overhead
+from repro.core.tracker import LocalTLBTracker, TrackerStats
+
+__all__ = [
+    "DeviceAwareLeastTLBPolicy",
+    "LeastTLBPolicy",
+    "OverheadReport",
+    "counter_bits_needed",
+    "estimate_overhead",
+    "LocalTLBTracker",
+    "TrackerStats",
+]

@@ -1,0 +1,111 @@
+"""Device-aware least-TLB for heterogeneous systems (Section 4.4).
+
+The paper's discussion sketches how least-TLB extends to IOMMUs shared by
+*heterogeneous* devices (GPUs, NPUs, chiplets) with different local TLB
+sizes and QoS requirements: tag entries with device IDs and make the
+policies device-aware "to manage the fairness and efficiency across
+heterogeneous devices".  This module realises that sketch:
+
+* each device has a **QoS weight** — higher means its translations are
+  more latency-critical;
+* **spill placement** biases toward low-weight devices: the effective
+  counter used by receiver selection is the Eviction Counter scaled by the
+  device's weight, so a latency-critical device's L2 TLB is only flooded
+  with spills when every lighter device is already far busier;
+* **spill budgets scale with the owner's weight** — a heavy device's
+  victims get extra trips through the hierarchy (more chances to be
+  re-captured), a light device's victims get the paper's single chance.
+
+The extension is deliberately additive: with uniform weights it reduces
+exactly to :class:`~repro.core.least_tlb.LeastTLBPolicy` (asserted in
+tests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.least_tlb import LeastTLBPolicy
+from repro.structures.tlb import TLBEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import MultiGPUSystem
+
+
+class DeviceAwareLeastTLBPolicy(LeastTLBPolicy):
+    """least-TLB with per-device QoS weights.
+
+    Parameters
+    ----------
+    qos_weights:
+        One positive weight per GPU/device.  ``None`` means uniform
+        weights (plain least-TLB behaviour).
+    """
+
+    name = "least-tlb-qos"
+
+    def __init__(
+        self,
+        system: "MultiGPUSystem",
+        *,
+        qos_weights: list[float] | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(system, **kwargs)
+        num = system.config.num_gpus
+        if qos_weights is None:
+            qos_weights = [1.0] * num
+        if len(qos_weights) != num:
+            raise ValueError(
+                f"{len(qos_weights)} QoS weights for {num} devices"
+            )
+        if any(w <= 0 for w in qos_weights):
+            raise ValueError("QoS weights must be positive")
+        self.qos_weights = list(qos_weights)
+
+    # -- spill placement ---------------------------------------------------
+
+    def _select_receiver(self) -> int:
+        """Minimum *weighted* Eviction Counter, rotating tie-break.
+
+        Scaling the counter by the receiver's weight makes a
+        latency-critical (heavy) device look proportionally busier, so
+        spills land on the devices that can absorb the L2 interference.
+        """
+        if self.receiver_policy != "counter":
+            return super()._select_receiver()
+        iommu = self.iommu
+        num = self.system.config.num_gpus
+        best_gpu = -1
+        best_value: float | None = None
+        for offset in range(num):
+            gpu = (iommu._spill_pointer + offset) % num
+            value = (iommu.eviction_counters[gpu] + 1) * self.qos_weights[gpu]
+            if best_value is None or value < best_value:
+                best_gpu = gpu
+                best_value = value
+        iommu._spill_pointer = (best_gpu + 1) % num
+        return best_gpu
+
+    # -- per-device spill budgets ---------------------------------------------
+
+    def _budget_for_owner(self, owner_gpu: int) -> int:
+        base = self.system.config.spill_budget
+        if owner_gpu < 0:
+            return base
+        weight = self.qos_weights[owner_gpu]
+        mean = sum(self.qos_weights) / len(self.qos_weights)
+        # A device twice as critical as average earns one extra trip.
+        return max(base, round(base * weight / mean))
+
+    def on_l2_eviction(self, gpu, victim: TLBEntry) -> None:
+        # Fresh victims (never spilled) get their owner's QoS budget the
+        # first time they head to the IOMMU TLB.
+        if (
+            self.spilling
+            and victim.spill_budget == self.system.config.spill_budget
+            and victim.owner_gpu == gpu.gpu_id
+        ):
+            victim = victim.copy()
+            victim.spill_budget = self._budget_for_owner(gpu.gpu_id)
+        super().on_l2_eviction(gpu, victim)

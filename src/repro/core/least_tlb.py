@@ -1,0 +1,263 @@
+"""least-TLB: the paper's sharing- and spilling-aware TLB hierarchy.
+
+The design (Section 4) composes three mechanisms on top of the shared
+IOMMU TLB:
+
+1. **Least-inclusive hierarchy** — the IOMMU TLB is a victim TLB for the
+   GPU L2s.  Walk results fill only the requesting L2; an IOMMU TLB hit
+   *moves* the entry to the requester; L2 victims drop into the IOMMU TLB.
+   This removes the cross-level redundancy of the mostly-inclusive
+   baseline and roughly doubles effective reach (Observation 3).
+
+2. **Translation sharing** (single-application mode) — the Local TLB
+   Tracker lets an IOMMU TLB miss be served from a peer GPU's L2.  The
+   remote probe races the page-table walk through the pending table;
+   whichever returns first wins, so tracker false positives cost nothing
+   but fabric traffic.  On a remote hit the translation is kept in *both*
+   L2s, since single-application GPUs genuinely share pages.
+
+3. **IOMMU TLB spilling** (multi-application mode) — IOMMU TLB victims are
+   spilled into the L2 of the GPU with the smallest Eviction Counter (the
+   GPU contributing least to IOMMU TLB pressure, i.e. running the least
+   TLB-intensive application).  Each entry carries a spill budget of
+   ``N = config.spill_budget`` (1 in the paper); a spilled entry evicted
+   from its host L2 is discarded rather than re-entering the IOMMU TLB,
+   bounding the ping-pong "chain effect".  A remote hit on a spilled entry
+   migrates it back to its owner with a refreshed budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.core.tracker import LocalTLBTracker
+from repro.gpu.ats import ATSRequest
+from repro.policies.base import TranslationPolicy
+from repro.structures.tlb import TLBEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu_device import GPUDevice
+    from repro.sim.system import MultiGPUSystem
+
+
+class LeastTLBPolicy(TranslationPolicy):
+    """The paper's least-inclusive, sharing- and spilling-aware hierarchy.
+
+    Parameters
+    ----------
+    mode:
+        ``"single"`` (sharing semantics, Algorithm 1) or ``"multi"``
+        (spilling semantics, Algorithm 2).  Defaults to the workload's
+        execution paradigm.
+    race_ptw:
+        Issue the page walk in parallel with a remote probe (the paper's
+        design).  ``False`` gives the remote-then-walk serial variant used
+        as the colored-solid line in Figure 20.
+    remote_probes:
+        Disable to ablate sharing entirely (pure least-inclusive).
+    spilling:
+        Defaults to ``mode == "multi"``; disable to ablate spilling.
+    receiver_policy:
+        How the spill receiver is chosen: ``"counter"`` (the paper's
+        Eviction-Counter minimum, default), ``"round-robin"``, or
+        ``"random"`` — the latter two exist for the receiver-selection
+        ablation bench.
+    """
+
+    name = "least-tlb"
+
+    def __init__(
+        self,
+        system: "MultiGPUSystem",
+        *,
+        mode: str | None = None,
+        race_ptw: bool = True,
+        remote_probes: bool = True,
+        spilling: bool | None = None,
+        receiver_policy: str = "counter",
+    ) -> None:
+        super().__init__(system)
+        if mode is None:
+            mode = "multi" if system.workload.kind == "multi" else "single"
+        if mode not in ("single", "multi"):
+            raise ValueError(f"mode must be 'single' or 'multi': {mode!r}")
+        if receiver_policy not in ("counter", "round-robin", "random"):
+            raise ValueError(f"unknown receiver_policy: {receiver_policy!r}")
+        self.mode = mode
+        self.race_ptw = race_ptw
+        self.remote_probes = remote_probes
+        self.spilling = (mode == "multi") if spilling is None else spilling
+        self.receiver_policy = receiver_policy
+        config = system.config
+        self.tracker = LocalTLBTracker(config.tracker, config.num_gpus, seed=config.seed)
+        self._probe_rotor = 0
+        self._receiver_rotor = 0
+        self._receiver_rng = random.Random(config.seed)
+        self._l2_lookup_latency = config.gpu.l2_tlb.lookup_latency
+
+    # -- IOMMU request handling (Algorithms 1 & 2, lookup) -----------------------
+
+    def on_iommu_request(self, request: ATSRequest) -> None:
+        entry = self.iommu.lookup(request)
+        if entry is not None:
+            # Victim-TLB move: the hit entry migrates to the requester's L2.
+            self.iommu.remove_tlb(request.key)
+            self.iommu.respond([request], entry.ppn, source="iommu")
+            return
+        if self._attach_or_none(request) is not None:
+            return
+        pending = self.iommu.pending.create(request)
+
+        targets = [
+            gpu_id
+            for gpu_id in self.tracker.query(request.pid, request.vpn)
+            if gpu_id != request.gpu_id
+        ]
+        probing = bool(targets) and self.remote_probes
+        if probing:
+            pending.remote_pending = True
+            target = targets[self._probe_rotor % len(targets)]
+            self._probe_rotor += 1
+            if request.measured:
+                self.system.stats_for(request.pid).inc("tracker_positive")
+            arrival = self.topology.probe_to_gpu(target, self.queue.now)
+            self.queue.schedule(
+                arrival + self._l2_lookup_latency, self._remote_probe, request, target
+            )
+        if self.race_ptw or not probing:
+            # The walk races the probe; the pending table keeps whichever
+            # response arrives second from being delivered twice.
+            self._start_walk(request)
+
+    def _remote_probe(self, request: ATSRequest, target: int) -> None:
+        pending = self.iommu.pending.get(request.key)
+        assert pending is not None, "probe returned without a pending entry"
+        pending.remote_pending = False
+        entry = self.gpus[target].probe_l2(
+            request.pid, request.vpn, remove_on_hit=self.mode == "multi"
+        )
+        if entry is not None:
+            if self.mode == "multi":
+                # No inter-application sharing: the spilled entry migrates
+                # back to its owner and leaves the receiver's L2/tracker.
+                self.tracker.unregister(target, request.pid, request.vpn)
+            self.iommu.stats.inc("remote_hits")
+            if pending.served:
+                self.iommu.stats.inc("remote_wasted")
+            else:
+                pending.served = True
+                pending.result_ppn = entry.ppn
+                self._respond_from_remote(pending.waiters, target, entry.ppn)
+                pending.waiters.clear()
+                # Squash the racing walk if it is still queued: the race
+                # must not waste walker throughput when the probe wins.
+                if pending.walk_pending and pending.walk_ticket is not None:
+                    if self.iommu.walkers.cancel(pending.walk_ticket):
+                        pending.walk_pending = False
+                        pending.walk_ticket = None
+        else:
+            # Tracker false positive (fingerprint aliasing or a stale entry
+            # after a local shootdown).  The racing walk hides the latency
+            # (Section 4.1).  Deliberately NOT deleted from the filter: a
+            # delete on a false positive would remove an aliased resident
+            # key's fingerprint and silently drain the tracker.
+            self.iommu.stats.inc("tracker_false_positives")
+            if not pending.served and pending.resolved:
+                # Serial (remote-only) variant: fall back to the walk now.
+                self._start_walk(request)
+        self.iommu.pending.maybe_remove(pending)
+
+    def _respond_from_remote(
+        self, waiters: list[ATSRequest], target: int, ppn: int
+    ) -> None:
+        """Deliver a remote L2 hit to every waiter over the peer fabric.
+
+        A re-fetched spilled entry gets a fresh spill budget (the paper
+        resets the spill bit to 1 on reuse)."""
+        budget = self.system.config.spill_budget
+        now = self.queue.now
+        for waiter in waiters:
+            arrival = self.topology.gpu_to_gpu(target, waiter.gpu_id, now)
+            self.queue.schedule(
+                arrival,
+                self.gpus[waiter.gpu_id].receive_fill,
+                waiter.pid,
+                waiter.vpn,
+                ppn,
+                budget,
+            )
+            if waiter.measured:
+                stats = self.system.stats_for(waiter.pid)
+                stats.inc("remote_hit")
+                stats.inc("served_remote")
+                self.system.latency_for(waiter.pid).record(arrival - waiter.issue_time)
+        self.iommu.stats.inc("responses_remote", len(waiters))
+
+    def _fill_levels_after_walk(self, request: ATSRequest, ppn: int) -> None:
+        # Least-inclusive: the walk result fills only the requesting GPU's
+        # L2 (via the respond path), never the IOMMU TLB (Algorithm 1,
+        # line 14).
+        return
+
+    # -- L2-side hooks (Algorithms 1 & 2, insertion) --------------------------------
+
+    def on_l2_fill(self, gpu: "GPUDevice", entry: TLBEntry) -> None:
+        # Every translation brought into an L2 TLB is registered in that
+        # GPU's tracker partition (Section 4.1).
+        self.tracker.register(gpu.gpu_id, entry.pid, entry.vpn)
+
+    def on_l2_eviction(self, gpu: "GPUDevice", victim: TLBEntry) -> None:
+        self.tracker.unregister(gpu.gpu_id, victim.pid, victim.vpn)
+        if self.spilling and victim.spill_budget <= 0:
+            # A spilled entry out of budget is abandoned (Algorithm 2,
+            # lines 27-29): re-inserting it would ping-pong forever.
+            self.iommu.stats.inc("spilled_discarded")
+            return
+        arrival = self.topology.gpu_to_iommu(gpu.gpu_id, self.queue.now)
+        self.queue.schedule(arrival, self._victim_arrived, gpu.gpu_id, victim)
+
+    def _victim_arrived(self, gpu_id: int, victim: TLBEntry) -> None:
+        entry = victim.copy()
+        entry.owner_gpu = gpu_id
+        evicted = self.iommu.insert_tlb(entry)
+        if evicted is not None:
+            self.on_iommu_tlb_evicted(evicted)
+
+    def _select_receiver(self) -> int:
+        """The spill target GPU, per the configured receiver policy."""
+        if self.receiver_policy == "counter":
+            return self.iommu.select_spill_receiver()
+        if self.receiver_policy == "round-robin":
+            receiver = self._receiver_rotor
+            self._receiver_rotor = (receiver + 1) % self.system.config.num_gpus
+            return receiver
+        return self._receiver_rng.randrange(self.system.config.num_gpus)
+
+    def on_iommu_tlb_evicted(self, victim: TLBEntry) -> None:
+        if not self.spilling or victim.spill_budget <= 0:
+            # Single-application least-TLB simply drops the LRU victim
+            # (Algorithm 1, lines 27-28).
+            return
+        receiver = self._select_receiver()
+        spilled = victim.copy()
+        spilled.spill_budget -= 1
+        spilled.owner_gpu = receiver
+        self.iommu.stats.inc("spills")
+        self.iommu.stats.inc(f"spills_to_gpu{receiver}")
+        arrival = self.topology.probe_to_gpu(receiver, self.queue.now)
+        self.queue.schedule(arrival, self.gpus[receiver].receive_spill, spilled)
+
+    # -- shootdown --------------------------------------------------------------------
+
+    def on_iommu_shootdown(self, pid: int | None) -> None:
+        # Section 4.4: an IOMMU TLB shootdown also resets the tracker; the
+        # orphaned spilled entries age out of the L2s via LRU.
+        self.tracker.clear()
+
+    def on_gpu_shootdown(self, gpu_id: int, pid: int | None) -> None:
+        # A local L1/L2 shootdown invalidates every tracked entry of that
+        # GPU, so its tracker partition is reset wholesale; remote requests
+        # that still race to it find nothing and fall back to the walk
+        # (Section 4.4).
+        self.tracker.clear(gpu_id)

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel used by every simulated component."""
+
+from repro.engine.event_queue import EventQueue, SimulationError
+from repro.engine.stats import CounterSet, LatencyAccumulator
+
+__all__ = ["EventQueue", "SimulationError", "CounterSet", "LatencyAccumulator"]

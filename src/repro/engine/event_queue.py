@@ -1,0 +1,100 @@
+"""Discrete-event simulation kernel.
+
+The whole simulator is driven by a single :class:`EventQueue`.  Components
+never busy-wait: they schedule callbacks at absolute times (integer cycles)
+and the queue executes them in ``(time, sequence)`` order, which makes every
+simulation fully deterministic for a given workload and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+class EventQueue:
+    """A deterministic priority queue of timed callbacks.
+
+    Events scheduled for the same cycle execute in the order they were
+    scheduled (FIFO), which is the property the translation protocols rely on
+    for reproducible tie-breaking.
+    """
+
+    __slots__ = ("_heap", "_seq", "_now", "_events_executed", "_running")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._seq = 0
+        self._now = 0
+        self._events_executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_executed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` to run at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def schedule_after(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.schedule(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        self._now = time
+        self._events_executed += 1
+        callback(*args)
+        return True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        Returns the simulation time after the run.  ``until`` is inclusive:
+        events *at* that cycle still execute.
+        """
+        if self._running:
+            raise SimulationError("EventQueue.run() is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def peek_time(self) -> int | None:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,84 @@
+"""Lightweight statistics containers shared by every simulated component."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class CounterSet:
+    """A named bag of integer counters with dictionary-like access.
+
+    Components record events by name (``stats.inc("l2_hit")``) without having
+    to declare each counter up front.  Missing counters read as zero, which
+    keeps result post-processing free of ``KeyError`` handling.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (may be negative)."""
+        self._counters[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._counters[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot of all counters."""
+        return dict(self._counters)
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add every counter of ``other`` into this set."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def ratio(self, numerator: str, *denominator_parts: str) -> float:
+        """``numerator / sum(denominator_parts)`` or 0.0 if the denominator
+        is zero.  Convenient for hit rates: ``ratio("l2_hit", "l2_hit",
+        "l2_miss")``.
+        """
+        denom = sum(self._counters.get(p, 0) for p in denominator_parts)
+        if denom == 0:
+            return 0.0
+        return self._counters.get(numerator, 0) / denom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"CounterSet({items})"
+
+
+class LatencyAccumulator:
+    """Accumulates a latency distribution without storing every sample."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.max = 0
+
+    def record(self, latency: int) -> None:
+        """Add one latency sample (cycles)."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.count += 1
+        self.total += latency
+        if latency > self.max:
+            self.max = latency
+
+    @property
+    def mean(self) -> float:
+        """Mean recorded latency, or 0.0 with no samples."""
+        return self.total / self.count if self.count else 0.0

@@ -1,0 +1,7 @@
+"""GPU device model: compute units, local TLBs, and the ATS interface."""
+
+from repro.gpu.ats import ATSRequest
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.gpu_device import GPUDevice
+
+__all__ = ["ATSRequest", "ComputeUnit", "GPUDevice"]

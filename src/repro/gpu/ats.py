@@ -1,0 +1,28 @@
+"""Address Translation Service (ATS) packets.
+
+When a lookup misses a GPU's L2 TLB, the GPU emits an ATS request to the
+CPU-side IOMMU (Section 2.2).  The packet carries the requesting GPU, the
+translation key, and a ``measured`` flag implementing the paper's
+statistics methodology: applications re-executed to keep GPUs busy after
+their first full run contribute load but not statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class ATSRequest:
+    """One translation request travelling from a GPU to the IOMMU."""
+
+    gpu_id: int
+    pid: int
+    vpn: int
+    issue_time: int
+    measured: bool = True
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The ``(pid, vpn)`` translation key this request asks for."""
+        return (self.pid, self.vpn)

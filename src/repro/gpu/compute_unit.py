@@ -1,0 +1,95 @@
+"""Compute-unit replay state.
+
+Each CU replays one :class:`~repro.workloads.trace.CUStream` with a bounded
+window of outstanding translations (``slots``) modelling wavefront-level
+latency hiding: while fewer than ``slots`` translations are in flight the
+CU keeps issuing at its trace-defined pace; once the window fills, issue
+stalls until a translation completes.  Translation latency therefore
+lengthens execution exactly when it exceeds what multithreading can hide —
+the regime in which the paper reports translation consuming up to half of
+runtime.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import CUStream
+
+
+class ComputeUnit:
+    """Replay state of one CU.  Behaviour lives in
+    :class:`repro.gpu.gpu_device.GPUDevice`; this object is the bookkeeping.
+    """
+
+    __slots__ = (
+        "gpu_id",
+        "cu_id",
+        "pid",
+        "stream",
+        "slots",
+        "index",
+        "outstanding",
+        "waiting_for_slot",
+        "ready_time",
+        "execution_round",
+        "measured_remaining",
+        "rerun",
+    )
+
+    def __init__(
+        self,
+        gpu_id: int,
+        cu_id: int,
+        pid: int,
+        stream: CUStream,
+        slots: int,
+        rerun: bool,
+    ) -> None:
+        self.gpu_id = gpu_id
+        self.cu_id = cu_id
+        self.pid = pid
+        self.stream = stream
+        self.slots = slots
+        self.index = 0
+        self.outstanding = 0
+        self.waiting_for_slot = False
+        self.ready_time = 0
+        self.execution_round = 0
+        self.measured_remaining = stream.measured_runs
+        self.rerun = rerun
+
+    @property
+    def measured(self) -> bool:
+        """Post-warmup runs of the first execution round count toward
+        statistics."""
+        return self.execution_round == 0 and self.index >= self.stream.warmup_runs
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every run of the stream has been issued."""
+        return self.index >= self.stream.num_runs
+
+    def advance(self) -> bool:
+        """Move to the next run; wraps to a re-execution round if enabled.
+
+        Returns ``True`` if another run is available to issue.
+        """
+        self.index += 1
+        if self.index < self.stream.num_runs:
+            return True
+        if self.rerun and self.stream.num_runs > 0:
+            self.index = 0
+            self.execution_round += 1
+            return True
+        return False
+
+    def current_vpn(self) -> int:
+        """Virtual page of the run about to issue."""
+        return int(self.stream.vpns[self.index])
+
+    def current_gap(self) -> int:
+        """Issue distance (cycles) of the run about to issue."""
+        return int(self.stream.gaps[self.index])
+
+    def current_repeats(self) -> int:
+        """Burst length of the run about to issue."""
+        return int(self.stream.repeats[self.index])

@@ -1,0 +1,6 @@
+"""Interconnect models: host links, peer fabric, and the probing ring."""
+
+from repro.interconnect.link import Link
+from repro.interconnect.topology import Topology
+
+__all__ = ["Link", "Topology"]

@@ -1,0 +1,52 @@
+"""Point-to-point link model.
+
+Links add fixed propagation latency plus a serialization term: a link can
+inject at most ``bandwidth`` messages per cycle, and messages that arrive
+while the link is busy queue behind it.  The model is intentionally
+lightweight — one arithmetic update per message, no extra events — but it
+reproduces the congestion behaviour Section 5.3 discusses (a congested
+interconnect can make remote-TLB lookups slower than page walks).
+"""
+
+from __future__ import annotations
+
+from repro.engine.stats import LatencyAccumulator
+
+
+class Link:
+    """A unidirectional link with latency and finite injection bandwidth."""
+
+    __slots__ = ("name", "latency", "cycles_per_message", "_next_free", "traffic", "queueing")
+
+    def __init__(self, name: str, latency: int, bandwidth: float = 1.0) -> None:
+        """``bandwidth`` is messages per cycle (>= 1 message every
+        ``1/bandwidth`` cycles)."""
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0: {latency}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth}")
+        self.name = name
+        self.latency = latency
+        self.cycles_per_message = 1.0 / bandwidth
+        self._next_free = 0.0
+        self.traffic = 0
+        self.queueing = LatencyAccumulator()
+
+    def send(self, now: int) -> int:
+        """Account one message entering the link at cycle ``now``.
+
+        Returns the cycle the message arrives at the far end (propagation
+        latency plus any serialization queueing).
+        """
+        depart = max(float(now), self._next_free)
+        self._next_free = depart + self.cycles_per_message
+        self.traffic += 1
+        queue_delay = int(depart) - now
+        self.queueing.record(queue_delay)
+        return int(depart) + self.latency
+
+    def reset(self) -> None:
+        """Clear traffic accounting and serialization state."""
+        self._next_free = 0.0
+        self.traffic = 0
+        self.queueing = LatencyAccumulator()

@@ -1,0 +1,8 @@
+"""The CPU-side IOMMU: shared TLB, walker pool, PRI, and pending table."""
+
+from repro.iommu.iommu import IOMMU
+from repro.iommu.page_walker import WalkerPool
+from repro.iommu.pending_table import PendingEntry, PendingTable
+from repro.iommu.pri import PRIQueue
+
+__all__ = ["IOMMU", "WalkerPool", "PendingEntry", "PendingTable", "PRIQueue"]

@@ -1,0 +1,197 @@
+"""The CPU-side IOMMU.
+
+Owns the shared IOMMU TLB, the page-walker pool, the PRI fault queue, the
+pending-request table, and — for least-TLB — the per-GPU Eviction Counters
+that drive spill-receiver selection (Section 4.2).
+
+The IOMMU provides *mechanism*; all *policy* (what to do on hits, misses,
+evictions) is delegated to the active
+:class:`~repro.policies.base.TranslationPolicy` via
+:meth:`receive` → ``policy.on_iommu_request``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.config.system import SystemConfig
+from repro.engine.stats import CounterSet
+from repro.gpu.ats import ATSRequest
+from repro.iommu.page_walker import WalkerPool
+from repro.iommu.pending_table import PendingTable
+from repro.iommu.pri import PRIQueue
+from repro.structures.page_table import WalkResult
+from repro.structures.tlb import InfiniteTLB, SetAssociativeTLB, TLBEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.system import MultiGPUSystem
+
+
+class IOMMU:
+    """The shared translation agent every GPU's ATS traffic lands on."""
+
+    def __init__(self, config: SystemConfig, system: "MultiGPUSystem") -> None:
+        self.config = config
+        self.system = system
+        if config.iommu.infinite_tlb:
+            self.tlb: SetAssociativeTLB = InfiniteTLB(name="iommu-tlb-infinite")
+        else:
+            self.tlb = SetAssociativeTLB(
+                num_entries=config.iommu.tlb.num_entries,
+                associativity=config.iommu.tlb.associativity,
+                replacement=config.iommu.tlb.replacement,
+                name="iommu-tlb",
+                seed=config.seed + 1000,
+            )
+        self.walkers = WalkerPool(
+            system.queue, system.page_tables, config.iommu, config.num_gpus
+        )
+        self.pri = PRIQueue(system.queue, system.page_tables, config.iommu)
+        self.pending = PendingTable()
+        self.stats = CounterSet()
+        # Eviction Counters: how many IOMMU TLB entries each GPU's L2
+        # evictions contributed (Section 4.2, "where to spill").
+        self.eviction_counters = [0] * config.num_gpus
+        # Rotating-priority pointer for tie-breaking receiver selection,
+        # reproducing the walk-through of Figure 13.
+        self._spill_pointer = 0
+        self._lookup_latency = config.iommu.tlb.lookup_latency
+
+    # -- request entry point ---------------------------------------------------
+
+    def receive(self, request: ATSRequest) -> None:
+        """An ATS packet arrived over the host link."""
+        self.stats.inc("requests")
+        self.system.record_iommu_request(request)
+        self.system.queue.schedule_after(
+            self._lookup_latency, self.system.policy.on_iommu_request, request
+        )
+
+    # -- TLB access with statistics and counter accounting ----------------------
+
+    def lookup(self, request: ATSRequest) -> TLBEntry | None:
+        """IOMMU TLB lookup for ``request``, with per-application stats."""
+        entry = self.tlb.lookup(request.pid, request.vpn)
+        if request.measured:
+            stats = self.system.stats_for(request.pid)
+            stats.inc("iommu_lookup")
+            stats.inc("iommu_hit" if entry is not None else "iommu_miss")
+        self.stats.inc("tlb_hit" if entry is not None else "tlb_miss")
+        return entry
+
+    def insert_tlb(self, entry: TLBEntry) -> TLBEntry | None:
+        """Insert with Eviction-Counter bookkeeping; returns the victim."""
+        existing = self.tlb.peek(entry.pid, entry.vpn)
+        if existing is not None and existing.owner_gpu >= 0:
+            self.eviction_counters[existing.owner_gpu] -= 1
+        victim = self.tlb.insert(entry)
+        if entry.owner_gpu >= 0:
+            self.eviction_counters[entry.owner_gpu] += 1
+        if victim is not None and victim.owner_gpu >= 0:
+            self.eviction_counters[victim.owner_gpu] -= 1
+        return victim
+
+    def remove_tlb(self, key: tuple[int, int]) -> TLBEntry | None:
+        """Remove with Eviction-Counter bookkeeping (the victim-TLB move)."""
+        entry = self.tlb.remove(*key)
+        if entry is not None and entry.owner_gpu >= 0:
+            self.eviction_counters[entry.owner_gpu] -= 1
+        return entry
+
+    # -- walk / fault services ----------------------------------------------------
+
+    def start_walk(
+        self, request: ATSRequest, callback: Callable[[ATSRequest, WalkResult], None]
+    ):
+        """Dispatch a page-table walk for ``request``'s key.  Returns the
+        walker ticket (cancellable while the walk is queued)."""
+        if request.measured:
+            self.system.stats_for(request.pid).inc("walks")
+        return self.walkers.request(
+            request.pid,
+            request.vpn,
+            request.gpu_id,
+            lambda result: callback(request, result),
+        )
+
+    def report_fault(self, request: ATSRequest, callback: Callable[[int], None]) -> None:
+        """Route a faulting walk through the PRI batch path."""
+        if request.measured:
+            self.system.stats_for(request.pid).inc("page_faults")
+        self.stats.inc("page_faults")
+        self.pri.report(request.pid, request.vpn, callback)
+
+    # -- responses -------------------------------------------------------------------
+
+    def respond(
+        self,
+        waiters: list[ATSRequest],
+        ppn: int,
+        *,
+        source: str,
+        spill_budget: int | None = None,
+    ) -> None:
+        """Send the translation back to every waiting GPU over the host link.
+
+        ``source`` tags the responder (``iommu``/``walk``/``pending``) for
+        per-application accounting.
+        """
+        if spill_budget is None:
+            spill_budget = self.config.spill_budget
+        queue = self.system.queue
+        now = queue.now
+        for request in waiters:
+            arrival = self.system.topology.iommu_to_gpu(request.gpu_id, now)
+            queue.schedule(
+                arrival,
+                self.system.gpus[request.gpu_id].receive_fill,
+                request.pid,
+                request.vpn,
+                ppn,
+                spill_budget,
+            )
+            if request.measured:
+                stats = self.system.stats_for(request.pid)
+                stats.inc(f"served_{source}")
+                self.system.latency_for(request.pid).record(arrival - request.issue_time)
+        self.stats.inc(f"responses_{source}", len(waiters))
+
+    # -- spill receiver selection ---------------------------------------------------
+
+    def select_spill_receiver(self) -> int:
+        """The GPU whose Eviction Counter is smallest (Section 4.2).
+
+        Ties break by a rotating-priority arbiter: scanning starts just
+        after the previously selected GPU, which reproduces the alternating
+        receiver choices in the Figure 13 walk-through and avoids always
+        dumping spills on GPU 0.
+        """
+        num_gpus = self.config.num_gpus
+        best_gpu = -1
+        best_value: int | None = None
+        for offset in range(num_gpus):
+            gpu = (self._spill_pointer + offset) % num_gpus
+            value = self.eviction_counters[gpu]
+            if best_value is None or value < best_value:
+                best_gpu = gpu
+                best_value = value
+        self._spill_pointer = (best_gpu + 1) % num_gpus
+        return best_gpu
+
+    # -- shootdown (Section 4.4) -------------------------------------------------------
+
+    def shootdown(self, pid: int | None = None) -> int:
+        """Invalidate the IOMMU TLB (optionally one process only) and let
+        the policy reset its tracker state."""
+        if pid is None:
+            dropped = self.tlb.invalidate_all()
+            self.eviction_counters = [0] * self.config.num_gpus
+        else:
+            dropped = self.tlb.invalidate_pid(pid)
+            # Rebuild the counters from the surviving entries.
+            self.eviction_counters = [0] * self.config.num_gpus
+            for entry in self.tlb.iter_entries():
+                if entry.owner_gpu >= 0:
+                    self.eviction_counters[entry.owner_gpu] += 1
+        self.system.policy.on_iommu_shootdown(pid)
+        return dropped

@@ -1,0 +1,201 @@
+"""The IOMMU's page-table walker pool.
+
+Table 2 configures eight shared page-table walkers with a 500-cycle walk;
+Section 2.2 notes they are multi-threaded, so the pool's *throughput*
+(``num_walkers × walker_threads`` concurrent walks) is what saturates under
+high-MPKI contention — the central contention effect of the paper's
+multi-application study.
+
+Two schedulers are provided:
+
+* ``fifo`` — a single shared queue (the paper's baseline).  A high-MPKI
+  application can monopolise the pool, delaying everyone.
+* ``dws`` — per-GPU walker partitions with work stealing, modelling the
+  page-walk-stealing optimisation of Pratheek et al. that Section 5.6
+  combines with least-TLB.
+
+Walks can be *cancelled while still queued*: least-TLB races every tracker
+probe against a walk (Section 4.1), and when the remote L2 responds first
+the queued walk is squashed so the race does not waste walker throughput.
+A walk already dispatched to a walker cannot be cancelled — its result is
+simply discarded on arrival.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.config.system import IOMMUConfig
+from repro.engine.event_queue import EventQueue
+from repro.engine.stats import CounterSet, LatencyAccumulator
+from repro.structures.page_table import PageTableManager, WalkResult
+
+WalkCallback = Callable[[WalkResult], None]
+
+_QUEUED = 0
+_RUNNING = 1
+_DONE = 2
+_CANCELLED = 3
+
+
+class WalkTicket:
+    """Handle for one requested walk, usable for cancellation."""
+
+    __slots__ = ("pid", "vpn", "gpu_id", "callback", "enqueue_time", "state")
+
+    def __init__(
+        self, pid: int, vpn: int, gpu_id: int, callback: WalkCallback, enqueue_time: int
+    ) -> None:
+        self.pid = pid
+        self.vpn = vpn
+        self.gpu_id = gpu_id
+        self.callback = callback
+        self.enqueue_time = enqueue_time
+        self.state = _QUEUED
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`WalkerPool.cancel` squashed this walk."""
+        return self.state == _CANCELLED
+
+
+class WalkerPool:
+    """Eight multi-threaded page-table walkers shared by all GPUs."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        page_tables: PageTableManager,
+        config: IOMMUConfig,
+        num_gpus: int,
+    ) -> None:
+        self.queue = queue
+        self.page_tables = page_tables
+        self.config = config
+        self.num_gpus = num_gpus
+        self.capacity = config.num_walkers * config.walker_threads
+        self.scheduler = config.walker_scheduler
+        self._busy_total = 0
+        self.stats = CounterSet()
+        self.queue_wait = LatencyAccumulator()
+        if self.scheduler == "dws":
+            self._allocation = max(1, self.capacity // num_gpus)
+            self._busy_per_gpu = [0] * num_gpus
+            self._queues: list[deque[WalkTicket]] = [deque() for _ in range(num_gpus)]
+            self._steal_rotor = 0
+        else:
+            self._fifo: deque[WalkTicket] = deque()
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def busy(self) -> int:
+        """Walks currently occupying walker threads."""
+        return self._busy_total
+
+    def pending(self) -> int:
+        """Walks queued but not yet dispatched."""
+        if self.scheduler == "dws":
+            return sum(len(q) for q in self._queues)
+        return len(self._fifo)
+
+    def request(
+        self, pid: int, vpn: int, gpu_id: int, callback: WalkCallback
+    ) -> WalkTicket:
+        """Enqueue a walk for ``(pid, vpn)`` on behalf of ``gpu_id``.
+
+        ``callback(result)`` fires when the walk completes (after queueing
+        plus the walk latency for the levels it touched).  The returned
+        ticket allows cancellation while the walk is still queued.
+        """
+        self.stats.inc("walks_requested")
+        ticket = WalkTicket(pid, vpn, gpu_id, callback, self.queue.now)
+        if self._busy_total < self.capacity:
+            self._dispatch(ticket)
+        elif self.scheduler == "dws":
+            self._queues[gpu_id].append(ticket)
+        else:
+            self._fifo.append(ticket)
+        return ticket
+
+    def cancel(self, ticket: WalkTicket) -> bool:
+        """Squash a walk that has not started yet.
+
+        Returns ``True`` if the walk was still queued (no walker will be
+        spent on it); ``False`` if it already ran or is running.
+        """
+        if ticket.state != _QUEUED:
+            return False
+        ticket.state = _CANCELLED
+        self.stats.inc("walks_cancelled")
+        return True
+
+    # -- internals ------------------------------------------------------------
+
+    def _walk_latency(self, result: WalkResult) -> int:
+        full_levels = self.page_tables.levels
+        return max(1, self.config.walk_latency * result.levels_touched // full_levels)
+
+    def _dispatch(self, ticket: WalkTicket) -> None:
+        ticket.state = _RUNNING
+        self.queue_wait.record(self.queue.now - ticket.enqueue_time)
+        self._busy_total += 1
+        if self.scheduler == "dws":
+            self._busy_per_gpu[ticket.gpu_id] += 1
+        self.stats.inc("walks_dispatched")
+        result = self.page_tables.walk(ticket.pid, ticket.vpn)
+        if result.faulted:
+            self.stats.inc("walks_faulted")
+        self.queue.schedule_after(
+            self._walk_latency(result), self._complete, ticket, result
+        )
+
+    def _complete(self, ticket: WalkTicket, result: WalkResult) -> None:
+        ticket.state = _DONE
+        self._busy_total -= 1
+        if self.scheduler == "dws":
+            self._busy_per_gpu[ticket.gpu_id] -= 1
+            self._dequeue_dws(ticket.gpu_id)
+        else:
+            self._dequeue_fifo()
+        ticket.callback(result)
+
+    def _dequeue_fifo(self) -> None:
+        while self._fifo:
+            ticket = self._fifo.popleft()
+            if ticket.state == _QUEUED:
+                self._dispatch(ticket)
+                return
+
+    def _dequeue_dws(self, freed_gpu: int) -> None:
+        """Serve the freed slot to the most under-served backlogged GPU.
+
+        Each GPU owns ``capacity / num_gpus`` walker threads; a freed slot
+        goes to the backlogged GPU furthest below its allocation (ties
+        broken round-robin), so a flooding tenant can steal idle capacity
+        but never starve a peer — the page-walk-stealing discipline of
+        Section 5.6.
+        """
+        self._drop_cancelled()
+        best_gpu = -1
+        best_deficit: int | None = None
+        for offset in range(self.num_gpus):
+            gpu = (self._steal_rotor + offset) % self.num_gpus
+            if not self._queues[gpu]:
+                continue
+            deficit = self._busy_per_gpu[gpu] - self._allocation
+            if best_deficit is None or deficit < best_deficit:
+                best_gpu = gpu
+                best_deficit = deficit
+        if best_gpu < 0:
+            return
+        self._steal_rotor = (best_gpu + 1) % self.num_gpus
+        if self._busy_per_gpu[best_gpu] >= self._allocation:
+            self.stats.inc("walks_stolen")
+        self._dispatch(self._queues[best_gpu].popleft())
+
+    def _drop_cancelled(self) -> None:
+        for queue in self._queues:
+            while queue and queue[0].state != _QUEUED:
+                queue.popleft()

@@ -1,0 +1,83 @@
+"""The IOMMU's pending-request lookup table.
+
+Section 4.1 describes it for least-TLB: the IOMMU tracks translations that
+were sent both to the page-table walkers and to a remote GPU's L2 TLB;
+whichever response returns first serves the requester, and the late arrival
+is discarded.  The same table also merges concurrent requests for one
+translation arriving from different GPUs, so one walk can feed many
+requesters (the IOMMU-level MSHR behaviour every policy needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.ats import ATSRequest
+
+
+@dataclass(slots=True)
+class PendingEntry:
+    """In-flight state for one translation key."""
+
+    key: tuple[int, int]
+    waiters: list[ATSRequest] = field(default_factory=list)
+    walk_pending: bool = False
+    remote_pending: bool = False
+    fault_pending: bool = False
+    served: bool = False
+    result_ppn: int | None = None
+    walk_ticket: object | None = None
+    """Handle of the racing walk, cancellable while still queued."""
+
+    @property
+    def resolved(self) -> bool:
+        """True once no response can still arrive for this key."""
+        return not (self.walk_pending or self.remote_pending or self.fault_pending)
+
+
+class PendingTable:
+    """Key → :class:`PendingEntry` with explicit lifecycle management."""
+
+    __slots__ = ("_entries", "merges", "peak")
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, int], PendingEntry] = {}
+        self.merges = 0
+        self.peak = 0
+
+    def get(self, key: tuple[int, int]) -> PendingEntry | None:
+        """The in-flight entry for ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def create(self, request: ATSRequest) -> PendingEntry:
+        """Open a pending entry for ``request``'s key (must not exist)."""
+        key = request.key
+        if key in self._entries:
+            raise KeyError(f"pending entry already exists for {key}")
+        entry = PendingEntry(key=key, waiters=[request])
+        self._entries[key] = entry
+        if len(self._entries) > self.peak:
+            self.peak = len(self._entries)
+        return entry
+
+    def attach(self, entry: PendingEntry, request: ATSRequest) -> None:
+        """Merge a later request for the same key."""
+        entry.waiters.append(request)
+        self.merges += 1
+
+    def maybe_remove(self, entry: PendingEntry) -> bool:
+        """Drop the entry once it is served and no response is outstanding.
+
+        The entry must stay while a walk or probe is in flight: its arrival
+        needs somewhere to learn it lost the race.
+        """
+        if entry.served and entry.resolved:
+            self._entries.pop(entry.key, None)
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._entries

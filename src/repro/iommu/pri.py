@@ -1,0 +1,80 @@
+"""Page Request Interface (PRI) with fault batching.
+
+When a page-table walk faults, the GPU's request is recorded in the PRI
+queue and the CPU is interrupted to handle the fault.  Because fault
+handling is expensive, the IOMMU batches PRI requests (Section 2.2): a
+batch dispatches when it reaches ``pri_batch_size`` entries or when the
+oldest entry has waited ``pri_timeout`` cycles, and completes after the
+CPU-side ``fault_handling_latency``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config.system import IOMMUConfig
+from repro.engine.event_queue import EventQueue
+from repro.engine.stats import CounterSet, LatencyAccumulator
+from repro.structures.page_table import PageTableManager
+
+FaultCallback = Callable[[int], None]
+"""Invoked with the newly mapped PPN once the fault is serviced."""
+
+
+class PRIQueue:
+    """The IOMMU's batched page-fault path."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        page_tables: PageTableManager,
+        config: IOMMUConfig,
+    ) -> None:
+        self.queue = queue
+        self.page_tables = page_tables
+        self.config = config
+        self._pending: list[tuple[int, int, FaultCallback, int]] = []
+        self._timer_generation = 0
+        self.stats = CounterSet()
+        self.service_time = LatencyAccumulator()
+
+    def report(self, pid: int, vpn: int, callback: FaultCallback) -> None:
+        """Record a page fault; ``callback(ppn)`` fires when serviced."""
+        self.stats.inc("faults_reported")
+        self._pending.append((pid, vpn, callback, self.queue.now))
+        if len(self._pending) >= self.config.pri_batch_size:
+            self._dispatch_batch()
+        elif len(self._pending) == 1:
+            generation = self._timer_generation
+            self.queue.schedule_after(
+                self.config.pri_timeout, self._timeout, generation
+            )
+
+    def _timeout(self, generation: int) -> None:
+        # A batch dispatched since this timer was armed invalidates it.
+        if generation != self._timer_generation or not self._pending:
+            return
+        self.stats.inc("timeout_batches")
+        self._dispatch_batch()
+
+    def _dispatch_batch(self) -> None:
+        batch = self._pending
+        self._pending = []
+        self._timer_generation += 1
+        self.stats.inc("batches")
+        self.queue.schedule_after(
+            self.config.fault_handling_latency, self._batch_done, batch
+        )
+
+    def _batch_done(self, batch: list[tuple[int, int, FaultCallback, int]]) -> None:
+        now = self.queue.now
+        for pid, vpn, callback, reported_at in batch:
+            ppn = self.page_tables.map_page(pid, vpn)
+            self.stats.inc("faults_serviced")
+            self.service_time.record(now - reported_at)
+            callback(ppn)
+
+    @property
+    def outstanding(self) -> int:
+        """Faults reported but not yet dispatched in a batch."""
+        return len(self._pending)

@@ -1,0 +1,40 @@
+"""Analysis metrics: reuse distance, sharing, MPKI, weighted speedup."""
+
+from repro.metrics.mpki import l2_mpki, mpki_table
+from repro.metrics.reuse_distance import (
+    COLD,
+    fraction_within,
+    per_pid_distances,
+    reuse_cdf,
+    reuse_distances,
+)
+from repro.metrics.sharing import (
+    iommu_composition,
+    mean_cross_level_duplication,
+    mean_l2_duplication,
+    shared_fraction,
+    sharing_degrees,
+)
+from repro.metrics.weighted_speedup import (
+    normalized_weighted_speedup,
+    per_app_slowdowns,
+    weighted_speedup,
+)
+
+__all__ = [
+    "l2_mpki",
+    "mpki_table",
+    "COLD",
+    "fraction_within",
+    "per_pid_distances",
+    "reuse_cdf",
+    "reuse_distances",
+    "iommu_composition",
+    "mean_cross_level_duplication",
+    "mean_l2_duplication",
+    "shared_fraction",
+    "sharing_degrees",
+    "normalized_weighted_speedup",
+    "per_app_slowdowns",
+    "weighted_speedup",
+]

@@ -1,0 +1,26 @@
+"""MPKI measurement helpers (Table 3's characterisation metric)."""
+
+from __future__ import annotations
+
+from repro.sim.results import AppResult, SimulationResult
+from repro.workloads.applications import classify_mpki
+
+
+def l2_mpki(app: AppResult) -> float:
+    """L2-TLB misses per kilo-instruction of one application."""
+    return app.mpki
+
+
+def mpki_table(result: SimulationResult) -> dict[str, tuple[float, str]]:
+    """``{app_name: (mpki, class)}`` for every application in a result.
+
+    Applications appearing multiple times (e.g. MT twice in W10) report
+    the mean MPKI across their instances.
+    """
+    by_name: dict[str, list[float]] = {}
+    for app in result.apps.values():
+        by_name.setdefault(app.app_name, []).append(app.mpki)
+    return {
+        name: (sum(values) / len(values), classify_mpki(sum(values) / len(values)))
+        for name, values in by_name.items()
+    }

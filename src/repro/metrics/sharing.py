@@ -1,0 +1,79 @@
+"""Page-sharing and redundancy analysis (Figures 4, 6, and 11).
+
+*Sharing degree* (Figure 4): for each page an application touches, how
+many GPUs touch it during execution.  Computed directly from the workload
+traces — it is a property of the access pattern, not of any TLB policy.
+
+*Redundancy* (Figure 6): from periodic TLB snapshots, the fraction of
+L2-resident translations duplicated across GPUs and the fraction also
+present in the IOMMU TLB.  *IOMMU composition* (Figure 11): the same
+snapshots broken down by the GPU whose eviction contributed each entry.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sim.results import Snapshot
+from repro.workloads.trace import Workload
+
+
+def sharing_degrees(workload: Workload, pid: int | None = None) -> dict[int, float]:
+    """Fraction of touched pages shared by exactly *k* GPUs.
+
+    Returns ``{k: fraction}`` over the pages of ``pid`` (default: the
+    single application of a single-app workload).
+    """
+    if pid is None:
+        pids = workload.pids
+        if len(pids) != 1:
+            raise ValueError(
+                "workload has multiple applications; pass pid explicitly"
+            )
+        pid = pids[0]
+    page_gpus: dict[int, set[int]] = {}
+    for placement in workload.placements:
+        if placement.pid != pid:
+            continue
+        for stream in placement.streams:
+            for vpn in set(stream.vpns.tolist()):
+                page_gpus.setdefault(vpn, set()).add(placement.gpu_id)
+    if not page_gpus:
+        return {}
+    counts = Counter(len(gpus) for gpus in page_gpus.values())
+    total = sum(counts.values())
+    return {k: counts[k] / total for k in sorted(counts)}
+
+
+def shared_fraction(workload: Workload, pid: int | None = None, min_gpus: int = 2) -> float:
+    """Fraction of touched pages shared by at least ``min_gpus`` GPUs."""
+    degrees = sharing_degrees(workload, pid)
+    return sum(f for k, f in degrees.items() if k >= min_gpus)
+
+
+def mean_l2_duplication(snapshots: list[Snapshot]) -> float:
+    """Average fraction of L2-resident translations held by ≥2 GPUs."""
+    if not snapshots:
+        return 0.0
+    return sum(s.l2_duplication_fraction for s in snapshots) / len(snapshots)
+
+
+def mean_cross_level_duplication(snapshots: list[Snapshot]) -> float:
+    """Average fraction of L2-resident translations also in the IOMMU TLB."""
+    if not snapshots:
+        return 0.0
+    return sum(s.cross_level_duplication_fraction for s in snapshots) / len(snapshots)
+
+
+def iommu_composition(snapshots: list[Snapshot]) -> list[float]:
+    """Average share of IOMMU TLB entries contributed by each GPU
+    (Figure 11's owner breakdown)."""
+    if not snapshots:
+        return []
+    num_gpus = len(snapshots[0].iommu_owner_counts)
+    totals = [0.0] * num_gpus
+    for snapshot in snapshots:
+        resident = max(1, snapshot.iommu_resident)
+        for gpu, count in enumerate(snapshot.iommu_owner_counts):
+            totals[gpu] += count / resident
+    return [t / len(snapshots) for t in totals]

@@ -1,0 +1,55 @@
+"""Weighted speedup (Section 3.1).
+
+``WS = Σ_i IPC_i(mix) / IPC_i(alone)`` over the applications of a
+multi-application workload, where the alone runs execute each application
+by itself on one GPU.  A WS of N (the application count) means zero
+interference; Figure 7 reports how far below N the baseline falls, and
+Figure 16 how much of that gap least-TLB recovers.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import AppResult, SimulationResult
+
+
+def per_app_slowdowns(
+    mix: SimulationResult, alone: dict[str, AppResult]
+) -> dict[int, float]:
+    """``IPC(mix)/IPC(alone)`` per PID; 1.0 means no interference.
+
+    ``alone`` maps application name → its alone-run result (one entry per
+    distinct application; duplicates in the mix share it).
+    """
+    slowdowns: dict[int, float] = {}
+    for pid, app in mix.apps.items():
+        try:
+            reference = alone[app.app_name]
+        except KeyError:
+            raise ValueError(
+                f"no alone run provided for application {app.app_name!r}"
+            ) from None
+        if reference.ipc <= 0:
+            raise ValueError(f"alone run of {app.app_name!r} has zero IPC")
+        slowdowns[pid] = app.ipc / reference.ipc
+    return slowdowns
+
+
+def weighted_speedup(mix: SimulationResult, alone: dict[str, AppResult]) -> float:
+    """The workload's weighted speedup (upper bound: number of apps)."""
+    return sum(per_app_slowdowns(mix, alone).values())
+
+
+def normalized_weighted_speedup(
+    policy: SimulationResult,
+    baseline: SimulationResult,
+    alone: dict[str, AppResult],
+) -> float:
+    """Figure 16's headline: WS(policy) / WS(baseline).
+
+    Because both share the same alone-run denominators, the ratio is
+    independent of which policy produced the alone runs.
+    """
+    base_ws = weighted_speedup(baseline, alone)
+    if base_ws <= 0:
+        raise ValueError("baseline weighted speedup is zero")
+    return weighted_speedup(policy, alone) / base_ws

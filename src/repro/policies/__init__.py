@@ -1,0 +1,70 @@
+"""Translation policies: the baseline, the ablations, the comparators, and
+the paper's least-TLB design, behind one registry.
+
+The DWS page-walk-stealing optimisation of Section 5.6 is not a policy —
+it is a walker-scheduler configuration (``IOMMUConfig.walker_scheduler =
+"dws"``, see :func:`repro.config.presets.dws_config`) that composes with
+any policy here, exactly as the paper composes it with least-TLB.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.policies.base import TranslationPolicy
+from repro.policies.exclusive import ExclusivePolicy
+from repro.policies.mostly_inclusive import MostlyInclusivePolicy
+from repro.policies.prefetch import SequentialPrefetchPolicy
+from repro.policies.strictly_inclusive import StrictlyInclusivePolicy
+from repro.policies.tlb_probing import TLBProbingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import MultiGPUSystem
+
+
+def _registry() -> dict[str, type[TranslationPolicy]]:
+    # LeastTLBPolicy lives in repro.core (it is the paper's contribution)
+    # and subclasses TranslationPolicy from this package; importing it
+    # lazily keeps the package import order acyclic.
+    from repro.core.device_aware import DeviceAwareLeastTLBPolicy
+    from repro.core.least_tlb import LeastTLBPolicy
+
+    return {
+        "baseline": MostlyInclusivePolicy,
+        "mostly-inclusive": MostlyInclusivePolicy,
+        "strictly-inclusive": StrictlyInclusivePolicy,
+        "exclusive": ExclusivePolicy,
+        "tlb-probing": TLBProbingPolicy,
+        "prefetch": SequentialPrefetchPolicy,
+        "least-tlb": LeastTLBPolicy,
+        "least-tlb-qos": DeviceAwareLeastTLBPolicy,
+    }
+
+
+def policy_names() -> list[str]:
+    """All registered policy names."""
+    return sorted(_registry())
+
+
+def make_policy(name: str, system: "MultiGPUSystem", **options: Any) -> TranslationPolicy:
+    """Instantiate a policy by registry name."""
+    registry = _registry()
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return cls(system, **options)
+
+
+__all__ = [
+    "policy_names",
+    "make_policy",
+    "TranslationPolicy",
+    "MostlyInclusivePolicy",
+    "StrictlyInclusivePolicy",
+    "ExclusivePolicy",
+    "TLBProbingPolicy",
+    "SequentialPrefetchPolicy",
+]

@@ -1,0 +1,167 @@
+"""The translation-policy interface.
+
+A :class:`TranslationPolicy` owns every decision the paper varies between
+designs: what an L2 miss does, how the IOMMU reacts to a request, what
+happens to L2 and IOMMU TLB victims, and how fills propagate.  The GPU and
+IOMMU components call the hooks below at the appropriate simulated times;
+policies use the system's services (links, walkers, pending table) to act.
+
+Concrete policies:
+
+* :class:`~repro.policies.mostly_inclusive.MostlyInclusivePolicy` — the
+  paper's baseline (Section 2.2/3.1).
+* :class:`~repro.policies.strictly_inclusive.StrictlyInclusivePolicy`,
+  :class:`~repro.policies.exclusive.ExclusivePolicy` — the other classical
+  managements discussed in Section 2.2, for ablation.
+* :class:`~repro.policies.tlb_probing.TLBProbingPolicy` — the Section 5.5
+  state-of-the-art comparison.
+* :class:`~repro.core.least_tlb.LeastTLBPolicy` — the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.gpu.ats import ATSRequest
+from repro.structures.tlb import TLBEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.gpu_device import GPUDevice
+    from repro.sim.system import MultiGPUSystem
+
+
+class TranslationPolicy(ABC):
+    """Base class wiring a policy to the system it manages."""
+
+    name = "abstract"
+
+    def __init__(self, system: "MultiGPUSystem") -> None:
+        self.system = system
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def iommu(self):
+        """The system's IOMMU device."""
+        return self.system.iommu
+
+    @property
+    def queue(self):
+        """The global event queue."""
+        return self.system.queue
+
+    @property
+    def topology(self):
+        """The interconnect topology (latencies live here)."""
+        return self.system.topology
+
+    @property
+    def gpus(self):
+        """All GPU devices, indexed by GPU id."""
+        return self.system.gpus
+
+    # -- GPU-side hooks ----------------------------------------------------------
+
+    def on_l2_miss(self, gpu: "GPUDevice", request: ATSRequest) -> None:
+        """An L2 miss allocated an MSHR; route the request onward.
+
+        Default: emit the ATS packet to the IOMMU over the host link.
+        """
+        arrival = self.topology.gpu_to_iommu(gpu.gpu_id, self.queue.now)
+        self.queue.schedule(arrival, self.iommu.receive, request)
+
+    def on_l2_fill(self, gpu: "GPUDevice", entry: TLBEntry) -> None:
+        """A translation was inserted into ``gpu``'s L2 TLB."""
+
+    def on_l2_eviction(self, gpu: "GPUDevice", victim: TLBEntry) -> None:
+        """``gpu``'s L2 TLB evicted ``victim``.  Default: drop silently
+        (the mostly-inclusive behaviour — higher levels keep their copy)."""
+
+    # -- IOMMU-side hooks ----------------------------------------------------------
+
+    @abstractmethod
+    def on_iommu_request(self, request: ATSRequest) -> None:
+        """An ATS request finished its IOMMU TLB lookup pipeline stage."""
+
+    def on_iommu_tlb_evicted(self, victim: TLBEntry) -> None:
+        """The IOMMU TLB evicted ``victim``.  Default: drop silently."""
+
+    def on_iommu_shootdown(self, pid: int | None) -> None:
+        """The IOMMU TLB was shot down; reset any policy-side state."""
+
+    def on_gpu_shootdown(self, gpu_id: int, pid: int | None) -> None:
+        """A GPU's local L1/L2 TLBs were shot down."""
+
+    # -- shared machinery: dedup + walk + fault handling ------------------------------
+
+    def _attach_or_none(self, request: ATSRequest):
+        """Merge ``request`` into an existing pending entry if one exists.
+
+        Returns the pending entry when merged (caller should stop), or
+        ``None`` when the caller owns the miss.  Requests arriving after
+        the entry was served but before stragglers resolved are answered
+        immediately from the recorded result.
+        """
+        pending = self.iommu.pending.get(request.key)
+        if pending is None:
+            return None
+        if pending.served:
+            assert pending.result_ppn is not None
+            self.iommu.respond([request], pending.result_ppn, source="pending")
+        else:
+            self.iommu.pending.attach(pending, request)
+        return pending
+
+    def _start_walk(self, request: ATSRequest) -> None:
+        pending = self.iommu.pending.get(request.key)
+        assert pending is not None, "walk started without a pending entry"
+        pending.walk_pending = True
+        pending.walk_ticket = self.iommu.start_walk(request, self._walk_complete)
+
+    def _walk_complete(self, request: ATSRequest, result) -> None:
+        pending = self.iommu.pending.get(request.key)
+        assert pending is not None, "walk completed without a pending entry"
+        pending.walk_pending = False
+        if result.faulted:
+            if pending.served:
+                # The remote probe won the race; no need to fault.
+                self.iommu.pending.maybe_remove(pending)
+                return
+            pending.fault_pending = True
+            self.iommu.report_fault(
+                request, lambda ppn: self._fault_serviced(request, ppn)
+            )
+            return
+        self._deliver_walk_result(request, result.ppn)
+
+    def _fault_serviced(self, request: ATSRequest, ppn: int) -> None:
+        pending = self.iommu.pending.get(request.key)
+        assert pending is not None
+        pending.fault_pending = False
+        self._deliver_walk_result(request, ppn)
+
+    def _deliver_walk_result(self, request: ATSRequest, ppn: int) -> None:
+        """A walk (or fault service) produced ``ppn``; serve the waiters
+        unless a racing responder beat it, then apply the policy's fill
+        rule via :meth:`_fill_levels_after_walk`."""
+        pending = self.iommu.pending.get(request.key)
+        assert pending is not None
+        if pending.served:
+            self.iommu.stats.inc("walks_wasted")
+        else:
+            pending.served = True
+            pending.result_ppn = ppn
+            self._fill_levels_after_walk(request, ppn)
+            self.iommu.respond(pending.waiters, ppn, source="walk")
+            pending.waiters.clear()
+        self.iommu.pending.maybe_remove(pending)
+
+    def _fill_levels_after_walk(self, request: ATSRequest, ppn: int) -> None:
+        """Which TLB levels a walk result populates.  Default: also the
+        IOMMU TLB (inclusive behaviour); least-inclusive designs override
+        to skip it."""
+        entry = TLBEntry(request.pid, request.vpn, ppn, owner_gpu=request.gpu_id)
+        victim = self.iommu.insert_tlb(entry)
+        if victim is not None:
+            self.on_iommu_tlb_evicted(victim)

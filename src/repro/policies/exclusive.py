@@ -1,0 +1,53 @@
+"""Exclusive TLB management (Section 2.2 ablation).
+
+The IOMMU TLB behaves as a victim buffer: walk results fill only the
+requesting L2; IOMMU TLB hits *move* the entry to the requester; L2
+victims drop into the IOMMU TLB.  This is least-TLB's inclusion discipline
+*without* the Local TLB Tracker — a translation living in a peer GPU's L2
+is invisible to other GPUs, which pay a full walk.  The gap between this
+policy and least-TLB isolates the value of sharing/tracking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gpu.ats import ATSRequest
+from repro.policies.base import TranslationPolicy
+from repro.structures.tlb import TLBEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu_device import GPUDevice
+
+
+class ExclusivePolicy(TranslationPolicy):
+    """Victim-buffer IOMMU TLB with no cross-GPU sharing support."""
+
+    name = "exclusive"
+
+    def on_iommu_request(self, request: ATSRequest) -> None:
+        entry = self.iommu.lookup(request)
+        if entry is not None:
+            self.iommu.remove_tlb(request.key)
+            self.iommu.respond([request], entry.ppn, source="iommu")
+            return
+        if self._attach_or_none(request) is not None:
+            return
+        self.iommu.pending.create(request)
+        self._start_walk(request)
+
+    def _fill_levels_after_walk(self, request: ATSRequest, ppn: int) -> None:
+        # Least-inclusive fill: the walk result goes only to the L2/L1 of
+        # the requesting GPU (via the respond path), never the IOMMU TLB.
+        return
+
+    def on_l2_eviction(self, gpu: "GPUDevice", victim: TLBEntry) -> None:
+        arrival = self.topology.gpu_to_iommu(gpu.gpu_id, self.queue.now)
+        self.queue.schedule(arrival, self._victim_arrived, gpu.gpu_id, victim)
+
+    def _victim_arrived(self, gpu_id: int, victim: TLBEntry) -> None:
+        victim = victim.copy()
+        victim.owner_gpu = gpu_id
+        evicted = self.iommu.insert_tlb(victim)
+        if evicted is not None:
+            self.on_iommu_tlb_evicted(evicted)

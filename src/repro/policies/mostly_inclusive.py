@@ -1,0 +1,29 @@
+"""The paper's baseline: mostly-inclusive TLB management.
+
+Section 3.1.1: when an IOMMU TLB miss triggers a walk, the returned
+translation is populated into the IOMMU TLB *and* the requesting GPU's L2
+and L1 TLBs; evictions at any level require no invalidation elsewhere.
+IOMMU TLB hits leave the entry in place (it may therefore be duplicated in
+L2s — the redundancy Observation 3 quantifies).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.ats import ATSRequest
+from repro.policies.base import TranslationPolicy
+
+
+class MostlyInclusivePolicy(TranslationPolicy):
+    """Baseline multi-level TLB management."""
+
+    name = "baseline"
+
+    def on_iommu_request(self, request: ATSRequest) -> None:
+        entry = self.iommu.lookup(request)
+        if entry is not None:
+            self.iommu.respond([request], entry.ppn, source="iommu")
+            return
+        if self._attach_or_none(request) is not None:
+            return
+        self.iommu.pending.create(request)
+        self._start_walk(request)

@@ -1,0 +1,26 @@
+"""Strictly-inclusive TLB management (Section 2.2 ablation).
+
+Every translation cached in a GPU TLB must also reside in the IOMMU TLB,
+so an IOMMU TLB eviction back-invalidates the translation from every GPU's
+L1/L2.  Translation sharing through the shared level is easy, but the
+invalidation traffic and lost L2 reach make it the costliest discipline —
+which is why real systems prefer mostly-inclusive, per the paper.
+"""
+
+from __future__ import annotations
+
+from repro.policies.mostly_inclusive import MostlyInclusivePolicy
+from repro.structures.tlb import TLBEntry
+
+
+class StrictlyInclusivePolicy(MostlyInclusivePolicy):
+    """Baseline plus back-invalidation on IOMMU TLB evictions."""
+
+    name = "strictly-inclusive"
+
+    def on_iommu_tlb_evicted(self, victim: TLBEntry) -> None:
+        now = self.queue.now
+        self.iommu.stats.inc("back_invalidations")
+        for gpu in self.gpus:
+            arrival = self.topology.iommu_to_gpu(gpu.gpu_id, now)
+            self.queue.schedule(arrival, gpu.invalidate, victim.pid, victim.vpn)

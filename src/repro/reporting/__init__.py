@@ -1,0 +1,20 @@
+"""Result reporting: ASCII charts and structured export."""
+
+from repro.reporting.charts import bar_chart, cdf_chart, comparison_table, grouped_bars
+from repro.reporting.export import (
+    app_result_to_dict,
+    result_to_dict,
+    save_result_json,
+    snapshot_to_dict,
+)
+
+__all__ = [
+    "bar_chart",
+    "cdf_chart",
+    "comparison_table",
+    "grouped_bars",
+    "app_result_to_dict",
+    "result_to_dict",
+    "save_result_json",
+    "snapshot_to_dict",
+]

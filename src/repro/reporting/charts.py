@@ -1,0 +1,118 @@
+"""Terminal-friendly chart rendering.
+
+The paper's figures are bar charts and CDFs; these helpers render the
+same series as aligned ASCII so examples, the CLI, and the benchmark
+harness can show results without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+FULL = "#"
+EMPTY = "."
+
+
+def _scale(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, min(width, round(value / maximum * width)))
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+    baseline: float | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart.
+
+    ``baseline`` draws a reference tick (e.g. 1.0 for normalized
+    performance) so above/below-baseline bars are readable at a glance.
+    """
+    if not items:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in items)
+    maximum = max(max(v for _, v in items), baseline or 0.0)
+    lines = []
+    for label, value in items:
+        bar = FULL * _scale(value, maximum, width)
+        bar = bar.ljust(width, EMPTY)
+        if baseline is not None:
+            tick = _scale(baseline, maximum, width)
+            if 0 <= tick < width:
+                marker = "|" if tick >= len(bar.rstrip(EMPTY)) else "+"
+                bar = bar[:tick] + marker + bar[tick + 1 :]
+        lines.append(f"{label.ljust(label_width)}  {bar}  {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    points: Iterable[tuple[int, float]],
+    *,
+    width: int = 40,
+    markers: dict[int, str] | None = None,
+) -> str:
+    """Render a CDF as one bar per evaluation point.
+
+    ``markers`` annotates specific x-values (e.g. the IOMMU TLB capacity).
+    """
+    points = list(points)
+    if not points:
+        return "(no data)"
+    markers = markers or {}
+    lines = []
+    for x, fraction in points:
+        bar = (FULL * _scale(fraction, 1.0, width)).ljust(width, EMPTY)
+        note = f"  <- {markers[x]}" if x in markers else ""
+        lines.append(f"<= {x:>8,}  {bar}  {fraction:6.1%}{note}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Sequence[tuple[str, Sequence[tuple[str, float]]]],
+    *,
+    width: int = 30,
+    baseline: float | None = None,
+) -> str:
+    """Several labelled bar charts under shared scaling (figure panels)."""
+    if not groups:
+        return "(no data)"
+    maximum = max(
+        (value for _, items in groups for _, value in items), default=0.0
+    )
+    maximum = max(maximum, baseline or 0.0)
+    label_width = max(
+        (len(label) for _, items in groups for label, _ in items), default=0
+    )
+    lines = []
+    for title, items in groups:
+        lines.append(f"[{title}]")
+        for label, value in items:
+            bar = (FULL * _scale(value, maximum, width)).ljust(width, EMPTY)
+            if baseline is not None:
+                tick = _scale(baseline, maximum, width)
+                if 0 <= tick < width:
+                    bar = bar[:tick] + "|" + bar[tick + 1 :]
+            lines.append(f"  {label.ljust(label_width)}  {bar}  {value:.3f}")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: Sequence[Sequence], header: Sequence[str]
+) -> str:
+    """Plain aligned table (floats rendered at 3 decimals)."""
+
+    def fmt(value) -> str:
+        return f"{value:.3f}" if isinstance(value, float) else str(value)
+
+    widths = [
+        max(len(str(header[i])), *(len(fmt(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(fmt(v).ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Result export: structured dictionaries and JSON files.
+
+Downstream analyses (notebooks, plotting scripts, CI dashboards) consume
+simulation results as plain data; these helpers flatten
+:class:`~repro.sim.results.SimulationResult` losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.sim.results import AppResult, SimulationResult, Snapshot
+
+
+def app_result_to_dict(app: AppResult) -> dict[str, Any]:
+    """One application's measured outcome as a plain dictionary."""
+    return {
+        "pid": app.pid,
+        "app_name": app.app_name,
+        "gpu_ids": list(app.gpu_ids),
+        "instructions": app.instructions,
+        "runs": app.runs,
+        "accesses": app.accesses,
+        "exec_cycles": app.exec_cycles,
+        "ipc": app.ipc,
+        "mpki": app.mpki,
+        "l1_hit_rate": app.l1_hit_rate,
+        "l2_hit_rate": app.l2_hit_rate,
+        "iommu_hit_rate": app.iommu_hit_rate,
+        "remote_hit_rate": app.remote_hit_rate,
+        "mean_translation_latency": app.mean_translation_latency,
+        "counters": dict(app.counters),
+    }
+
+
+def snapshot_to_dict(snapshot: Snapshot) -> dict[str, Any]:
+    """One TLB-content snapshot as a plain dictionary."""
+    return {
+        "cycle": snapshot.cycle,
+        "l2_resident": snapshot.l2_resident,
+        "l2_duplicated": snapshot.l2_duplicated,
+        "l2_also_in_iommu": snapshot.l2_also_in_iommu,
+        "iommu_resident": snapshot.iommu_resident,
+        "iommu_owner_counts": list(snapshot.iommu_owner_counts),
+    }
+
+
+def result_to_dict(result: SimulationResult, *, include_stream: bool = False) -> dict[str, Any]:
+    """The full simulation result as a JSON-serialisable dictionary.
+
+    ``include_stream`` controls whether the (potentially large) recorded
+    IOMMU request stream is embedded.
+    """
+    data: dict[str, Any] = {
+        "workload": result.workload_name,
+        "kind": result.workload_kind,
+        "policy": result.policy_name,
+        "total_cycles": result.total_cycles,
+        "exec_cycles": result.exec_cycles,
+        "events_executed": result.events_executed,
+        "apps": {str(pid): app_result_to_dict(app) for pid, app in result.apps.items()},
+        "iommu_counters": dict(result.iommu_counters),
+        "walker_counters": dict(result.walker_counters),
+        "walker_queue_wait_mean": result.walker_queue_wait_mean,
+        "tracker_stats": dict(result.tracker_stats) if result.tracker_stats else None,
+        "snapshots": [snapshot_to_dict(s) for s in result.snapshots],
+        "metadata": dict(result.metadata),
+    }
+    if include_stream and result.iommu_stream is not None:
+        data["iommu_stream"] = [list(entry) for entry in result.iommu_stream]
+    return data
+
+
+def save_result_json(
+    result: SimulationResult, path: str | Path, *, include_stream: bool = False
+) -> Path:
+    """Write a result to ``path`` as indented JSON.  Returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(result_to_dict(result, include_stream=include_stream), indent=2)
+        + "\n"
+    )
+    return path

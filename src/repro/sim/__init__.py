@@ -1,0 +1,25 @@
+"""Simulation assembly and drivers."""
+
+from repro.sim.driver import (
+    default_scale,
+    run_alone,
+    run_mix,
+    run_multi_app,
+    run_single_app,
+    simulate,
+)
+from repro.sim.results import AppResult, SimulationResult, Snapshot
+from repro.sim.system import MultiGPUSystem
+
+__all__ = [
+    "default_scale",
+    "run_alone",
+    "run_mix",
+    "run_multi_app",
+    "run_single_app",
+    "simulate",
+    "AppResult",
+    "SimulationResult",
+    "Snapshot",
+    "MultiGPUSystem",
+]

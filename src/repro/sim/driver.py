@@ -1,0 +1,119 @@
+"""High-level simulation drivers.
+
+Every experiment in the paper reduces to one of three runs:
+
+* :func:`run_single_app` — one application strong-scaled across all GPUs;
+* :func:`run_multi_app` — one application per GPU (W1–W16) or two per GPU
+  via :func:`run_mix`;
+* :func:`run_alone` — one application alone on one GPU (the weighted-
+  speedup denominator).
+
+``scale`` shortens traces proportionally without changing footprints; the
+``REPRO_SCALE`` environment variable sets the default so the benchmark
+suite can trade fidelity for wall-clock time uniformly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.config.presets import baseline_config
+from repro.config.system import SystemConfig
+from repro.sim.results import SimulationResult
+from repro.sim.system import MultiGPUSystem
+from repro.workloads.multi_app import (
+    build_alone_workload,
+    build_mix_workload,
+    build_multi_app_workload,
+    build_single_app_workload,
+)
+from repro.workloads.trace import Workload
+
+DEFAULT_SCALE_ENV = "REPRO_SCALE"
+
+
+def default_scale() -> float:
+    """Trace-length scale, from ``REPRO_SCALE`` (default 1.0)."""
+    value = os.environ.get(DEFAULT_SCALE_ENV)
+    if value is None:
+        return 1.0
+    scale = float(value)
+    if scale <= 0:
+        raise ValueError(f"{DEFAULT_SCALE_ENV} must be positive, got {value!r}")
+    return scale
+
+
+def simulate(
+    config: SystemConfig,
+    workload: Workload,
+    policy: str = "baseline",
+    **system_kwargs: Any,
+) -> SimulationResult:
+    """Build a system around ``workload`` and run it to completion."""
+    system = MultiGPUSystem(config, workload, policy, **system_kwargs)
+    return system.run()
+
+
+def run_single_app(
+    app_name: str,
+    config: SystemConfig | None = None,
+    policy: str = "baseline",
+    *,
+    scale: float | None = None,
+    seed: int | None = None,
+    **system_kwargs: Any,
+) -> SimulationResult:
+    """Single-application-multi-GPU execution of one Table 3 application."""
+    config = config or baseline_config()
+    scale = default_scale() if scale is None else scale
+    workload = build_single_app_workload(app_name, config, scale=scale, seed=seed)
+    return simulate(config, workload, policy, **system_kwargs)
+
+
+def run_multi_app(
+    workload_name: str | tuple[str, ...],
+    config: SystemConfig | None = None,
+    policy: str = "baseline",
+    *,
+    scale: float | None = None,
+    seed: int | None = None,
+    **system_kwargs: Any,
+) -> SimulationResult:
+    """Multi-application-multi-GPU execution of a Table 4/5 workload."""
+    config = config or baseline_config()
+    scale = default_scale() if scale is None else scale
+    workload = build_multi_app_workload(workload_name, config, scale=scale, seed=seed)
+    return simulate(config, workload, policy, **system_kwargs)
+
+
+def run_mix(
+    workload_name: str | tuple[tuple[str, str], ...],
+    config: SystemConfig | None = None,
+    policy: str = "baseline",
+    *,
+    scale: float | None = None,
+    seed: int | None = None,
+    **system_kwargs: Any,
+) -> SimulationResult:
+    """Mixed-workload execution: two applications per GPU (Table 6)."""
+    config = config or baseline_config()
+    scale = default_scale() if scale is None else scale
+    workload = build_mix_workload(workload_name, config, scale=scale, seed=seed)
+    return simulate(config, workload, policy, **system_kwargs)
+
+
+def run_alone(
+    app_name: str,
+    config: SystemConfig | None = None,
+    policy: str = "baseline",
+    *,
+    scale: float | None = None,
+    seed: int | None = None,
+    **system_kwargs: Any,
+) -> SimulationResult:
+    """One application alone on GPU 0 — the IPC_alone reference run."""
+    config = config or baseline_config()
+    scale = default_scale() if scale is None else scale
+    workload = build_alone_workload(app_name, config, scale=scale, seed=seed)
+    return simulate(config, workload, policy, **system_kwargs)

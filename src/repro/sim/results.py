@@ -1,0 +1,160 @@
+"""Simulation result containers and derived metrics.
+
+Metric definitions follow Section 3.1:
+
+* **normalized performance** — baseline execution time / policy execution
+  time (``>1`` means the policy is faster);
+* **MPKI** — L2 TLB misses per kilo-instruction;
+* **weighted speedup** — Σ IPC(mix) / IPC(alone) over the applications of a
+  multi-application workload (computed in
+  :mod:`repro.metrics.weighted_speedup`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """Measured outcome of one application's first full execution."""
+
+    pid: int
+    app_name: str
+    gpu_ids: tuple[int, ...]
+    instructions: int
+    runs: int
+    accesses: int
+    exec_cycles: int
+    counters: dict[str, int]
+    mean_translation_latency: float
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle across the application's GPUs."""
+        if self.exec_cycles <= 0:
+            return 0.0
+        return self.instructions / self.exec_cycles
+
+    def _ratio(self, hit: str, miss: str) -> float:
+        hits = self.counters.get(hit, 0)
+        total = hits + self.counters.get(miss, 0)
+        return hits / total if total else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Access-level L1 TLB hit rate."""
+        return self._ratio("l1_hit", "l1_miss")
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """L2 TLB hit rate over the application's own lookups."""
+        return self._ratio("l2_hit", "l2_miss")
+
+    @property
+    def iommu_hit_rate(self) -> float:
+        """IOMMU TLB hit rate over the application's ATS requests."""
+        return self._ratio("iommu_hit", "iommu_miss")
+
+    @property
+    def remote_hit_rate(self) -> float:
+        """Remote L2 hits relative to IOMMU requests (Figures 15/17)."""
+        lookups = self.counters.get("iommu_lookup", 0)
+        if not lookups:
+            return 0.0
+        return self.counters.get("remote_hit", 0) / lookups
+
+    @property
+    def mpki(self) -> float:
+        """L2 TLB misses per kilo-instruction (the Table 3 metric)."""
+        if not self.instructions:
+            return 0.0
+        return self.counters.get("l2_miss", 0) * 1000 / self.instructions
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Periodic TLB-content observation (Figures 6 and 11)."""
+
+    cycle: int
+    l2_resident: int
+    l2_duplicated: int
+    """Distinct translations resident in two or more GPUs' L2 TLBs."""
+    l2_also_in_iommu: int
+    """Distinct L2-resident translations that also sit in the IOMMU TLB."""
+    iommu_resident: int
+    iommu_owner_counts: tuple[int, ...]
+    """IOMMU TLB entries attributed to each GPU (Figure 11's composition)."""
+
+    @property
+    def l2_duplication_fraction(self) -> float:
+        """Fraction of L2-resident translations held by >= 2 GPUs."""
+        return self.l2_duplicated / self.l2_resident if self.l2_resident else 0.0
+
+    @property
+    def cross_level_duplication_fraction(self) -> float:
+        """Fraction of L2-resident translations also in the IOMMU TLB."""
+        return self.l2_also_in_iommu / self.l2_resident if self.l2_resident else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    workload_name: str
+    workload_kind: str
+    policy_name: str
+    total_cycles: int
+    apps: dict[int, AppResult]
+    iommu_counters: dict[str, int]
+    walker_counters: dict[str, int]
+    walker_queue_wait_mean: float
+    tracker_stats: dict[str, int] | None = None
+    snapshots: list[Snapshot] = field(default_factory=list)
+    iommu_stream: list[tuple[int, int]] | None = None
+    events_executed: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def pids(self) -> list[int]:
+        """All application PIDs, sorted."""
+        return sorted(self.apps)
+
+    def app(self, pid: int) -> AppResult:
+        """The result of application ``pid``."""
+        return self.apps[pid]
+
+    def apps_named(self, name: str) -> list[AppResult]:
+        """Every instance of application ``name`` (mixes may repeat one)."""
+        return [a for a in self.apps.values() if a.app_name == name]
+
+    @property
+    def exec_cycles(self) -> int:
+        """Workload completion: the slowest application's first run."""
+        return max((a.exec_cycles for a in self.apps.values()), default=0)
+
+    def mean_over_apps(self, metric: str) -> float:
+        """Arithmetic mean of an :class:`AppResult` attribute over apps."""
+        values = [getattr(a, metric) for a in self.apps.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def speedup_vs(self, baseline: "SimulationResult") -> float:
+        """Workload-level normalized performance vs ``baseline``."""
+        if self.exec_cycles <= 0:
+            return 0.0
+        return baseline.exec_cycles / self.exec_cycles
+
+    def per_app_speedup_vs(self, baseline: "SimulationResult") -> dict[int, float]:
+        """Per-application normalized performance vs ``baseline``."""
+        speedups: dict[int, float] = {}
+        for pid, app in self.apps.items():
+            base = baseline.apps[pid]
+            speedups[pid] = (
+                base.exec_cycles / app.exec_cycles if app.exec_cycles else 0.0
+            )
+        return speedups

@@ -1,0 +1,259 @@
+"""System wiring: GPUs, interconnect, IOMMU, policy, and measurement.
+
+:class:`MultiGPUSystem` assembles one simulated machine around a workload
+and runs it to completion, implementing the paper's measurement
+methodology:
+
+* page tables are pre-faulted before measurement (steady-state
+  translation behaviour, no cold OS faults — the PRI path still exists and
+  handles any page outside the pre-faulted footprint);
+* in multi-application mode, applications that finish early are re-executed
+  so every GPU stays busy until the longest application completes, but only
+  each application's *first* full execution contributes statistics
+  (Section 3.1.2);
+* per-application execution time is the completion cycle of the last run of
+  the first execution, from which IPC, normalized performance, and weighted
+  speedup derive.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.config.system import IOMMUConfig, SystemConfig
+from repro.engine.event_queue import EventQueue
+from repro.engine.stats import CounterSet, LatencyAccumulator
+from repro.gpu.ats import ATSRequest
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.gpu_device import GPUDevice
+from repro.iommu.iommu import IOMMU
+from repro.iommu.page_walker import WalkerPool
+from repro.interconnect.topology import Topology
+from repro.policies import make_policy
+from repro.sim.results import AppResult, SimulationResult, Snapshot
+from repro.structures.page_table import PageTableManager
+from repro.workloads.trace import Workload
+
+
+class MultiGPUSystem:
+    """One simulated multi-GPU machine executing one workload."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: Workload,
+        policy: str = "baseline",
+        *,
+        policy_options: dict[str, Any] | None = None,
+        record_iommu_stream: bool = False,
+        snapshot_interval: int = 0,
+        shootdown_interval: int = 0,
+        prefault: bool = True,
+    ) -> None:
+        if not workload.placements:
+            raise ValueError("workload has no placements")
+        for placement in workload.placements:
+            if placement.gpu_id >= config.num_gpus:
+                raise ValueError(
+                    f"placement targets GPU {placement.gpu_id} but the system "
+                    f"has {config.num_gpus} GPUs"
+                )
+        self.config = config
+        self.workload = workload
+        self.queue = EventQueue()
+        self.page_tables = PageTableManager(levels=config.page_table_levels)
+        self.topology = Topology(config.num_gpus, config.interconnect)
+        self.halted = False
+
+        self._pid_stats: dict[int, CounterSet] = {
+            pid: CounterSet() for pid in workload.pids
+        }
+        self._pid_latency: dict[int, LatencyAccumulator] = {
+            pid: LatencyAccumulator() for pid in workload.pids
+        }
+        self.exec_time: dict[int, int] = {}
+        self.measure_start: dict[int, int] = {}
+
+        self.gpus = [GPUDevice(g, config, self) for g in range(config.num_gpus)]
+        self.iommu = IOMMU(config, self)
+        rerun = workload.kind == "multi"
+        for placement in workload.placements:
+            self.gpus[placement.gpu_id].add_placement(placement, rerun=rerun)
+
+        self._remaining_cus: Counter = Counter()
+        for gpu in self.gpus:
+            for cu in gpu.cus:
+                if cu.stream.measured_runs:
+                    self._remaining_cus[cu.pid] += 1
+        self._pids_pending = set(self._remaining_cus)
+        if not self._pids_pending:
+            raise ValueError("workload contains no runnable CU streams")
+
+        if prefault:
+            for pid, vpns in workload.footprints.items():
+                self.page_tables.prefault(pid, vpns.tolist())
+
+        if config.local_page_tables:
+            self._attach_local_walkers()
+
+        # The policy is built last: it may inspect the fully wired system.
+        self.policy = make_policy(policy, self, **(policy_options or {}))
+
+        self._stream_recorder: list[tuple[int, int]] | None = (
+            [] if record_iommu_stream else None
+        )
+        self.snapshot_interval = snapshot_interval
+        self.snapshots: list[Snapshot] = []
+        self.shootdown_interval = shootdown_interval
+        self.shootdowns_performed = 0
+
+    # -- local-page-table variant (Figure 23) ----------------------------------
+
+    def _attach_local_walkers(self) -> None:
+        """Give each GPU a device-memory page table and walker pool; only
+        pages absent from the local table escalate to the IOMMU."""
+        local_cfg = IOMMUConfig(
+            num_walkers=self.config.local_num_walkers,
+            walker_threads=self.config.iommu.walker_threads,
+            walk_latency=self.config.local_walk_latency,
+        )
+        for gpu in self.gpus:
+            tables = PageTableManager(levels=self.config.page_table_levels)
+            pool = WalkerPool(self.queue, tables, local_cfg, num_gpus=1)
+            gpu.attach_local_translation(tables, pool)
+
+    # -- measurement services ---------------------------------------------------
+
+    def stats_for(self, pid: int) -> CounterSet:
+        """The per-application counter set for ``pid``."""
+        return self._pid_stats[pid]
+
+    def latency_for(self, pid: int) -> LatencyAccumulator:
+        """The per-application translation-latency accumulator."""
+        return self._pid_latency[pid]
+
+    def record_iommu_request(self, request: ATSRequest) -> None:
+        """Append to the IOMMU request stream when recording is enabled."""
+        if self._stream_recorder is not None and request.measured:
+            self._stream_recorder.append((request.pid, request.vpn))
+
+    def note_measure_start(self, pid: int) -> None:
+        """The first measured run of ``pid`` just issued; execution time
+        is counted from here (the warmup prefix is excluded)."""
+        self.measure_start.setdefault(pid, self.queue.now)
+
+    def note_cu_first_run_done(self, cu: ComputeUnit) -> None:
+        """A CU finished the measured portion of its stream."""
+        self._remaining_cus[cu.pid] -= 1
+        if self._remaining_cus[cu.pid] == 0:
+            self.exec_time[cu.pid] = self.queue.now - self.measure_start.get(cu.pid, 0)
+            self._pids_pending.discard(cu.pid)
+            if not self._pids_pending:
+                self.halted = True
+
+    # -- snapshots (Figures 6 and 11) ----------------------------------------------
+
+    def _take_snapshot(self) -> None:
+        if self.halted:
+            return
+        key_counts: Counter = Counter()
+        for gpu in self.gpus:
+            for key in gpu.l2_tlb.resident_keys():
+                key_counts[key] += 1
+        iommu_keys = self.iommu.tlb.resident_keys()
+        owner_counts = [0] * self.config.num_gpus
+        for entry in self.iommu.tlb.iter_entries():
+            if entry.owner_gpu >= 0:
+                owner_counts[entry.owner_gpu] += 1
+        self.snapshots.append(
+            Snapshot(
+                cycle=self.queue.now,
+                l2_resident=len(key_counts),
+                l2_duplicated=sum(1 for c in key_counts.values() if c >= 2),
+                l2_also_in_iommu=len(set(key_counts) & iommu_keys),
+                iommu_resident=len(iommu_keys),
+                iommu_owner_counts=tuple(owner_counts),
+            )
+        )
+        self.queue.schedule_after(self.snapshot_interval, self._take_snapshot)
+
+    def _periodic_shootdown(self) -> None:
+        """Recurring full TLB shootdown (modelling page-migration epochs or
+        address-space churn, Section 4.4's coherence scenario)."""
+        if self.halted:
+            return
+        self.shootdown()
+        self.shootdowns_performed += 1
+        self.queue.schedule_after(self.shootdown_interval, self._periodic_shootdown)
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> SimulationResult:
+        """Execute the workload to completion and return its results."""
+        for gpu in self.gpus:
+            gpu.start()
+        if self.snapshot_interval > 0:
+            self.queue.schedule_after(self.snapshot_interval, self._take_snapshot)
+        if self.shootdown_interval > 0:
+            self.queue.schedule_after(self.shootdown_interval, self._periodic_shootdown)
+        self.queue.run(until=max_cycles)
+        return self._collect_results()
+
+    def shootdown(self, pid: int | None = None) -> None:
+        """System-wide TLB shootdown (Section 4.4): every GPU's L1/L2, the
+        IOMMU TLB, and the policy's tracker state."""
+        for gpu in self.gpus:
+            gpu.shootdown(pid)
+        self.iommu.shootdown(pid)
+
+    # -- results ------------------------------------------------------------------------
+
+    def _collect_results(self) -> SimulationResult:
+        apps: dict[int, AppResult] = {}
+        for pid in self.workload.pids:
+            apps[pid] = AppResult(
+                pid=pid,
+                app_name=self.workload.app_names[pid],
+                gpu_ids=tuple(self.workload.gpus_for(pid)),
+                instructions=self.workload.measured_instructions_for(pid),
+                runs=self.workload.measured_runs_for(pid),
+                accesses=self.workload.measured_accesses_for(pid),
+                exec_cycles=self.exec_time.get(pid, self.queue.now),
+                counters=self._pid_stats[pid].as_dict(),
+                mean_translation_latency=self._pid_latency[pid].mean,
+            )
+        tracker_stats = None
+        tracker = getattr(self.policy, "tracker", None)
+        if tracker is not None:
+            stats = tracker.stats
+            tracker_stats = {
+                "registrations": stats.registrations,
+                "unregistrations": stats.unregistrations,
+                "queries": stats.queries,
+                "positives": stats.positives,
+                "multi_positives": stats.multi_positives,
+                "false_positives": self.iommu.stats["tracker_false_positives"],
+                "remote_hits": self.iommu.stats["remote_hits"],
+            }
+        return SimulationResult(
+            workload_name=self.workload.name,
+            workload_kind=self.workload.kind,
+            policy_name=self.policy.name,
+            total_cycles=self.queue.now,
+            apps=apps,
+            iommu_counters=self.iommu.stats.as_dict(),
+            walker_counters=self.iommu.walkers.stats.as_dict(),
+            walker_queue_wait_mean=self.iommu.walkers.queue_wait.mean,
+            tracker_stats=tracker_stats,
+            snapshots=list(self.snapshots),
+            iommu_stream=self._stream_recorder,
+            events_executed=self.queue.events_executed,
+            metadata={
+                "shootdowns": self.shootdowns_performed,
+                "num_gpus": self.config.num_gpus,
+                "page_size": self.config.page_size,
+                "spill_budget": self.config.spill_budget,
+                "local_page_tables": self.config.local_page_tables,
+            },
+        )

@@ -1,0 +1,37 @@
+"""Hardware state structures: TLBs, trackers' filters, and page tables."""
+
+from repro.structures.bloom_filter import CountingBloomFilter
+from repro.structures.cuckoo_filter import CuckooFilter
+from repro.structures.page_table import PageTable, PageTableManager, WalkResult
+from repro.structures.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.structures.tlb import (
+    InfiniteTLB,
+    SetAssociativeTLB,
+    TLBEntry,
+    TLBStats,
+    TranslationKey,
+)
+
+__all__ = [
+    "CountingBloomFilter",
+    "CuckooFilter",
+    "PageTable",
+    "PageTableManager",
+    "WalkResult",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "InfiniteTLB",
+    "SetAssociativeTLB",
+    "TLBEntry",
+    "TLBStats",
+    "TranslationKey",
+]

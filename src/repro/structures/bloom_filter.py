@@ -1,0 +1,104 @@
+"""Counting Bloom filter — the ablation comparator for the tracker.
+
+The paper chooses a cuckoo filter for the Local TLB Tracker because the
+tracker must support deletions (entries leave L2 TLBs constantly).  A plain
+Bloom filter cannot delete; the classical fix is a *counting* Bloom filter,
+which costs several bits per cell.  We implement it so the tracker ablation
+(``benchmarks/bench_abl_tracker.py``) can compare space/accuracy against the
+cuckoo filter the paper selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.structures.cuckoo_filter import _splitmix64
+
+
+@dataclass(slots=True)
+class BloomFilterStats:
+    """Operation accounting for one filter instance."""
+
+    insertions: int = 0
+    deletions: int = 0
+    failed_deletions: int = 0
+    queries: int = 0
+    positives: int = 0
+
+
+class CountingBloomFilter:
+    """A counting Bloom filter over ``(pid, vpn)`` keys.
+
+    Parameters
+    ----------
+    num_cells:
+        Number of counter cells.
+    num_hashes:
+        Hash functions per key.
+    counter_bits:
+        Width of each cell; counters saturate instead of overflowing, which
+        (like real hardware) can strand stale state — a deliberate fidelity
+        point for the ablation.
+    """
+
+    __slots__ = ("num_cells", "num_hashes", "counter_bits", "_max", "_cells", "stats")
+
+    def __init__(self, num_cells: int = 2048, num_hashes: int = 2, counter_bits: int = 4) -> None:
+        if num_cells <= 0:
+            raise ValueError(f"num_cells must be positive, got {num_cells}")
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.num_cells = num_cells
+        self.num_hashes = num_hashes
+        self.counter_bits = counter_bits
+        self._max = (1 << counter_bits) - 1
+        self._cells = [0] * num_cells
+        self.stats = BloomFilterStats()
+
+    def _indices(self, pid: int, vpn: int) -> list[int]:
+        base = _splitmix64((pid << 48) ^ vpn)
+        step = _splitmix64(base) | 1
+        return [(base + i * step) % self.num_cells for i in range(self.num_hashes)]
+
+    def insert(self, pid: int, vpn: int) -> bool:
+        """Increment every cell for the key (saturating)."""
+        self.stats.insertions += 1
+        for index in self._indices(pid, vpn):
+            if self._cells[index] < self._max:
+                self._cells[index] += 1
+        return True
+
+    def contains(self, pid: int, vpn: int) -> bool:
+        """Membership test (may return false positives)."""
+        self.stats.queries += 1
+        found = all(self._cells[i] > 0 for i in self._indices(pid, vpn))
+        if found:
+            self.stats.positives += 1
+        return found
+
+    def delete(self, pid: int, vpn: int) -> bool:
+        """Decrement the key's cells.  Returns ``False`` if any cell was
+        already zero (the key was provably absent)."""
+        indices = self._indices(pid, vpn)
+        if any(self._cells[i] == 0 for i in indices):
+            self.stats.failed_deletions += 1
+            return False
+        for index in indices:
+            # Saturated cells are left untouched: decrementing one would
+            # under-count the other keys folded into it.
+            if self._cells[index] < self._max:
+                self._cells[index] -= 1
+        self.stats.deletions += 1
+        return True
+
+    def clear(self) -> None:
+        """Reset every counter cell."""
+        self._cells = [0] * self.num_cells
+
+    def __len__(self) -> int:
+        """Approximate population: nonzero cells divided by hash count."""
+        return sum(1 for c in self._cells if c) // self.num_hashes
+
+    def size_bytes(self) -> float:
+        """Storage cost in bytes."""
+        return self.num_cells * self.counter_bits / 8

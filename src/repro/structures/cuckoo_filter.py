@@ -1,0 +1,198 @@
+"""Cuckoo filter (Fan et al., CoNEXT'14) used by the Local TLB Tracker.
+
+The paper's tracker stores *fingerprints* of the translations resident in
+each GPU's L2 TLB (Section 4.1).  A cuckoo filter supports the three
+operations the tracker needs — insert, membership test, and delete — in a
+fixed hardware budget (2048 entries total, ~1.08 KB, ≈0.2 false-positive
+probability in the paper's configuration).
+
+Two imperfections of the structure are deliberately modelled because the
+paper's protocol depends on them being tolerable:
+
+* **False positives** — distinct keys can share a fingerprint and bucket
+  pair, so a membership test may wrongly report presence.  The protocol
+  hides the cost by racing the remote lookup with the page-table walk.
+* **False negatives after overflow or aliased deletes** — when both candidate
+  buckets are full and the relocation chain exceeds ``max_kicks``, a resident
+  fingerprint is displaced (the victim key is silently forgotten); deleting a
+  key may likewise remove an aliased twin's fingerprint.  A tracker miss only
+  costs a page-table walk, so correctness is unaffected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+def _splitmix64(x: int) -> int:
+    """A strong, seedable 64-bit mixer (deterministic across runs, unlike
+    Python's builtin ``hash`` for strings)."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+@dataclass(slots=True)
+class CuckooFilterStats:
+    """Operation accounting for one filter instance."""
+
+    insertions: int = 0
+    deletions: int = 0
+    failed_deletions: int = 0
+    displaced: int = 0  # fingerprints lost to overflow (false-negative risk)
+    queries: int = 0
+    positives: int = 0
+
+
+class CuckooFilter:
+    """A bucketised cuckoo filter over ``(pid, vpn)`` translation keys.
+
+    Parameters
+    ----------
+    num_entries:
+        Total fingerprint slots (buckets × bucket_size).  The paper uses 2048
+        slots split evenly across GPUs.
+    bucket_size:
+        Slots per bucket (4 in the canonical design).
+    fingerprint_bits:
+        Width of the stored fingerprint.  Smaller fingerprints save area but
+        raise the false-positive probability; 6 bits lands near the paper's
+        0.2 figure under high occupancy.
+    """
+
+    __slots__ = (
+        "num_buckets",
+        "bucket_size",
+        "fingerprint_bits",
+        "max_kicks",
+        "_fp_mask",
+        "_buckets",
+        "_rng",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        num_entries: int = 512,
+        bucket_size: int = 4,
+        fingerprint_bits: int = 6,
+        max_kicks: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if num_entries <= 0 or num_entries % bucket_size != 0:
+            raise ValueError(
+                f"num_entries {num_entries} must be a positive multiple of "
+                f"bucket_size {bucket_size}"
+            )
+        if not 2 <= fingerprint_bits <= 32:
+            raise ValueError(f"fingerprint_bits out of range: {fingerprint_bits}")
+        self.num_buckets = num_entries // bucket_size
+        self.bucket_size = bucket_size
+        self.fingerprint_bits = fingerprint_bits
+        self.max_kicks = max_kicks
+        self._fp_mask = (1 << fingerprint_bits) - 1
+        self._buckets: list[list[int]] = [[] for _ in range(self.num_buckets)]
+        self._rng = random.Random(seed)
+        self.stats = CuckooFilterStats()
+
+    # -- hashing -----------------------------------------------------------
+
+    def _key_hash(self, pid: int, vpn: int) -> int:
+        return _splitmix64((pid << 48) ^ vpn)
+
+    def _fingerprint(self, pid: int, vpn: int) -> int:
+        # Drawn from the HIGH bits of the key hash while the bucket index
+        # uses the low bits — deriving both from the same bits would
+        # correlate fingerprint with bucket and break the false-positive
+        # bound.  A fingerprint of zero is avoided so hardware-faithful
+        # encodings remain possible.
+        fp = (self._key_hash(pid, vpn) >> 40) & self._fp_mask
+        return fp if fp != 0 else 1
+
+    def _index_pair(self, pid: int, vpn: int, fp: int) -> tuple[int, int]:
+        i1 = self._key_hash(pid, vpn) % self.num_buckets
+        i2 = (i1 ^ _splitmix64(fp)) % self.num_buckets
+        return i1, i2
+
+    def _alt_index(self, index: int, fp: int) -> int:
+        return (index ^ _splitmix64(fp)) % self.num_buckets
+
+    # -- operations ---------------------------------------------------------
+
+    def insert(self, pid: int, vpn: int) -> bool:
+        """Insert a key.  Returns ``False`` when an unrelated fingerprint had
+        to be displaced to make room (a future false negative for its key);
+        the new key itself is always stored."""
+        fp = self._fingerprint(pid, vpn)
+        i1, i2 = self._index_pair(pid, vpn, fp)
+        self.stats.insertions += 1
+        for index in (i1, i2):
+            if len(self._buckets[index]) < self.bucket_size:
+                self._buckets[index].append(fp)
+                return True
+        # Both buckets full: relocate resident fingerprints cuckoo-style.
+        index = self._rng.choice((i1, i2))
+        for _ in range(self.max_kicks):
+            slot = self._rng.randrange(self.bucket_size)
+            fp, self._buckets[index][slot] = self._buckets[index][slot], fp
+            index = self._alt_index(index, fp)
+            if len(self._buckets[index]) < self.bucket_size:
+                self._buckets[index].append(fp)
+                return True
+        # Relocation chain exhausted: drop the orphaned fingerprint.  Its
+        # original key becomes a false negative, which the translation
+        # protocol tolerates (the PTW path always races the tracker).
+        self.stats.displaced += 1
+        return False
+
+    def contains(self, pid: int, vpn: int) -> bool:
+        """Membership test (may return false positives)."""
+        fp = self._fingerprint(pid, vpn)
+        i1, i2 = self._index_pair(pid, vpn, fp)
+        self.stats.queries += 1
+        found = fp in self._buckets[i1] or fp in self._buckets[i2]
+        if found:
+            self.stats.positives += 1
+        return found
+
+    def delete(self, pid: int, vpn: int) -> bool:
+        """Remove one copy of the key's fingerprint.
+
+        Returns ``False`` if no matching fingerprint was present (the key was
+        never inserted, or its fingerprint was displaced earlier).
+        """
+        fp = self._fingerprint(pid, vpn)
+        i1, i2 = self._index_pair(pid, vpn, fp)
+        for index in (i1, i2):
+            bucket = self._buckets[index]
+            if fp in bucket:
+                bucket.remove(fp)
+                self.stats.deletions += 1
+                return True
+        self.stats.failed_deletions += 1
+        return False
+
+    def clear(self) -> None:
+        """Reset the filter (IOMMU TLB shootdown path, Section 4.4)."""
+        for bucket in self._buckets:
+            bucket.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets)
+
+    @property
+    def capacity(self) -> int:
+        """Total fingerprint slots."""
+        return self.num_buckets * self.bucket_size
+
+    def load_factor(self) -> float:
+        """Occupied fraction of the fingerprint slots."""
+        return len(self) / self.capacity
+
+    def size_bytes(self) -> float:
+        """Storage cost in bytes (fingerprints only, as the paper counts)."""
+        return self.capacity * self.fingerprint_bits / 8

@@ -1,0 +1,183 @@
+"""Multi-level radix page tables.
+
+The baseline system keeps all page tables in CPU memory under IOMMU control
+(Section 2.1); the Figure 23 variant additionally gives each GPU a local page
+table in device memory.  Both variants are backed by this module.
+
+The table is a real 4-level radix tree (x86-64-style, 9 bits per level for
+4 KB pages) rather than a flat dict, so a walk reports how many levels it
+actually touched — the page-walker latency model consumes that number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class WalkResult:
+    """Outcome of one page-table walk."""
+
+    ppn: int | None
+    levels_touched: int
+    faulted: bool
+
+    @property
+    def hit(self) -> bool:
+        """True when the walk found a mapping."""
+        return self.ppn is not None
+
+
+class PageTable:
+    """A single address space's radix page table.
+
+    ``levels`` and ``bits_per_level`` fix the radix geometry; the defaults
+    model 4-level x86-64 paging for 4 KB pages.  Large (2 MB) pages are
+    modelled by the workload layer dividing the footprint into larger pages
+    (fewer VPNs) and the config shortening the walk by one level.
+    """
+
+    __slots__ = ("levels", "bits_per_level", "_root", "_mapped")
+
+    def __init__(self, levels: int = 4, bits_per_level: int = 9) -> None:
+        if levels <= 0:
+            raise ValueError(f"levels must be positive, got {levels}")
+        if bits_per_level <= 0:
+            raise ValueError(f"bits_per_level must be positive, got {bits_per_level}")
+        self.levels = levels
+        self.bits_per_level = bits_per_level
+        self._root: dict = {}
+        self._mapped = 0
+
+    def _indices(self, vpn: int) -> list[int]:
+        mask = (1 << self.bits_per_level) - 1
+        shifts = range((self.levels - 1) * self.bits_per_level, -1, -self.bits_per_level)
+        return [(vpn >> s) & mask for s in shifts]
+
+    def map(self, vpn: int, ppn: int) -> None:
+        """Install a ``vpn → ppn`` mapping, creating intermediate levels."""
+        node = self._root
+        indices = self._indices(vpn)
+        for index in indices[:-1]:
+            node = node.setdefault(index, {})
+        if indices[-1] not in node:
+            self._mapped += 1
+        node[indices[-1]] = ppn
+
+    def unmap(self, vpn: int) -> bool:
+        """Remove a mapping.  Returns ``False`` if it was not present.
+
+        Intermediate nodes are left in place (as real OS page tables usually
+        do between reclaim passes); only the leaf PTE is cleared.
+        """
+        node = self._root
+        indices = self._indices(vpn)
+        for index in indices[:-1]:
+            child = node.get(index)
+            if child is None:
+                return False
+            node = child
+        if indices[-1] in node:
+            del node[indices[-1]]
+            self._mapped -= 1
+            return True
+        return False
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Traverse the radix tree for ``vpn``.
+
+        ``levels_touched`` counts the page-table levels dereferenced,
+        including the one where the walk terminated (by finding the PTE or a
+        hole) — the walker's latency model multiplies this by its per-level
+        memory latency.
+        """
+        node = self._root
+        indices = self._indices(vpn)
+        touched = 0
+        for index in indices[:-1]:
+            touched += 1
+            child = node.get(index)
+            if child is None:
+                return WalkResult(ppn=None, levels_touched=touched, faulted=True)
+            node = child
+        touched += 1
+        ppn = node.get(indices[-1])
+        if ppn is None:
+            return WalkResult(ppn=None, levels_touched=touched, faulted=True)
+        return WalkResult(ppn=ppn, levels_touched=touched, faulted=False)
+
+    def translate(self, vpn: int) -> int | None:
+        """Convenience wrapper: the PPN or ``None``."""
+        return self.walk(vpn).ppn
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of leaf PTEs currently installed."""
+        return self._mapped
+
+
+class PageTableManager:
+    """Per-process page tables plus a trivial physical frame allocator.
+
+    The manager is the "operating system" of the simulation: workloads ask
+    it to map their footprints (pre-faulted before measurement, as the
+    paper's steady-state methodology implies) and the PRI path asks it to
+    service demand faults.
+    """
+
+    __slots__ = ("levels", "bits_per_level", "_tables", "_next_ppn")
+
+    def __init__(self, levels: int = 4, bits_per_level: int = 9) -> None:
+        self.levels = levels
+        self.bits_per_level = bits_per_level
+        self._tables: dict[int, PageTable] = {}
+        self._next_ppn = 1  # PPN 0 reserved so a 0 result is never ambiguous
+
+    def table_for(self, pid: int) -> PageTable:
+        """The (lazily created) page table of process ``pid``."""
+        table = self._tables.get(pid)
+        if table is None:
+            table = PageTable(self.levels, self.bits_per_level)
+            self._tables[pid] = table
+        return table
+
+    def map_page(self, pid: int, vpn: int) -> int:
+        """Allocate a frame for ``(pid, vpn)`` and install the mapping.
+
+        Idempotent: re-mapping an existing page returns the existing frame.
+        """
+        table = self.table_for(pid)
+        existing = table.translate(vpn)
+        if existing is not None:
+            return existing
+        ppn = self._next_ppn
+        self._next_ppn += 1
+        table.map(vpn, ppn)
+        return ppn
+
+    def prefault(self, pid: int, vpns) -> int:
+        """Map every VPN in ``vpns``; returns the number of new mappings."""
+        table = self.table_for(pid)
+        created = 0
+        for vpn in vpns:
+            if table.translate(vpn) is None:
+                table.map(vpn, self._next_ppn)
+                self._next_ppn += 1
+                created += 1
+        return created
+
+    def walk(self, pid: int, vpn: int) -> WalkResult:
+        """Walk ``pid``'s table; an unknown PID faults at the first level."""
+        table = self._tables.get(pid)
+        if table is None:
+            return WalkResult(ppn=None, levels_touched=1, faulted=True)
+        return table.walk(vpn)
+
+    def remove_process(self, pid: int) -> bool:
+        """Tear down a process's address space."""
+        return self._tables.pop(pid, None) is not None
+
+    @property
+    def total_mapped_pages(self) -> int:
+        """Mapped pages across every process."""
+        return sum(t.mapped_pages for t in self._tables.values())

@@ -1,0 +1,92 @@
+"""Replacement policies for set-associative structures.
+
+Each policy operates on an :class:`collections.OrderedDict` representing one
+set, ordered from least- to most-recently relevant.  LRU is the paper's
+configuration for every TLB level (Table 2); FIFO and Random are provided
+for ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class ReplacementPolicy(ABC):
+    """Strategy controlling victim selection and recency updates."""
+
+    name: str
+
+    @abstractmethod
+    def select_victim(self, tlb_set: OrderedDict, *, peek: bool = False) -> Hashable:
+        """Choose the key to evict from a full set.
+
+        ``peek=True`` asks for the victim without committing to an eviction;
+        stateful policies (Random) must not advance their state in that case.
+        """
+
+    def on_access(self, tlb_set: OrderedDict, key: Hashable) -> None:
+        """Hook invoked on every hit.  Default: no recency update."""
+
+    def on_insert(self, tlb_set: OrderedDict, key: Hashable) -> None:
+        """Hook invoked after a new key is inserted."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: hits move entries to the MRU end."""
+
+    name = "lru"
+
+    def select_victim(self, tlb_set: OrderedDict, *, peek: bool = False) -> Hashable:
+        return next(iter(tlb_set))
+
+    def on_access(self, tlb_set: OrderedDict, key: Hashable) -> None:
+        tlb_set.move_to_end(key)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: insertion order decides the victim, hits do not
+    refresh an entry's position."""
+
+    name = "fifo"
+
+    def select_victim(self, tlb_set: OrderedDict, *, peek: bool = False) -> Hashable:
+        return next(iter(tlb_set))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim selection (deterministic under a seed)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select_victim(self, tlb_set: OrderedDict, *, peek: bool = False) -> Hashable:
+        keys = list(tlb_set)
+        if peek:
+            # Deterministic preview that does not consume RNG state.
+            return keys[0]
+        return self._rng.choice(keys)
+
+
+_POLICIES: dict[str, type[ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0, **kwargs: Any) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``fifo``/``random``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(seed=seed, **kwargs)
+    return cls(**kwargs)

@@ -1,0 +1,304 @@
+"""Set-associative TLB models.
+
+Every TLB in the hierarchy (per-CU L1, per-GPU L2, shared IOMMU TLB) is an
+instance of :class:`SetAssociativeTLB`.  Entries are tagged with a
+``(pid, vpn)`` pair so the shared IOMMU TLB can hold translations from
+several concurrently running applications, exactly as in the paper's
+multi-application experiments.
+
+The structures are purely functional state containers: they know nothing
+about latencies or the protocol that manages them.  Timing and policy live
+in :mod:`repro.gpu`, :mod:`repro.iommu` and :mod:`repro.policies`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.structures.replacement import ReplacementPolicy, make_policy
+
+TranslationKey = tuple[int, int]
+"""A ``(pid, vpn)`` pair identifying one translation."""
+
+
+@dataclass(slots=True)
+class TLBEntry:
+    """One cached address translation.
+
+    ``spill_budget`` implements the paper's per-entry *spill bit* generalised
+    to a counter: it starts at the configured ``N`` (1 in the paper) and is
+    decremented each time the entry is spilled from the IOMMU TLB into a
+    GPU's L2 TLB.  A zero budget means the entry is discarded on its next L2
+    eviction instead of re-entering the IOMMU TLB, which bounds the
+    ping-pong "chain effect" described in Section 4.2.
+
+    ``owner_gpu`` records, for entries resident in the IOMMU TLB, which
+    GPU's L2 eviction inserted them; the per-GPU Eviction Counters are the
+    aggregate of this field and drive spill-receiver selection.
+    """
+
+    pid: int
+    vpn: int
+    ppn: int
+    spill_budget: int = 1
+    owner_gpu: int = -1
+
+    @property
+    def key(self) -> TranslationKey:
+        """The entry's ``(pid, vpn)`` tag."""
+        return (self.pid, self.vpn)
+
+    def copy(self) -> "TLBEntry":
+        """An independent copy (entries move between TLBs by value)."""
+        return TLBEntry(self.pid, self.vpn, self.ppn, self.spill_budget, self.owner_gpu)
+
+
+@dataclass(slots=True)
+class TLBStats:
+    """Access accounting local to a single TLB instance."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total recorded lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, or 0.0 with no traffic."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class SetAssociativeTLB:
+    """A set-associative TLB with a pluggable replacement policy.
+
+    The set index is derived from the VPN only (the PID lives in the tag),
+    mirroring hardware TLBs: concurrently running applications therefore
+    conflict in the shared IOMMU TLB, which is one of the contention effects
+    the paper measures.
+
+    ``num_entries`` must be divisible by ``associativity``.  A fully
+    associative TLB is simply ``associativity == num_entries`` (one set).
+    """
+
+    __slots__ = ("num_entries", "associativity", "num_sets", "_sets", "_policy", "stats", "name")
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        replacement: str = "lru",
+        name: str = "tlb",
+        seed: int = 0,
+    ) -> None:
+        if num_entries <= 0:
+            raise ValueError(f"num_entries must be positive, got {num_entries}")
+        if associativity <= 0 or num_entries % associativity != 0:
+            raise ValueError(
+                f"associativity {associativity} must divide num_entries {num_entries}"
+            )
+        self.num_entries = num_entries
+        self.associativity = associativity
+        self.num_sets = num_entries // associativity
+        self._sets: list[OrderedDict[TranslationKey, TLBEntry]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self._policy: ReplacementPolicy = make_policy(replacement, seed=seed)
+        self.stats = TLBStats()
+        self.name = name
+
+    # -- indexing ---------------------------------------------------------
+
+    def _set_for(self, vpn: int) -> OrderedDict[TranslationKey, TLBEntry]:
+        return self._sets[vpn % self.num_sets]
+
+    # -- core operations ---------------------------------------------------
+
+    def lookup(self, pid: int, vpn: int, *, touch: bool = True) -> TLBEntry | None:
+        """Search for ``(pid, vpn)``.  Records a hit or miss.
+
+        ``touch=True`` promotes the entry per the replacement policy (the
+        normal access path); ``touch=False`` is a snoop that must not perturb
+        recency (used by remote probes and invariants checks).
+        """
+        tlb_set = self._set_for(vpn)
+        entry = tlb_set.get((pid, vpn))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if touch:
+            self._policy.on_access(tlb_set, (pid, vpn))
+        return entry
+
+    def contains(self, pid: int, vpn: int) -> bool:
+        """Presence test with no statistics or recency side effects."""
+        return (pid, vpn) in self._set_for(vpn)
+
+    def peek(self, pid: int, vpn: int) -> TLBEntry | None:
+        """Fetch without touching recency or statistics."""
+        return self._set_for(vpn).get((pid, vpn))
+
+    def touch(self, pid: int, vpn: int) -> bool:
+        """Promote an entry's recency without recording a lookup (used by
+        remote probes, which must not pollute the owner's statistics)."""
+        tlb_set = self._set_for(vpn)
+        if (pid, vpn) not in tlb_set:
+            return False
+        self._policy.on_access(tlb_set, (pid, vpn))
+        return True
+
+    def insert(self, entry: TLBEntry) -> TLBEntry | None:
+        """Insert ``entry``; returns the evicted victim if the set was full.
+
+        Inserting a key that is already present refreshes the stored entry
+        in place (no eviction).
+        """
+        tlb_set = self._set_for(entry.vpn)
+        key = entry.key
+        self.stats.insertions += 1
+        if key in tlb_set:
+            tlb_set[key] = entry
+            self._policy.on_access(tlb_set, key)
+            return None
+        victim: TLBEntry | None = None
+        if len(tlb_set) >= self.associativity:
+            victim_key = self._policy.select_victim(tlb_set)
+            victim = tlb_set.pop(victim_key)
+            self.stats.evictions += 1
+        tlb_set[key] = entry
+        self._policy.on_insert(tlb_set, key)
+        return victim
+
+    def lru_victim(self, vpn: int) -> TLBEntry | None:
+        """The entry that *would* be evicted by an insert mapping to
+        ``vpn``'s set, or ``None`` if the set has free space."""
+        tlb_set = self._set_for(vpn)
+        if len(tlb_set) < self.associativity:
+            return None
+        return tlb_set[self._policy.select_victim(tlb_set, peek=True)]
+
+    def remove(self, pid: int, vpn: int) -> TLBEntry | None:
+        """Remove and return the entry, or ``None`` if absent."""
+        return self._set_for(vpn).pop((pid, vpn), None)
+
+    # -- bulk operations ----------------------------------------------------
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (TLB shootdown).  Returns the number dropped."""
+        dropped = sum(len(s) for s in self._sets)
+        for tlb_set in self._sets:
+            tlb_set.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    def invalidate_pid(self, pid: int) -> int:
+        """Drop every entry belonging to ``pid`` (process teardown)."""
+        dropped = 0
+        for tlb_set in self._sets:
+            stale = [key for key in tlb_set if key[0] == pid]
+            for key in stale:
+                del tlb_set[key]
+            dropped += len(stale)
+        self.stats.invalidations += dropped
+        return dropped
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, key: TranslationKey) -> bool:
+        pid, vpn = key
+        return self.contains(pid, vpn)
+
+    def iter_entries(self) -> Iterator[TLBEntry]:
+        """Iterate over all resident entries (snapshot order: set, recency)."""
+        for tlb_set in self._sets:
+            yield from tlb_set.values()
+
+    def resident_keys(self) -> set[TranslationKey]:
+        """The set of all resident translation keys."""
+        return {entry.key for entry in self.iter_entries()}
+
+    def occupancy(self) -> float:
+        """Fraction of capacity currently used."""
+        return len(self) / self.num_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeTLB(name={self.name!r}, entries={self.num_entries}, "
+            f"ways={self.associativity}, resident={len(self)})"
+        )
+
+
+class InfiniteTLB(SetAssociativeTLB):
+    """An unbounded TLB used for the paper's infinite-IOMMU-TLB study
+    (Figure 3): only cold misses occur, nothing is ever evicted."""
+
+    def __init__(self, name: str = "infinite-tlb") -> None:
+        # A single huge set; the parent constructor demands finite numbers,
+        # so give it a nominal geometry and override the behaviour below.
+        super().__init__(num_entries=1, associativity=1, name=name)
+        self._store: OrderedDict[TranslationKey, TLBEntry] = OrderedDict()
+
+    def lookup(self, pid: int, vpn: int, *, touch: bool = True) -> TLBEntry | None:
+        entry = self._store.get((pid, vpn))
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def contains(self, pid: int, vpn: int) -> bool:
+        return (pid, vpn) in self._store
+
+    def peek(self, pid: int, vpn: int) -> TLBEntry | None:
+        return self._store.get((pid, vpn))
+
+    def touch(self, pid: int, vpn: int) -> bool:
+        return (pid, vpn) in self._store
+
+    def insert(self, entry: TLBEntry) -> TLBEntry | None:
+        self.stats.insertions += 1
+        self._store[entry.key] = entry
+        return None
+
+    def lru_victim(self, vpn: int) -> TLBEntry | None:
+        return None
+
+    def remove(self, pid: int, vpn: int) -> TLBEntry | None:
+        return self._store.pop((pid, vpn), None)
+
+    def invalidate_all(self) -> int:
+        dropped = len(self._store)
+        self._store.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    def invalidate_pid(self, pid: int) -> int:
+        stale = [key for key in self._store if key[0] == pid]
+        for key in stale:
+            del self._store[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def iter_entries(self) -> Iterator[TLBEntry]:
+        yield from self._store.values()
+
+    def resident_keys(self) -> set[TranslationKey]:
+        return set(self._store.keys())
+
+    def occupancy(self) -> float:
+        return 0.0

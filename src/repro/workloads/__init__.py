@@ -1,0 +1,56 @@
+"""Synthetic workload generation reproducing the paper's benchmarks."""
+
+from repro.workloads.applications import (
+    APPLICATIONS,
+    ApplicationSpec,
+    application_footprint,
+    classify_mpki,
+    generate_application_traces,
+    generate_gpu_trace,
+    get_application,
+)
+from repro.workloads.multi_app import (
+    MIX_WORKLOADS,
+    MULTI_APP_WORKLOADS,
+    SCALED_WORKLOADS,
+    SINGLE_APP_NAMES,
+    build_alone_workload,
+    build_mix_workload,
+    build_multi_app_workload,
+    build_single_app_workload,
+    workload_category,
+)
+from repro.workloads.patterns import (
+    PATTERNS,
+    PatternParams,
+    generate_page_runs,
+    partition_bounds,
+)
+from repro.workloads.trace import CUStream, GPUTrace, Placement, Workload
+
+__all__ = [
+    "APPLICATIONS",
+    "ApplicationSpec",
+    "application_footprint",
+    "classify_mpki",
+    "generate_application_traces",
+    "generate_gpu_trace",
+    "get_application",
+    "MIX_WORKLOADS",
+    "MULTI_APP_WORKLOADS",
+    "SCALED_WORKLOADS",
+    "SINGLE_APP_NAMES",
+    "build_alone_workload",
+    "build_mix_workload",
+    "build_multi_app_workload",
+    "build_single_app_workload",
+    "workload_category",
+    "PATTERNS",
+    "PatternParams",
+    "generate_page_runs",
+    "partition_bounds",
+    "CUStream",
+    "GPUTrace",
+    "Placement",
+    "Workload",
+]

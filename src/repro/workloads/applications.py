@@ -1,0 +1,350 @@
+"""The benchmark applications of Table 3 as synthetic trace generators.
+
+The paper characterises each application by its benchmark suite, its
+multi-GPU access pattern (Section 3.1.2), and its L2-TLB MPKI class
+(Low < 0.1 < Medium < 1 < High).  Each :class:`ApplicationSpec` below fixes
+a pattern plus locality/intensity knobs calibrated (see
+``tests/workloads/test_mpki_classes.py``) so the simulated application lands
+in its paper MPKI class and exhibits the paper's sharing behaviour
+(Figure 4).
+
+Work splitting follows the paper's execution paradigms:
+
+* *single-application-multi-GPU* — the application's ``total_runs`` are
+  strong-scaled across the GPUs (each GPU executes a slice of the work,
+  drawn from its per-GPU region of the shared footprint);
+* *multi-application-multi-GPU* — the whole application executes on one
+  GPU, so that GPU issues all ``total_runs`` runs over the full footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.workloads.patterns import PatternParams, generate_page_runs
+from repro.workloads.trace import CUStream, GPUTrace
+
+MPKI_LOW_BOUND = 0.1
+MPKI_HIGH_BOUND = 1.0
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Generator parameters for one benchmark application."""
+
+    name: str
+    full_name: str
+    suite: str
+    pattern: PatternParams
+    total_runs: int
+    mean_gap: int
+    mean_repeats: int
+    paper_mpki: float
+    mpki_class: str
+    intensity_period: int = 0
+    """If nonzero, the application alternates between memory-intensive and
+    compute-intensive phases with this period (in runs).  The paper relies
+    on such interleaved intensity to explain why even the all-High W10 mix
+    benefits from dynamic spill-receiver selection (Section 5.2)."""
+    intensity_duty: float = 0.5
+    intensity_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mpki_class not in ("L", "M", "H"):
+            raise ValueError(f"mpki_class must be L/M/H: {self.mpki_class!r}")
+        if self.total_runs <= 0:
+            raise ValueError(f"total_runs must be positive: {self.total_runs}")
+        if self.mean_gap <= 0:
+            raise ValueError(f"mean_gap must be positive: {self.mean_gap}")
+        if self.mean_repeats <= 0:
+            raise ValueError(f"mean_repeats must be positive: {self.mean_repeats}")
+
+    def for_single_gpu(self) -> "ApplicationSpec":
+        """The application's single-GPU problem size.
+
+        The multi-GPU runs use inputs sized for four GPUs; when an
+        application occupies one GPU (the multi-application and alone
+        runs), its input — footprint and hot set alike — is half that, the
+        usual practice when the paper's benchmarks are run on a single
+        device.  Locality knobs and intensity are unchanged, so the L2-TLB
+        MPKI class is preserved.
+        """
+        pattern = replace(
+            self.pattern,
+            footprint_pages=max(self.pattern.footprint_pages // 2, 64),
+            far_region_pages=max(self.pattern.far_region_pages // 2, 0),
+        )
+        return replace(self, pattern=pattern, total_runs=max(self.total_runs // 2, 1))
+
+    def scaled_to_page_size(self, page_size: int) -> "ApplicationSpec":
+        """Adapt the footprint to a larger page size (Figure 24).
+
+        With 2 MB pages the same byte footprint spans 512× fewer pages; the
+        reuse window shrinks accordingly because the page-level working set
+        collapses."""
+        ratio = page_size // 4096
+        if ratio <= 1:
+            return self
+        footprint = max(self.pattern.footprint_pages // ratio, 16)
+        far_region = min(
+            max(self.pattern.far_region_pages // ratio, 4), footprint
+        ) if self.pattern.far_region_pages else 0
+        pattern = replace(
+            self.pattern,
+            footprint_pages=footprint,
+            far_region_pages=far_region,
+            far_frac=self.pattern.far_frac if far_region else 0.0,
+            reuse_window=max(self.pattern.reuse_window // 4, 16),
+        )
+        return replace(self, pattern=pattern)
+
+
+def _spec(
+    name: str,
+    full_name: str,
+    suite: str,
+    pattern: str,
+    footprint: int,
+    runs: int,
+    gap: int,
+    repeats: int,
+    p_reuse: float,
+    window: int,
+    seq: float,
+    paper_mpki: float,
+    mpki_class: str,
+    **extra,
+) -> ApplicationSpec:
+    pattern_extra = {
+        k: extra.pop(k)
+        for k in ("far_frac", "far_region_pages", "far_cyclic", "overlap_frac", "halo_frac", "local_frac", "num_phases")
+        if k in extra
+    }
+    return ApplicationSpec(
+        name=name,
+        full_name=full_name,
+        suite=suite,
+        pattern=PatternParams(
+            pattern=pattern,
+            footprint_pages=footprint,
+            p_reuse=p_reuse,
+            reuse_window=window,
+            seq_frac=seq,
+            **pattern_extra,
+        ),
+        total_runs=runs,
+        mean_gap=gap,
+        mean_repeats=repeats,
+        paper_mpki=paper_mpki,
+        mpki_class=mpki_class,
+        **extra,
+    )
+
+
+#: Table 3 applications plus SC (added for the multi-application mixes).
+APPLICATIONS: dict[str, ApplicationSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "FIR", "Finite Impulse Response", "Hetero-Mark", "adjacent",
+            footprint=2048, runs=36_000, gap=1600, repeats=24,
+            p_reuse=0.91, window=64, seq=0.9,
+            paper_mpki=0.009, mpki_class="L", overlap_frac=0.15,
+            far_frac=0.03, far_region_pages=2048, far_cyclic=True,
+        ),
+        _spec(
+            "KM", "KMeans", "Hetero-Mark", "partition",
+            footprint=8192, runs=120_000, gap=560, repeats=8,
+            p_reuse=0.58, window=500, seq=0.3,
+            paper_mpki=0.502, mpki_class="M",
+            far_frac=0.24, far_region_pages=5120, far_cyclic=True,
+        ),
+        _spec(
+            "PR", "PageRank", "Hetero-Mark", "random",
+            footprint=8192, runs=120_000, gap=700, repeats=8,
+            p_reuse=0.48, window=450, seq=0.0,
+            paper_mpki=0.409, mpki_class="M",
+            far_frac=0.26, far_region_pages=7680,
+        ),
+        _spec(
+            "AES", "AES-256 Encryption", "Hetero-Mark", "partition",
+            footprint=2048, runs=36_000, gap=1800, repeats=24,
+            p_reuse=0.92, window=48, seq=0.8,
+            paper_mpki=0.003, mpki_class="L",
+            far_frac=0.02, far_region_pages=1536, far_cyclic=True,
+        ),
+        _spec(
+            "MT", "Matrix Transpose", "AMDAPPSDK", "scatter_gather",
+            footprint=24_576, runs=168_000, gap=300, repeats=4,
+            p_reuse=0.28, window=1400, seq=0.15,
+            paper_mpki=2.394, mpki_class="H",
+            far_frac=0.24, far_region_pages=12_288, far_cyclic=True,
+            intensity_period=16_000, intensity_duty=0.7, intensity_factor=4.0,
+        ),
+        _spec(
+            "MM", "Matrix Multiplication", "AMDAPPSDK", "scatter_gather",
+            footprint=8192, runs=120_000, gap=600, repeats=12,
+            p_reuse=0.60, window=420, seq=0.4,
+            paper_mpki=0.164, mpki_class="M", local_frac=0.5,
+            far_frac=0.24, far_region_pages=7168, far_cyclic=True,
+        ),
+        _spec(
+            "BS", "Bitonic Sort", "AMDAPPSDK", "random",
+            footprint=3584, runs=96_000, gap=800, repeats=12,
+            p_reuse=0.58, window=380, seq=0.2,
+            paper_mpki=0.102, mpki_class="M",
+            far_frac=0.14, far_region_pages=3072,
+        ),
+        _spec(
+            "ST", "Stencil 2D", "SHOC", "adjacent",
+            footprint=10_240, runs=168_000, gap=300, repeats=6,
+            p_reuse=0.42, window=900, seq=0.7,
+            paper_mpki=1.095, mpki_class="H",
+            overlap_frac=0.45, halo_frac=1.0,
+            far_frac=0.28, far_region_pages=7168, far_cyclic=True,
+            intensity_period=20_000, intensity_duty=0.65, intensity_factor=3.0,
+        ),
+        _spec(
+            "FFT", "Fast Fourier Transform", "SHOC", "stride",
+            footprint=3072, runs=36_000, gap=1600, repeats=16,
+            p_reuse=0.90, window=96, seq=0.6,
+            paper_mpki=0.008, mpki_class="L",
+            far_frac=0.03, far_region_pages=2048, far_cyclic=True,
+        ),
+        _spec(
+            "SC", "Simple Convolution", "AMDAPPSDK", "adjacent",
+            footprint=2048, runs=36_000, gap=1500, repeats=20,
+            p_reuse=0.90, window=64, seq=0.85,
+            paper_mpki=0.018, mpki_class="L", overlap_frac=0.2,
+            far_frac=0.03, far_region_pages=1536,
+        ),
+    )
+}
+
+
+def get_application(name: str) -> ApplicationSpec:
+    """Look up an application by its Table 3 abbreviation."""
+    try:
+        return APPLICATIONS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}"
+        ) from None
+
+
+def classify_mpki(mpki: float) -> str:
+    """The paper's L / M / H classification of an L2-TLB MPKI value."""
+    if mpki < MPKI_LOW_BOUND:
+        return "L"
+    if mpki < MPKI_HIGH_BOUND:
+        return "M"
+    return "H"
+
+
+def _jittered(
+    rng: np.random.Generator, mean: int, n: int, low_frac: float = 0.5, high_frac: float = 1.5
+) -> np.ndarray:
+    low = max(1, int(mean * low_frac))
+    high = max(low + 1, int(mean * high_frac))
+    return rng.integers(low, high, n, dtype=np.int64)
+
+
+def _apply_intensity_phases(spec: ApplicationSpec, gaps: np.ndarray) -> np.ndarray:
+    """Stretch gaps during compute-heavy phases (interleaved intensity)."""
+    if spec.intensity_period <= 0:
+        return gaps
+    positions = np.arange(len(gaps))
+    in_compute = (positions % spec.intensity_period) >= (
+        spec.intensity_period * spec.intensity_duty
+    )
+    gaps = gaps.copy()
+    gaps[in_compute] = (gaps[in_compute] * spec.intensity_factor).astype(np.int64)
+    return gaps
+
+
+DEFAULT_WARMUP_FRAC = 0.2
+"""Fraction of each CU stream executed unmeasured to warm the TLBs."""
+
+
+def generate_gpu_trace(
+    spec: ApplicationSpec,
+    pid: int,
+    gpu_index: int,
+    num_gpus: int,
+    num_cus: int,
+    *,
+    runs: int,
+    seed: int,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+) -> GPUTrace:
+    """Generate the trace one GPU executes for ``spec``.
+
+    ``gpu_index``/``num_gpus`` locate this GPU within the application's
+    span (0/1 when the whole app runs on one GPU).  Runs are dealt
+    round-robin to the GPU's CUs, so consecutive pages of the logical
+    stream land on different CUs — the way consecutive wavefronts map to
+    CUs on real hardware.
+    """
+    if not 0.0 <= warmup_frac < 1.0:
+        raise ValueError(f"warmup_frac must be in [0, 1): {warmup_frac}")
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(pid, gpu_index))
+    )
+    pages = generate_page_runs(spec.pattern, gpu_index, num_gpus, runs, rng)
+    gaps = _apply_intensity_phases(spec, _jittered(rng, spec.mean_gap, runs))
+    repeats = _jittered(rng, spec.mean_repeats, runs)
+    streams = []
+    for cu in range(num_cus):
+        vpns = pages[cu::num_cus]
+        streams.append(
+            CUStream(
+                vpns=vpns,
+                gaps=gaps[cu::num_cus],
+                repeats=repeats[cu::num_cus],
+                warmup_runs=int(len(vpns) * warmup_frac),
+            )
+        )
+    return GPUTrace(pid=pid, app_name=spec.name, cu_streams=streams)
+
+
+def generate_application_traces(
+    spec: ApplicationSpec,
+    pid: int,
+    *,
+    num_gpus: int,
+    num_cus: int,
+    scale: float = 1.0,
+    seed: int = 1,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+) -> list[GPUTrace]:
+    """Per-GPU traces for ``spec`` spanning ``num_gpus`` GPUs.
+
+    ``scale`` multiplies the trace length (not the footprint) so tests and
+    quick benches can run shorter simulations without changing the
+    application's working-set geometry.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive: {scale}")
+    if num_gpus == 1:
+        spec = spec.for_single_gpu()
+    runs_per_gpu = max(num_cus, int(spec.total_runs * scale) // num_gpus)
+    return [
+        generate_gpu_trace(
+            spec,
+            pid,
+            gpu_index,
+            num_gpus,
+            num_cus,
+            runs=runs_per_gpu,
+            seed=seed,
+            warmup_frac=warmup_frac,
+        )
+        for gpu_index in range(num_gpus)
+    ]
+
+
+def application_footprint(spec: ApplicationSpec) -> np.ndarray:
+    """All VPNs the application may touch (for page-table pre-faulting)."""
+    return np.arange(spec.pattern.footprint_pages, dtype=np.int64)

@@ -1,0 +1,289 @@
+"""Multi-GPU memory access pattern generators.
+
+Section 3.1.2 of the paper characterises its applications by five multi-GPU
+access patterns; each is reproduced here as a generator of per-GPU virtual
+page sequences over a shared footprint:
+
+* ``random`` (BS, PR) — every GPU draws uniformly from the whole footprint;
+  sharing among GPUs is high but unpredictable.
+* ``adjacent`` (ST, FIR, SC) — each GPU works its own partition plus a halo
+  reaching into neighbouring GPUs' partitions (stencil-style overlap).
+* ``partition`` (KM, AES) — strict partitioning, no inter-GPU sharing.
+* ``stride`` (FFT) — butterfly phases: in phase *k* GPU *g* exchanges data
+  with partner ``g XOR 2^k``, so pages are shared pairwise per step.
+* ``scatter_gather`` (MT, MM) — each GPU touches its local partition and a
+  rotating remote partition (producer–consumer), giving broad sharing.
+
+On top of the pattern (which decides *new* pages), a temporal-locality
+overlay makes each run either revisit a recently touched page (probability
+``p_reuse``, drawn from a sliding window of ``reuse_window`` runs) or take
+the next new page.  The window size is the knob that places an
+application's translation reuse distances relative to the L2 TLB and IOMMU
+TLB capacities — the quantity Figures 5 and 8 are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+PATTERNS = ("random", "adjacent", "partition", "stride", "scatter_gather")
+
+
+@dataclass(frozen=True)
+class PatternParams:
+    """Knobs shared by every pattern generator.
+
+    Locality is two-level, mirroring real GPU kernels:
+
+    * *near* reuses (probability ``p_reuse``) revisit a page generated in
+      the last ``reuse_window`` runs — short reuse distances, captured by
+      the L1/L2 TLBs;
+    * *far* reuses (probability ``far_frac``) draw uniformly from a fixed
+      *hot set* of ``far_region_pages`` pages (a lookup table, graph
+      adjacency, shared matrix tile, …).  The hot-set size directly places
+      the application's long translation reuse distances relative to the
+      IOMMU TLB capacity — the quantity Figures 5 and 8 characterise and
+      the least-TLB reach extension exploits.
+    """
+
+    pattern: str
+    footprint_pages: int
+    p_reuse: float
+    reuse_window: int
+    seq_frac: float
+    far_frac: float = 0.0
+    far_region_pages: int = 0
+    far_cyclic: bool = False
+    """Sweep the hot set cyclically instead of sampling it uniformly.
+
+    Iterative kernels (stencil, transpose, k-means) re-walk their arrays
+    every iteration, so each hot page recurs after exactly one hot-set's
+    worth of unique translations.  Under LRU this is the classic cyclic
+    pathology: a hot set slightly larger than the IOMMU TLB hits ~0% in
+    the baseline, while the least-TLB reach extension (and spilling, which
+    parks exactly the about-to-recur LRU victims in a peer L2) recovers
+    it.  Random-access kernels (PageRank, sorting) keep uniform sampling.
+    """
+    overlap_frac: float = 0.2
+    halo_frac: float = 0.5
+    local_frac: float = 0.55
+    num_phases: int = 8
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}; choose from {PATTERNS}")
+        if self.footprint_pages <= 0:
+            raise ValueError(f"footprint_pages must be positive: {self.footprint_pages}")
+        if not 0.0 <= self.p_reuse < 1.0:
+            raise ValueError(f"p_reuse must be in [0, 1): {self.p_reuse}")
+        if not 0.0 <= self.far_frac < 1.0:
+            raise ValueError(f"far_frac must be in [0, 1): {self.far_frac}")
+        if self.p_reuse + self.far_frac >= 1.0:
+            raise ValueError("p_reuse + far_frac must leave room for new pages")
+        if self.far_frac > 0.0 and not 0 < self.far_region_pages <= self.footprint_pages:
+            raise ValueError(
+                f"far_region_pages must be in (0, footprint]: {self.far_region_pages}"
+            )
+        if self.reuse_window <= 0:
+            raise ValueError(f"reuse_window must be positive: {self.reuse_window}")
+        if not 0.0 <= self.seq_frac <= 1.0:
+            raise ValueError(f"seq_frac must be in [0, 1]: {self.seq_frac}")
+
+
+def partition_bounds(owner: int, num_gpus: int, footprint: int) -> tuple[int, int]:
+    """Half-open page range of GPU ``owner``'s slice of the footprint."""
+    lo = owner * footprint // num_gpus
+    hi = (owner + 1) * footprint // num_gpus
+    return lo, max(hi, lo + 1)
+
+
+def _choose_targets(
+    params: PatternParams, gpu_id: int, num_gpus: int, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-run owning-GPU of the region each *new* page is drawn from."""
+    if num_gpus == 1:
+        return np.zeros(n, dtype=np.int64)
+    own = np.full(n, gpu_id, dtype=np.int64)
+    pattern = params.pattern
+
+    if pattern == "partition":
+        return own
+
+    if pattern == "random":
+        # Region choice is irrelevant; pages are drawn footprint-wide.
+        return own
+
+    if pattern == "adjacent":
+        go_remote = rng.random(n) < params.overlap_frac
+        left = (gpu_id - 1) % num_gpus
+        right = (gpu_id + 1) % num_gpus
+        side = rng.random(n) < 0.5
+        targets = np.where(side, left, right)
+        return np.where(go_remote, targets, own)
+
+    if pattern == "stride":
+        # Butterfly exchange: the partner distance doubles each phase.
+        phases = (np.arange(n) * params.num_phases) // max(n, 1)
+        max_log = max(1, int(np.log2(num_gpus)))
+        distance = 1 << (phases % max_log)
+        partners = (gpu_id ^ distance) % num_gpus
+        go_remote = rng.random(n) < 0.5
+        return np.where(go_remote, partners, own)
+
+    if pattern == "scatter_gather":
+        # Producer-consumer rotation: the remote partner advances per phase.
+        phases = (np.arange(n) * params.num_phases) // max(n, 1)
+        partners = (gpu_id + 1 + phases % max(num_gpus - 1, 1)) % num_gpus
+        go_remote = rng.random(n) >= params.local_frac
+        return np.where(go_remote, partners, own)
+
+    raise AssertionError(f"unreachable pattern {pattern!r}")
+
+
+def _region_bounds(
+    params: PatternParams, gpu_id: int, target: int, num_gpus: int
+) -> tuple[int, int]:
+    """Page range for a new page aimed at ``target``'s partition.
+
+    For the ``adjacent`` pattern a remote region is restricted to the halo:
+    the ``halo_frac`` portion of the neighbour's slice that borders the
+    requesting GPU's own slice.
+    """
+    lo, hi = partition_bounds(target, num_gpus, params.footprint_pages)
+    if params.pattern == "adjacent" and target != gpu_id:
+        width = max(1, int((hi - lo) * params.halo_frac))
+        if (target - gpu_id) % num_gpus == num_gpus - 1:
+            # Left neighbour: its top pages border our bottom pages.
+            lo = hi - width
+        else:
+            hi = lo + width
+    return lo, hi
+
+
+def generate_page_runs(
+    params: PatternParams,
+    gpu_id: int,
+    num_gpus: int,
+    num_runs: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate ``num_runs`` virtual page numbers for one GPU.
+
+    The result interleaves pattern-driven *new* pages (sequential sweeps
+    and/or random picks inside the pattern's regions) with temporal reuses
+    of recently generated pages.
+    """
+    if num_runs <= 0:
+        return np.empty(0, dtype=np.int64)
+    n = num_runs
+    if params.pattern == "random":
+        pages = rng.integers(0, params.footprint_pages, n, dtype=np.int64)
+        seq_mask = rng.random(n) < params.seq_frac
+        if seq_mask.any():
+            # Sequential portion sweeps the footprint from a random start.
+            k = int(seq_mask.sum())
+            start = int(rng.integers(0, params.footprint_pages))
+            pages[seq_mask] = (start + np.arange(k)) % params.footprint_pages
+    else:
+        targets = _choose_targets(params, gpu_id, num_gpus, n, rng)
+        seq_mask = rng.random(n) < params.seq_frac
+        pages = np.empty(n, dtype=np.int64)
+        cursors: dict[tuple[int, int], int] = {}
+        for target in np.unique(targets):
+            bounds = _region_bounds(params, gpu_id, int(target), num_gpus)
+            lo, hi = bounds
+            size = hi - lo
+            mask = targets == target
+            count = int(mask.sum())
+            smask = seq_mask[mask]
+            values = np.empty(count, dtype=np.int64)
+            k = int(smask.sum())
+            if k:
+                cursor = cursors.get(bounds, int(rng.integers(0, size)))
+                values[smask] = lo + (cursor + np.arange(k)) % size
+                cursors[bounds] = (cursor + k) % size
+            if count - k:
+                values[~smask] = rng.integers(lo, hi, count - k)
+            pages[mask] = values
+
+    pages = _apply_far_reuse(params, gpu_id, num_gpus, pages, rng)
+    return _apply_near_reuse(pages, params.p_reuse, params.reuse_window, rng)
+
+
+def far_region_bounds(
+    params: PatternParams, gpu_id: int, num_gpus: int
+) -> tuple[int, int]:
+    """Page range of the hot set a GPU's far reuses draw from.
+
+    Sharing patterns place the hot set at the front of the global footprint
+    (all GPUs revisit the same pages); strictly partitioned patterns give
+    each GPU a private slice of it, preserving their zero-sharing property.
+    """
+    total = params.far_region_pages
+    if params.pattern in ("partition", "adjacent"):
+        per_gpu = max(1, total // num_gpus)
+        lo, hi = partition_bounds(gpu_id, num_gpus, params.footprint_pages)
+        return lo, min(hi, lo + per_gpu)
+    return 0, total
+
+
+def _apply_far_reuse(
+    params: PatternParams,
+    gpu_id: int,
+    num_gpus: int,
+    pages: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Overwrite a ``far_frac`` fraction of runs with uniform draws from
+    the hot set."""
+    n = len(pages)
+    if n == 0 or params.far_frac <= 0.0:
+        return pages
+    mask = rng.random(n) < params.far_frac
+    count = int(mask.sum())
+    if not count:
+        return pages
+    lo, hi = far_region_bounds(params, gpu_id, num_gpus)
+    pages = pages.copy()
+    if params.far_cyclic:
+        start = int(rng.integers(0, hi - lo))
+        pages[mask] = lo + (start + np.arange(count)) % (hi - lo)
+    else:
+        pages[mask] = rng.integers(lo, hi, count)
+    return pages
+
+
+def _apply_near_reuse(
+    pages: np.ndarray, p_reuse: float, window: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Replace a ``p_reuse`` fraction of runs with revisits of pages
+    generated up to ``window`` runs earlier.
+
+    A reuse may land on a position that was itself a reuse; the chain skews
+    popularity toward a warm set, which is the Zipf-like behaviour real
+    workloads exhibit.
+    """
+    n = len(pages)
+    if n == 0 or p_reuse <= 0.0:
+        return pages
+    positions = np.arange(n)
+    sources = positions - rng.integers(1, window + 1, n)
+    reuse_mask = (rng.random(n) < p_reuse) & (sources >= 0)
+    out = pages.copy()
+    for i, src in zip(
+        np.nonzero(reuse_mask)[0].tolist(), sources[reuse_mask].tolist()
+    ):
+        out[i] = out[src]
+    return out
+
+
+def pattern_footprint(params: PatternParams, gpu_id: int, num_gpus: int) -> np.ndarray:
+    """Every page GPU ``gpu_id`` *may* touch under this pattern.
+
+    Used to pre-fault page tables; a superset of what a finite trace
+    actually touches is fine (the OS maps the application's allocation, not
+    its access trace).
+    """
+    return np.arange(params.footprint_pages, dtype=np.int64)

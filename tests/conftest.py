@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Simulation tests run at a small trace scale by default; tests that assert
+paper-shape results use moderate scales and are marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.config.system import (
+    GPUConfig,
+    IOMMUConfig,
+    InterconnectConfig,
+    SystemConfig,
+    TLBLevelConfig,
+    TrackerConfig,
+)
+
+TEST_SCALE = 0.1
+"""Default trace scale for functional simulation tests."""
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """The Table 2 baseline configuration."""
+    return baseline_config()
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A miniature system for fast protocol-level tests: 4 GPUs with a few
+    CUs each, small TLBs, short latencies."""
+    return SystemConfig(
+        num_gpus=4,
+        gpu=GPUConfig(
+            num_cus=4,
+            slots_per_cu=2,
+            l1_tlb=TLBLevelConfig(num_entries=4, associativity=4, lookup_latency=1),
+            l2_tlb=TLBLevelConfig(num_entries=32, associativity=8, lookup_latency=5),
+        ),
+        iommu=IOMMUConfig(
+            tlb=TLBLevelConfig(num_entries=128, associativity=16, lookup_latency=20),
+            num_walkers=2,
+            walker_threads=2,
+            walk_latency=100,
+        ),
+        tracker=TrackerConfig(total_entries=64, kind="perfect"),
+        interconnect=InterconnectConfig(host_link_latency=30, peer_link_latency=10),
+        seed=7,
+    )

@@ -1,0 +1,50 @@
+"""Unit tests for the hardware-overhead model (Section 4.3)."""
+
+import pytest
+
+from repro.config.presets import baseline_config, scaled_config
+from repro.core.overhead import counter_bits_needed, estimate_overhead
+
+
+def test_counter_bits():
+    assert counter_bits_needed(0) == 1
+    assert counter_bits_needed(1) == 1
+    assert counter_bits_needed(255) == 8
+    assert counter_bits_needed(4096) == 13
+
+
+def test_counter_bits_negative():
+    with pytest.raises(ValueError):
+        counter_bits_needed(-1)
+
+
+def test_paper_configuration_arithmetic():
+    report = estimate_overhead(baseline_config())
+    # 2048 fingerprints x 6 bits = 1.5 KB of tracker state (the paper's
+    # 1.08 KB corresponds to ~4.2-bit fingerprints; same order).
+    assert report.tracker_bytes == pytest.approx(2048 * 6 / 8)
+    # Four GPUs x >= 8 bits of Eviction Counter (the paper says 32 bits).
+    assert report.eviction_counter_bits == 4 * 13
+    # One spill bit per IOMMU TLB entry at N=1.
+    assert report.spill_bit_bits == 4096
+    assert 0 < report.area_overhead_fraction < 0.05
+
+
+def test_overhead_scales_with_gpu_count():
+    small = estimate_overhead(baseline_config())
+    large = estimate_overhead(scaled_config(16))
+    assert large.eviction_counter_bits == 4 * small.eviction_counter_bits
+    # The tracker keeps its fixed hardware budget.
+    assert large.tracker_bytes == small.tracker_bytes
+
+
+def test_spill_budget_widens_spill_field():
+    config = baseline_config().derive(spill_budget=3)
+    report = estimate_overhead(config)
+    assert report.spill_bit_bits == 4096 * 2  # ceil(log2(4)) bits
+
+
+def test_summary_is_human_readable():
+    text = estimate_overhead(baseline_config()).summary()
+    assert "tracker" in text
+    assert "%" in text

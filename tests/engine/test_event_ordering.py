@@ -1,0 +1,69 @@
+"""Additional determinism and ordering tests for the event kernel.
+
+The translation protocols rely on two kernel guarantees: global
+``(time, insertion)`` ordering, and stable behaviour when callbacks
+schedule more work for the *current* cycle.  These tests pin both.
+"""
+
+import random
+
+from repro.engine.event_queue import EventQueue
+
+
+def test_interleaved_schedulers_preserve_global_order():
+    queue = EventQueue()
+    log = []
+    # Two "components" schedule interleaved events for identical times.
+    for i in range(10):
+        queue.schedule(100, log.append, ("a", i))
+        queue.schedule(100, log.append, ("b", i))
+    queue.run()
+    assert log == [(tag, i) for i in range(10) for tag in ("a", "b")]
+
+
+def test_zero_delay_cascade_runs_same_cycle():
+    queue = EventQueue()
+    depth = []
+
+    def cascade(level):
+        depth.append((queue.now, level))
+        if level < 5:
+            queue.schedule_after(0, cascade, level + 1)
+
+    queue.schedule(7, cascade, 0)
+    queue.run()
+    assert depth == [(7, level) for level in range(6)]
+
+
+def test_randomized_schedule_executes_sorted():
+    rng = random.Random(3)
+    queue = EventQueue()
+    times = [rng.randrange(0, 1000) for _ in range(500)]
+    executed = []
+    for t in times:
+        queue.schedule(t, executed.append, t)
+    queue.run()
+    assert executed == sorted(times)
+    assert queue.events_executed == 500
+
+
+def test_now_is_stable_within_callback():
+    queue = EventQueue()
+    observed = []
+
+    def check():
+        observed.append(queue.now)
+        observed.append(queue.now)
+
+    queue.schedule(42, check)
+    queue.run()
+    assert observed == [42, 42]
+
+
+def test_len_reflects_pending_events():
+    queue = EventQueue()
+    for t in range(5):
+        queue.schedule(t, lambda: None)
+    assert len(queue) == 5
+    queue.step()
+    assert len(queue) == 4

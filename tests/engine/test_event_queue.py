@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine.event_queue import EventQueue, SimulationError
+
+
+def test_events_execute_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.schedule(30, order.append, "c")
+    queue.schedule(10, order.append, "a")
+    queue.schedule(20, order.append, "b")
+    queue.run()
+    assert order == ["a", "b", "c"]
+    assert queue.now == 30
+
+
+def test_same_cycle_events_are_fifo():
+    queue = EventQueue()
+    order = []
+    for tag in range(5):
+        queue.schedule(42, order.append, tag)
+    queue.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_after_uses_current_time():
+    queue = EventQueue()
+    seen = []
+
+    def chain():
+        seen.append(queue.now)
+        if len(seen) < 3:
+            queue.schedule_after(5, chain)
+
+    queue.schedule(10, chain)
+    queue.run()
+    assert seen == [10, 15, 20]
+
+
+def test_cannot_schedule_in_the_past():
+    queue = EventQueue()
+    queue.schedule(10, lambda: None)
+    queue.run()
+    with pytest.raises(SimulationError):
+        queue.schedule(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.schedule_after(-1, lambda: None)
+
+
+def test_run_until_is_inclusive():
+    queue = EventQueue()
+    seen = []
+    queue.schedule(10, seen.append, 1)
+    queue.schedule(20, seen.append, 2)
+    queue.schedule(21, seen.append, 3)
+    queue.run(until=20)
+    assert seen == [1, 2]
+    assert queue.now == 20
+    queue.run()
+    assert seen == [1, 2, 3]
+
+
+def test_run_max_events():
+    queue = EventQueue()
+    seen = []
+    for i in range(10):
+        queue.schedule(i, seen.append, i)
+    queue.run(max_events=4)
+    assert seen == [0, 1, 2, 3]
+    assert len(queue) == 6
+
+
+def test_events_scheduled_during_run_execute():
+    queue = EventQueue()
+    seen = []
+
+    def first():
+        queue.schedule_after(0, seen.append, "nested")
+
+    queue.schedule(1, first)
+    queue.run()
+    assert seen == ["nested"]
+
+
+def test_step_returns_false_when_empty():
+    queue = EventQueue()
+    assert queue.step() is False
+    queue.schedule(0, lambda: None)
+    assert queue.step() is True
+    assert queue.step() is False
+
+
+def test_events_executed_counter():
+    queue = EventQueue()
+    for i in range(7):
+        queue.schedule(i, lambda: None)
+    queue.run()
+    assert queue.events_executed == 7
+
+
+def test_peek_time():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    queue.schedule(99, lambda: None)
+    assert queue.peek_time() == 99
+
+
+def test_run_is_not_reentrant():
+    queue = EventQueue()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            queue.run()
+
+    queue.schedule(0, reenter)
+    queue.run()

@@ -1,0 +1,84 @@
+"""Unit tests for the statistics containers."""
+
+import pytest
+
+from repro.engine.stats import CounterSet, LatencyAccumulator
+
+
+class TestCounterSet:
+    def test_missing_counter_reads_zero(self):
+        stats = CounterSet()
+        assert stats["nothing"] == 0
+
+    def test_inc_and_read(self):
+        stats = CounterSet()
+        stats.inc("hits")
+        stats.inc("hits", 4)
+        assert stats["hits"] == 5
+
+    def test_negative_increment(self):
+        stats = CounterSet()
+        stats.inc("x", 3)
+        stats.inc("x", -1)
+        assert stats["x"] == 2
+
+    def test_setitem(self):
+        stats = CounterSet()
+        stats["y"] = 10
+        assert stats["y"] == 10
+
+    def test_contains_and_iter(self):
+        stats = CounterSet()
+        stats.inc("a")
+        stats.inc("b")
+        assert "a" in stats
+        assert "c" not in stats
+        assert sorted(stats) == ["a", "b"]
+
+    def test_as_dict_is_snapshot(self):
+        stats = CounterSet()
+        stats.inc("a")
+        snapshot = stats.as_dict()
+        stats.inc("a")
+        assert snapshot == {"a": 1}
+        assert stats["a"] == 2
+
+    def test_merge(self):
+        first = CounterSet()
+        second = CounterSet()
+        first.inc("a", 2)
+        second.inc("a", 3)
+        second.inc("b", 1)
+        first.merge(second)
+        assert first["a"] == 5
+        assert first["b"] == 1
+
+    def test_ratio(self):
+        stats = CounterSet()
+        stats.inc("hit", 3)
+        stats.inc("miss", 1)
+        assert stats.ratio("hit", "hit", "miss") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        stats = CounterSet()
+        assert stats.ratio("hit", "hit", "miss") == 0.0
+
+
+class TestLatencyAccumulator:
+    def test_empty_mean_is_zero(self):
+        acc = LatencyAccumulator()
+        assert acc.mean == 0.0
+        assert acc.count == 0
+
+    def test_record_and_mean(self):
+        acc = LatencyAccumulator()
+        for value in (10, 20, 30):
+            acc.record(value)
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(20.0)
+        assert acc.max == 30
+
+    def test_negative_latency_rejected(self):
+        acc = LatencyAccumulator()
+        with pytest.raises(ValueError):
+            acc.record(-1)

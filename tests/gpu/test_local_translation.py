@@ -1,0 +1,81 @@
+"""Unit tests for the per-GPU local page-table path (Figure 23 variant)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.system import MultiGPUSystem
+from repro.workloads.trace import CUStream, Placement, Workload
+
+
+def workload(vpns, gap=5000):
+    n = len(vpns)
+    placement = Placement(
+        gpu_id=0, pid=1, app_name="x", cu_ids=[0],
+        streams=[CUStream(
+            np.array(vpns, dtype=np.int64),
+            np.full(n, gap, dtype=np.int64),
+            np.ones(n, dtype=np.int64),
+        )],
+    )
+    return Workload(name="x", kind="multi", placements=[placement],
+                    app_names={1: "x"},
+                    footprints={1: np.array(sorted(set(vpns)), dtype=np.int64)})
+
+
+@pytest.fixture
+def local_config(tiny_config):
+    return tiny_config.derive(local_page_tables=True, local_walk_latency=60)
+
+
+class TestLocalWalkPath:
+    def test_first_touch_faults_to_iommu_then_fills_local_table(self, local_config):
+        system = MultiGPUSystem(local_config, workload([5]), "baseline")
+        result = system.run()
+        c = result.apps[1].counters
+        assert c["local_walks"] == 1
+        assert c["local_faults"] == 1
+        assert c["iommu_lookup"] == 1
+        # The response installed the local mapping.
+        gpu = system.gpus[0]
+        assert gpu.local_tables.walk(1, 5).hit
+
+    def test_second_touch_resolves_locally(self, local_config):
+        # Distinct pages evict page 5 from the small L2, forcing a re-walk
+        # that must now hit the local page table, not the IOMMU.
+        fillers = list(range(100, 140))
+        system = MultiGPUSystem(
+            local_config, workload([5] + fillers + [5]), "baseline"
+        )
+        result = system.run()
+        c = result.apps[1].counters
+        assert c["local_walks"] == c["iommu_lookup"] + 1  # one local re-hit
+        assert c["local_faults"] == c["iommu_lookup"]
+
+    def test_local_mapping_matches_cpu_page_table(self, local_config):
+        system = MultiGPUSystem(local_config, workload([7, 8, 9]), "baseline")
+        system.run()
+        gpu = system.gpus[0]
+        for vpn in (7, 8, 9):
+            local = gpu.local_tables.walk(1, vpn)
+            shared = system.page_tables.walk(1, vpn)
+            assert local.hit and shared.hit
+            assert local.ppn == shared.ppn
+
+    def test_local_walk_latency_applies(self, local_config):
+        fast = MultiGPUSystem(local_config, workload([5]), "baseline")
+        slow_config = local_config.derive(local_walk_latency=600)
+        slow = MultiGPUSystem(slow_config, workload([5]), "baseline")
+        fast_result = fast.run()
+        slow_result = slow.run()
+        # First touch faults either way; latency shows on the fault path's
+        # local attempt before escalation.
+        assert (
+            slow_result.apps[1].mean_translation_latency
+            > fast_result.apps[1].mean_translation_latency
+        )
+
+    def test_least_tlb_composes_with_local_tables(self, local_config):
+        system = MultiGPUSystem(local_config, workload(list(range(40))), "least-tlb")
+        result = system.run()
+        assert result.apps[1].counters["runs"] == 40
+        assert result.apps[1].counters["local_faults"] == 40

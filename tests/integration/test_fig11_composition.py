@@ -1,0 +1,40 @@
+"""Figure 11's motivating observation, as a test.
+
+"For those applications with higher L2 TLB thrashing, more translations
+are kept in the IOMMU TLB" — the observation that justifies using
+Eviction Counters to find the least-thrashed spill receiver.
+"""
+
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.metrics.sharing import iommu_composition
+from repro.sim.driver import run_multi_app
+from repro.workloads.multi_app import MULTI_APP_WORKLOADS
+
+pytestmark = pytest.mark.slow
+
+
+def test_high_mpki_apps_dominate_iommu_contents():
+    # W4 = FFT, SC, KM, MT (LLMH): MT's thrashing should own most of the
+    # IOMMU TLB, the two L apps almost none of it.
+    result = run_multi_app(
+        "W4", baseline_config(), "least-tlb", scale=0.2, snapshot_interval=20_000
+    )
+    assert len(result.snapshots) >= 3
+    shares = iommu_composition(result.snapshots)
+    apps = MULTI_APP_WORKLOADS["W4"][0]
+    by_app = dict(zip(apps, shares))
+    assert by_app["MT"] > by_app["FFT"]
+    assert by_app["MT"] > by_app["SC"]
+    assert by_app["KM"] > by_app["FFT"]
+    # The H app owns a plurality of the shared capacity.
+    assert by_app["MT"] == max(by_app.values())
+
+
+def test_composition_shares_sum_to_at_most_one():
+    result = run_multi_app(
+        "W8", baseline_config(), "least-tlb", scale=0.15, snapshot_interval=20_000
+    )
+    shares = iommu_composition(result.snapshots)
+    assert 0.0 < sum(shares) <= 1.0 + 1e-9

@@ -1,0 +1,142 @@
+"""Integration tests asserting the paper's qualitative result shapes.
+
+These run real (scaled-down) workloads end to end and check the
+*directions* the paper reports: who wins, who is unharmed, and how the
+variants order.  Absolute magnitudes are asserted loosely — the substrate
+is a simulator, not the authors' testbed — and the full-size numbers live
+in the benchmark harness.
+"""
+
+import pytest
+
+from repro.config.presets import (
+    baseline_config,
+    dws_config,
+    infinite_iommu_config,
+    large_page_config,
+    local_page_table_config,
+    scaled_config,
+)
+from repro.sim.driver import run_multi_app, run_single_app
+
+SCALE = 0.25
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def mm_results():
+    base = run_single_app("MM", policy="baseline", scale=SCALE)
+    least = run_single_app("MM", policy="least-tlb", scale=SCALE)
+    infinite = run_single_app("MM", infinite_iommu_config(), policy="baseline", scale=SCALE)
+    return base, least, infinite
+
+
+class TestSingleAppShapes:
+    def test_least_tlb_speeds_up_medium_mpki_app(self, mm_results):
+        base, least, _ = mm_results
+        assert least.speedup_vs(base) > 1.05
+
+    def test_infinite_iommu_upper_bounds_least(self, mm_results):
+        base, least, infinite = mm_results
+        assert infinite.speedup_vs(base) >= least.speedup_vs(base) * 0.98
+
+    def test_least_tlb_produces_remote_hits(self, mm_results):
+        _, least, _ = mm_results
+        assert least.apps[1].remote_hit_rate > 0.01
+
+    def test_low_mpki_app_unharmed(self):
+        base = run_single_app("FIR", policy="baseline", scale=SCALE)
+        least = run_single_app("FIR", policy="least-tlb", scale=SCALE)
+        # "least-TLB does not hurt the application performance that is
+        # already good in the baseline execution" (Section 5.1).
+        assert least.speedup_vs(base) > 0.97
+
+    def test_high_mpki_app_is_walker_bound_in_baseline(self):
+        base = run_single_app("ST", policy="baseline", scale=SCALE)
+        assert base.walker_queue_wait_mean > 500
+
+    def test_least_tlb_beats_probing(self):
+        least = run_single_app("MM", policy="least-tlb", scale=SCALE)
+        probing = run_single_app("MM", policy="tlb-probing", scale=SCALE)
+        assert least.exec_cycles <= probing.exec_cycles
+
+    def test_mpki_classes_of_representatives(self):
+        """Table 3's L/M/H classes must reproduce in simulation."""
+        for app, expected in (("FIR", "L"), ("KM", "M"), ("MT", "H")):
+            result = run_single_app(app, policy="baseline", scale=SCALE)
+            mpki = result.apps[1].mpki
+            if expected == "L":
+                assert mpki < 0.1, app
+            elif expected == "M":
+                assert 0.1 <= mpki < 1.0, app
+            else:
+                assert mpki >= 1.0, app
+
+
+class TestMultiAppShapes:
+    def test_contended_mix_improves(self):
+        base = run_multi_app("W8", policy="baseline", scale=SCALE)
+        least = run_multi_app("W8", policy="least-tlb", scale=SCALE)
+        speedups = least.per_app_speedup_vs(base)
+        assert sum(speedups.values()) / 4 > 1.05
+
+    def test_all_low_mix_is_neutral(self):
+        base = run_multi_app("W1", policy="baseline", scale=SCALE)
+        least = run_multi_app("W1", policy="least-tlb", scale=SCALE)
+        for speedup in least.per_app_speedup_vs(base).values():
+            assert speedup > 0.97
+
+    def test_spilling_happens_under_contention(self):
+        least = run_multi_app("W8", policy="least-tlb", scale=SCALE)
+        assert least.iommu_counters.get("spills", 0) > 0
+        assert least.iommu_counters.get("spilled_discarded", 0) > 0
+
+    def test_dws_composes_with_least_tlb(self):
+        base = run_multi_app("W9", policy="baseline", scale=SCALE)
+        least = run_multi_app("W9", policy="least-tlb", scale=SCALE)
+        combo = run_multi_app("W9", dws_config(), policy="least-tlb", scale=SCALE)
+        assert combo.walker_counters.get("walks_stolen", 0) > 0
+
+        def mean_speedup(result):
+            speedups = result.per_app_speedup_vs(base)
+            return sum(speedups.values()) / len(speedups)
+
+        # Walker fairness lifts the average application speedup beyond
+        # least-TLB alone (Section 5.6's combined result).
+        assert mean_speedup(combo) > mean_speedup(least)
+
+
+class TestVariants:
+    def test_large_pages_shrink_translation_traffic(self):
+        small = run_single_app("MM", policy="baseline", scale=SCALE)
+        large = run_single_app("MM", large_page_config(), policy="baseline", scale=SCALE)
+        assert (
+            large.apps[1].counters["iommu_lookup"]
+            < small.apps[1].counters["iommu_lookup"] / 4
+        )
+        # With 2 MB pages the TLBs cover the footprint: near-ideal hit rates.
+        assert large.apps[1].l2_hit_rate > 0.9
+
+    def test_local_page_tables_divert_traffic_from_iommu(self):
+        shared = run_single_app("MM", policy="baseline", scale=SCALE)
+        local = run_single_app(
+            "MM", local_page_table_config(), policy="baseline", scale=SCALE
+        )
+        c = local.apps[1].counters
+        assert c["local_walks"] > 0
+        # Only local page faults escalate to the IOMMU (Section 5.3), so
+        # IOMMU traffic is exactly the fault count and strictly below the
+        # local walk count.
+        assert c["iommu_lookup"] == c["local_faults"]
+        assert c["iommu_lookup"] < c["local_walks"]
+        assert c["iommu_lookup"] < shared.apps[1].counters["iommu_lookup"]
+
+    def test_eight_gpu_system_runs_and_improves(self):
+        # Longer traces than the other tests: with eight GPUs the per-GPU
+        # trace slice halves, and too-short slices are cold-miss dominated.
+        config = scaled_config(8)
+        base = run_single_app("MM", config, policy="baseline", scale=0.5)
+        least = run_single_app("MM", config, policy="least-tlb", scale=0.5)
+        assert len(base.apps[1].gpu_ids) == 8
+        assert least.speedup_vs(base) > 1.0

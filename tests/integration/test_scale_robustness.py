@@ -1,0 +1,36 @@
+"""Robustness of headline conclusions to trace length and seed.
+
+A reproduction whose conclusions flip with the random seed is not a
+reproduction.  These tests re-run the cheapest headline comparison under
+several seeds and scales and require the *direction* to hold every time.
+"""
+
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.sim.driver import run_single_app
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_km_least_tlb_wins_for_every_seed(seed):
+    config = baseline_config(seed=seed)
+    base = run_single_app("KM", config, "baseline", scale=0.25, seed=seed)
+    least = run_single_app("KM", config, "least-tlb", scale=0.25, seed=seed)
+    assert least.speedup_vs(base) > 1.1, seed
+
+
+@pytest.mark.parametrize("scale", [0.25, 0.5])
+def test_km_gain_direction_stable_across_scales(scale):
+    base = run_single_app("KM", policy="baseline", scale=scale)
+    least = run_single_app("KM", policy="least-tlb", scale=scale)
+    assert least.speedup_vs(base) > 1.1, scale
+
+
+@pytest.mark.parametrize("seed", [1, 7])
+def test_low_mpki_app_never_hurt_for_any_seed(seed):
+    config = baseline_config(seed=seed)
+    base = run_single_app("AES", config, "baseline", scale=0.25, seed=seed)
+    least = run_single_app("AES", config, "least-tlb", scale=0.25, seed=seed)
+    assert least.speedup_vs(base) > 0.98, seed

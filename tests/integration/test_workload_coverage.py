@@ -1,0 +1,55 @@
+"""Integration coverage for every workload family the paper evaluates."""
+
+import pytest
+
+from repro.config.presets import baseline_config, scaled_config
+from repro.sim.driver import run_mix, run_multi_app, run_single_app
+from repro.workloads.multi_app import (
+    MIX_WORKLOADS,
+    MULTI_APP_WORKLOADS,
+    SCALED_WORKLOADS,
+)
+
+SCALE = 0.08
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("workload", sorted(MULTI_APP_WORKLOADS))
+def test_every_table4_workload_runs(workload):
+    result = run_multi_app(workload, policy="least-tlb", scale=SCALE)
+    assert len(result.apps) == 4
+    for app in result.apps.values():
+        assert app.exec_cycles > 0
+        assert app.counters["runs"] > 0
+
+
+@pytest.mark.parametrize("workload", ["W11", "W12", "W13", "W14", "W15"])
+def test_every_8gpu_workload_runs(workload):
+    result = run_multi_app(workload, scaled_config(8), "least-tlb", scale=SCALE)
+    assert len(result.apps) == 8
+
+
+def test_16gpu_workload_runs():
+    result = run_multi_app("W16", scaled_config(16), "least-tlb", scale=SCALE)
+    assert len(result.apps) == 16
+    assert SCALED_WORKLOADS["W16"][0][0] == result.apps[1].app_name
+
+
+@pytest.mark.parametrize("workload", sorted(MIX_WORKLOADS))
+def test_every_mix_workload_runs(workload):
+    result = run_mix(workload, policy="least-tlb", scale=SCALE)
+    assert len(result.apps) == 6
+    # Two applications on each busy GPU share its 64 CUs evenly.
+    for app in result.apps.values():
+        assert app.counters["runs"] > 0
+
+
+@pytest.mark.parametrize("policy", ["baseline", "least-tlb", "tlb-probing",
+                                    "exclusive", "strictly-inclusive",
+                                    "prefetch", "least-tlb-qos"])
+def test_every_policy_runs_every_paradigm(policy):
+    single = run_single_app("MM", baseline_config(), policy, scale=SCALE)
+    assert single.apps[1].counters["runs"] > 0
+    multi = run_multi_app("W2", baseline_config(), policy, scale=SCALE)
+    assert all(a.counters["runs"] > 0 for a in multi.apps.values())

@@ -1,0 +1,157 @@
+"""Unit tests for the page-walker pool and its schedulers."""
+
+import pytest
+
+from repro.config.system import IOMMUConfig
+from repro.engine.event_queue import EventQueue
+from repro.iommu.page_walker import WalkerPool
+from repro.structures.page_table import PageTableManager
+
+
+def make_pool(
+    num_walkers=2, threads=1, latency=100, scheduler="fifo", num_gpus=4, mapped=64
+):
+    queue = EventQueue()
+    tables = PageTableManager()
+    tables.prefault(1, range(mapped))
+    config = IOMMUConfig(
+        num_walkers=num_walkers,
+        walker_threads=threads,
+        walk_latency=latency,
+        walker_scheduler=scheduler,
+    )
+    return queue, tables, WalkerPool(queue, tables, config, num_gpus)
+
+
+class TestFIFO:
+    def test_walk_completes_with_latency(self):
+        queue, _, pool = make_pool()
+        done = []
+        pool.request(1, 0, 0, lambda r: done.append((queue.now, r)))
+        queue.run()
+        time, result = done[0]
+        assert time == 100
+        assert result.hit
+
+    def test_fault_result(self):
+        queue, _, pool = make_pool()
+        done = []
+        pool.request(1, 999_999, 0, lambda r: done.append(r))
+        queue.run()
+        assert done[0].faulted
+        assert pool.stats["walks_faulted"] == 1
+
+    def test_capacity_limits_concurrency(self):
+        # 2 walkers x 1 thread: 6 walks finish in 3 serialized waves.
+        queue, _, pool = make_pool(num_walkers=2, threads=1, latency=100)
+        times = []
+        for vpn in range(6):
+            pool.request(1, vpn, 0, lambda r: times.append(queue.now))
+        queue.run()
+        assert times == [100, 100, 200, 200, 300, 300]
+
+    def test_threads_multiply_capacity(self):
+        queue, _, pool = make_pool(num_walkers=2, threads=3, latency=100)
+        times = []
+        for vpn in range(6):
+            pool.request(1, vpn, 0, lambda r: times.append(queue.now))
+        queue.run()
+        assert times == [100] * 6
+
+    def test_queue_wait_recorded(self):
+        queue, _, pool = make_pool(num_walkers=1, threads=1, latency=100)
+        for vpn in range(3):
+            pool.request(1, vpn, 0, lambda r: None)
+        queue.run()
+        assert pool.queue_wait.count == 3
+        assert pool.queue_wait.max == 200
+
+    def test_partial_walk_is_cheaper(self):
+        queue, tables, pool = make_pool()
+        done = []
+        # Unknown PID: faults at the first radix level -> 1/4 latency.
+        pool.request(77, 0, 0, lambda r: done.append(queue.now))
+        queue.run()
+        assert done[0] == 25
+
+
+class TestCancellation:
+    def test_cancel_queued_walk(self):
+        queue, _, pool = make_pool(num_walkers=1, threads=1)
+        done = []
+        pool.request(1, 0, 0, lambda r: done.append(0))
+        ticket = pool.request(1, 1, 0, lambda r: done.append(1))
+        assert pool.cancel(ticket) is True
+        queue.run()
+        assert done == [0]
+        assert pool.stats["walks_cancelled"] == 1
+        assert pool.stats["walks_dispatched"] == 1
+
+    def test_cannot_cancel_running_walk(self):
+        queue, _, pool = make_pool()
+        ticket = pool.request(1, 0, 0, lambda r: None)
+        assert pool.cancel(ticket) is False
+        queue.run()
+
+    def test_cancelled_walk_frees_slot_for_later_request(self):
+        queue, _, pool = make_pool(num_walkers=1, threads=1, latency=100)
+        done = []
+        pool.request(1, 0, 0, lambda r: done.append(queue.now))
+        cancelled = pool.request(1, 1, 0, lambda r: done.append(queue.now))
+        pool.request(1, 2, 0, lambda r: done.append(queue.now))
+        pool.cancel(cancelled)
+        queue.run()
+        # The third walk starts right after the first, skipping the
+        # cancelled one.
+        assert done == [100, 200]
+
+
+class TestDWS:
+    def test_per_gpu_fairness_under_flood(self):
+        # GPU 0 floods; GPU 1 sends one walk.  Under DWS the single walk
+        # must not wait behind the whole flood.
+        queue, _, pool = make_pool(
+            num_walkers=2, threads=1, latency=100, scheduler="dws", num_gpus=2
+        )
+        finish = {}
+        for vpn in range(10):
+            pool.request(1, vpn, 0, lambda r, v=vpn: finish.setdefault(("flood", v), queue.now))
+        pool.request(1, 40, 1, lambda r: finish.setdefault("single", queue.now))
+        queue.run()
+        flood_last = max(t for k, t in finish.items() if k != "single")
+        assert finish["single"] < flood_last
+
+    def test_fifo_flood_starves_late_arrival(self):
+        queue, _, pool = make_pool(
+            num_walkers=2, threads=1, latency=100, scheduler="fifo", num_gpus=2
+        )
+        finish = {}
+        for vpn in range(10):
+            pool.request(1, vpn, 0, lambda r, v=vpn: finish.setdefault(("flood", v), queue.now))
+        pool.request(1, 40, 1, lambda r: finish.setdefault("single", queue.now))
+        queue.run()
+        flood_last = max(t for k, t in finish.items() if k != "single")
+        assert finish["single"] >= flood_last  # served after the flood
+
+    def test_stealing_uses_idle_capacity(self):
+        queue, _, pool = make_pool(
+            num_walkers=4, threads=1, latency=100, scheduler="dws", num_gpus=4
+        )
+        done = []
+        # Only GPU 0 is active: it may steal all four walkers.
+        for vpn in range(4):
+            pool.request(1, vpn, 0, lambda r: done.append(queue.now))
+        queue.run()
+        assert done == [100] * 4
+
+    def test_dws_cancellation(self):
+        queue, _, pool = make_pool(
+            num_walkers=1, threads=1, latency=100, scheduler="dws", num_gpus=2
+        )
+        done = []
+        pool.request(1, 0, 0, lambda r: done.append("a"))
+        ticket = pool.request(1, 1, 0, lambda r: done.append("b"))
+        pool.request(1, 2, 1, lambda r: done.append("c"))
+        assert pool.cancel(ticket)
+        queue.run()
+        assert done == ["a", "c"]

@@ -1,0 +1,63 @@
+"""Unit tests for the pending-request table."""
+
+import pytest
+
+from repro.gpu.ats import ATSRequest
+from repro.iommu.pending_table import PendingTable
+
+
+def req(gpu=0, pid=1, vpn=5):
+    return ATSRequest(gpu_id=gpu, pid=pid, vpn=vpn, issue_time=0)
+
+
+def test_create_and_get():
+    table = PendingTable()
+    entry = table.create(req())
+    assert table.get((1, 5)) is entry
+    assert (1, 5) in table
+    assert len(table) == 1
+
+
+def test_double_create_rejected():
+    table = PendingTable()
+    table.create(req())
+    with pytest.raises(KeyError):
+        table.create(req(gpu=1))
+
+
+def test_attach_merges_waiters():
+    table = PendingTable()
+    entry = table.create(req(gpu=0))
+    table.attach(entry, req(gpu=1))
+    assert len(entry.waiters) == 2
+    assert table.merges == 1
+
+
+def test_maybe_remove_requires_served_and_resolved():
+    table = PendingTable()
+    entry = table.create(req())
+    entry.walk_pending = True
+    assert table.maybe_remove(entry) is False
+    entry.served = True
+    assert table.maybe_remove(entry) is False  # walk still in flight
+    entry.walk_pending = False
+    assert table.maybe_remove(entry) is True
+    assert (1, 5) not in table
+
+
+def test_resolved_property():
+    table = PendingTable()
+    entry = table.create(req())
+    assert entry.resolved
+    entry.remote_pending = True
+    assert not entry.resolved
+    entry.remote_pending = False
+    entry.fault_pending = True
+    assert not entry.resolved
+
+
+def test_peak_tracking():
+    table = PendingTable()
+    for vpn in range(5):
+        table.create(req(vpn=vpn))
+    assert table.peak == 5

@@ -1,0 +1,75 @@
+"""Unit tests for the PRI fault-batching queue."""
+
+from repro.config.system import IOMMUConfig
+from repro.engine.event_queue import EventQueue
+from repro.iommu.pri import PRIQueue
+from repro.structures.page_table import PageTableManager
+
+
+def make_pri(batch_size=4, timeout=1000, latency=500):
+    queue = EventQueue()
+    tables = PageTableManager()
+    config = IOMMUConfig(
+        pri_batch_size=batch_size,
+        pri_timeout=timeout,
+        fault_handling_latency=latency,
+    )
+    return queue, tables, PRIQueue(queue, tables, config)
+
+
+def test_full_batch_dispatches_immediately():
+    queue, tables, pri = make_pri(batch_size=2, latency=500)
+    served = []
+    pri.report(1, 10, lambda ppn: served.append((queue.now, ppn)))
+    pri.report(1, 11, lambda ppn: served.append((queue.now, ppn)))
+    queue.run()
+    assert [t for t, _ in served] == [500, 500]
+    assert tables.walk(1, 10).hit
+    assert tables.walk(1, 11).hit
+
+
+def test_timeout_dispatches_partial_batch():
+    queue, _, pri = make_pri(batch_size=8, timeout=1000, latency=500)
+    served = []
+    pri.report(1, 10, lambda ppn: served.append(queue.now))
+    queue.run()
+    assert served == [1500]  # timeout at 1000 + handling 500
+    assert pri.stats["timeout_batches"] == 1
+
+
+def test_batches_counted():
+    queue, _, pri = make_pri(batch_size=2)
+    for vpn in range(6):
+        pri.report(1, vpn, lambda ppn: None)
+    queue.run()
+    assert pri.stats["batches"] == 3
+    assert pri.stats["faults_serviced"] == 6
+
+
+def test_stale_timer_ignored_after_batch_dispatch():
+    queue, _, pri = make_pri(batch_size=2, timeout=1000, latency=100)
+    served = []
+    pri.report(1, 1, lambda ppn: served.append(queue.now))
+    pri.report(1, 2, lambda ppn: served.append(queue.now))  # dispatches batch
+    pri.report(1, 3, lambda ppn: served.append(queue.now))  # new batch, own timer
+    queue.run()
+    assert served[:2] == [100, 100]
+    assert len(served) == 3
+    # The third fault dispatched by its own timer, not the first batch's.
+    assert served[2] >= 1000
+
+
+def test_callbacks_receive_mapped_ppn():
+    queue, tables, pri = make_pri(batch_size=1)
+    ppns = []
+    pri.report(3, 77, ppns.append)
+    queue.run()
+    assert ppns[0] == tables.walk(3, 77).ppn
+
+
+def test_service_time_accumulates():
+    queue, _, pri = make_pri(batch_size=1, latency=250)
+    pri.report(1, 5, lambda ppn: None)
+    queue.run()
+    assert pri.service_time.count == 1
+    assert pri.service_time.mean == 250

@@ -1,0 +1,49 @@
+"""Unit tests for the MPKI helpers."""
+
+import pytest
+
+from repro.metrics.mpki import l2_mpki, mpki_table
+from repro.sim.results import AppResult, SimulationResult
+
+
+def app(pid, name, l2_miss, instructions):
+    return AppResult(
+        pid=pid, app_name=name, gpu_ids=(pid - 1,),
+        instructions=instructions, runs=1, accesses=1, exec_cycles=100,
+        counters={"l2_miss": l2_miss}, mean_translation_latency=0.0,
+    )
+
+
+def result(apps):
+    return SimulationResult(
+        workload_name="w", workload_kind="multi", policy_name="p",
+        total_cycles=100, apps={a.pid: a for a in apps},
+        iommu_counters={}, walker_counters={}, walker_queue_wait_mean=0.0,
+    )
+
+
+def test_l2_mpki():
+    assert l2_mpki(app(1, "A", l2_miss=50, instructions=100_000)) == pytest.approx(0.5)
+
+
+def test_mpki_zero_instructions():
+    assert l2_mpki(app(1, "A", l2_miss=50, instructions=0)) == 0.0
+
+
+def test_mpki_table_classifies():
+    table = mpki_table(result([
+        app(1, "A", 5, 100_000),      # 0.05 -> L
+        app(2, "B", 50, 100_000),     # 0.5  -> M
+        app(3, "C", 500, 100_000),    # 5.0  -> H
+    ]))
+    assert table["A"] == (pytest.approx(0.05), "L")
+    assert table["B"][1] == "M"
+    assert table["C"][1] == "H"
+
+
+def test_mpki_table_averages_duplicates():
+    table = mpki_table(result([
+        app(1, "MT", 100, 100_000),
+        app(2, "MT", 300, 100_000),
+    ]))
+    assert table["MT"][0] == pytest.approx(2.0)

@@ -1,0 +1,77 @@
+"""Unit tests for the analytic queueing model."""
+
+import math
+
+import pytest
+
+from repro.analysis.queueing import erlang_c, mm_c_wait, walker_operating_point
+from repro.config.presets import baseline_config
+from repro.sim.driver import run_single_app
+
+
+class TestErlangC:
+    def test_single_server_matches_mm1(self):
+        # M/M/1: P(wait) = rho.
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho, rel=1e-9)
+
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_saturation(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 9.9) == 1.0
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(8, load) for load in (1.0, 3.0, 5.0, 7.0)]
+        assert values == sorted(values)
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(16, 8.0) < erlang_c(10, 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(4, -1.0)
+
+
+class TestMMcWait:
+    def test_mm1_closed_form(self):
+        # M/M/1 mean wait = rho * S / (1 - rho).
+        estimate = mm_c_wait(arrival_rate=0.001, service_time=500, servers=1)
+        rho = 0.5
+        assert estimate.mean_wait == pytest.approx(rho * 500 / (1 - rho), rel=1e-9)
+
+    def test_unstable_queue_reports_infinite_wait(self):
+        estimate = mm_c_wait(arrival_rate=1.0, service_time=500, servers=8)
+        assert not estimate.stable
+        assert math.isinf(estimate.mean_wait)
+
+    def test_light_load_waits_little(self):
+        estimate = mm_c_wait(arrival_rate=0.001, service_time=500, servers=24)
+        assert estimate.mean_wait < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm_c_wait(-1, 500, 8)
+        with pytest.raises(ValueError):
+            mm_c_wait(1, 0, 8)
+
+
+class TestOperatingPoint:
+    def test_prediction_tracks_measurement_order_of_magnitude(self):
+        """The simulated walker queue is burstier than Poisson, so the
+        Erlang-C estimate under-predicts — but it must agree on whether
+        the pool is heavily or lightly loaded."""
+        config = baseline_config()
+        light = run_single_app("FIR", config, "baseline", scale=0.2)
+        heavy = run_single_app("ST", config, "baseline", scale=0.2)
+        light_est = walker_operating_point(light, config)
+        heavy_est = walker_operating_point(heavy, config)
+        assert light_est.utilization < heavy_est.utilization
+        assert light_est.mean_wait < 50
+        assert light.walker_queue_wait_mean < 500
+        # Heavy: both theory and simulation report substantial queueing.
+        assert heavy_est.utilization > 0.5
+        assert heavy.walker_queue_wait_mean > 500

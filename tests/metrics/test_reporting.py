@@ -1,0 +1,81 @@
+"""Unit tests for the reporting package (charts and export)."""
+
+import json
+
+import pytest
+
+from repro.reporting.charts import bar_chart, cdf_chart, comparison_table, grouped_bars
+from repro.reporting.export import result_to_dict, save_result_json
+from repro.sim.driver import run_single_app
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        text = bar_chart([("baseline", 1.0), ("least", 1.25)])
+        assert "baseline" in text and "least" in text
+        assert "1.250" in text
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_baseline_tick_present(self):
+        text = bar_chart([("a", 0.5), ("b", 2.0)], baseline=1.0)
+        assert "|" in text or "+" in text
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+
+class TestCDFChart:
+    def test_marker_annotates(self):
+        text = cdf_chart([(1024, 0.5), (4096, 0.9)], markers={4096: "capacity"})
+        assert "<- capacity" in text
+        assert "50.0%" in text
+
+    def test_empty(self):
+        assert cdf_chart([]) == "(no data)"
+
+
+class TestGroupedBars:
+    def test_groups_titled(self):
+        text = grouped_bars([("W1", [("FIR", 1.0)]), ("W2", [("MM", 1.2)])])
+        assert "[W1]" in text and "[W2]" in text
+
+    def test_shared_scale(self):
+        text = grouped_bars(
+            [("g1", [("a", 1.0)]), ("g2", [("b", 4.0)])], width=8
+        )
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert lines[1].count("#") >= 4 * lines[0].count("#") - 1
+
+
+class TestComparisonTable:
+    def test_alignment_and_floats(self):
+        text = comparison_table([["x", 1.23456], ["long-name", 2.0]], ["col", "val"])
+        assert "1.235" in text
+        assert "long-name" in text
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_single_app("FIR", scale=0.05, record_iommu_stream=True)
+
+    def test_result_to_dict_shape(self, result):
+        data = result_to_dict(result)
+        assert data["workload"] == "FIR"
+        assert data["apps"]["1"]["mpki"] >= 0
+        assert "iommu_stream" not in data
+
+    def test_stream_included_on_request(self, result):
+        data = result_to_dict(result, include_stream=True)
+        assert isinstance(data["iommu_stream"], list)
+
+    def test_save_json_roundtrips(self, result, tmp_path):
+        path = save_result_json(result, tmp_path / "r.json")
+        data = json.loads(path.read_text())
+        assert data["total_cycles"] == result.total_cycles
+        # Everything must be JSON-native (no numpy scalars).
+        json.dumps(data)

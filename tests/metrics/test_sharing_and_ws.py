@@ -1,0 +1,145 @@
+"""Unit tests for sharing metrics and weighted speedup."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.metrics.sharing import (
+    iommu_composition,
+    mean_cross_level_duplication,
+    mean_l2_duplication,
+    shared_fraction,
+    sharing_degrees,
+)
+from repro.metrics.weighted_speedup import (
+    normalized_weighted_speedup,
+    per_app_slowdowns,
+    weighted_speedup,
+)
+from repro.sim.results import AppResult, SimulationResult, Snapshot
+from repro.workloads.multi_app import build_single_app_workload
+from repro.workloads.trace import CUStream, Placement, Workload
+
+
+def make_workload(gpu_pages: dict[int, list[int]]):
+    placements = [
+        Placement(
+            gpu_id=g, pid=1, app_name="x", cu_ids=[0],
+            streams=[CUStream(
+                np.array(pages, dtype=np.int64),
+                np.ones(len(pages), dtype=np.int64),
+                np.ones(len(pages), dtype=np.int64),
+            )],
+        )
+        for g, pages in gpu_pages.items()
+    ]
+    pages = sorted({p for ps in gpu_pages.values() for p in ps})
+    return Workload(name="x", kind="single", placements=placements,
+                    app_names={1: "x"}, footprints={1: np.array(pages)})
+
+
+class TestSharingDegrees:
+    def test_disjoint_pages_unshared(self):
+        workload = make_workload({0: [1, 2], 1: [3, 4]})
+        assert sharing_degrees(workload) == {1: 1.0}
+        assert shared_fraction(workload) == 0.0
+
+    def test_fully_shared(self):
+        workload = make_workload({g: [7, 8] for g in range(4)})
+        assert sharing_degrees(workload) == {4: 1.0}
+        assert shared_fraction(workload) == 1.0
+
+    def test_mixed_degrees(self):
+        # Pages: 1 -> GPU0 only; 2 -> GPUs 0,1; 3 -> GPUs 1,2; 9 -> GPU3.
+        workload = make_workload({0: [1, 2], 1: [2, 3], 2: [3], 3: [9]})
+        degrees = sharing_degrees(workload)
+        assert degrees[1] == pytest.approx(0.5)
+        assert degrees[2] == pytest.approx(0.5)
+
+    def test_multi_pid_requires_explicit_pid(self):
+        workload = make_workload({0: [1]})
+        workload.app_names = {1: "a", 2: "b"}
+        with pytest.raises(ValueError, match="pass pid"):
+            sharing_degrees(workload)
+
+    def test_paper_patterns_sharing_shape(self):
+        """Figure 4's qualitative ordering: partitioned apps (KM) share
+        nothing; random/scatter apps (PR, MM) share heavily."""
+        config = baseline_config()
+        km = build_single_app_workload("KM", config, scale=0.5)
+        pr = build_single_app_workload("PR", config, scale=0.5)
+        mm = build_single_app_workload("MM", config, scale=0.5)
+        assert shared_fraction(km) == 0.0
+        assert shared_fraction(pr) > 0.6
+        assert shared_fraction(mm) > 0.5
+        assert shared_fraction(pr) > shared_fraction(km)
+
+
+class TestSnapshotsAggregates:
+    def snap(self, cycle, resident, duplicated, cross, owners=(1, 1, 1, 1)):
+        return Snapshot(
+            cycle=cycle, l2_resident=resident, l2_duplicated=duplicated,
+            l2_also_in_iommu=cross, iommu_resident=sum(owners),
+            iommu_owner_counts=owners,
+        )
+
+    def test_mean_duplication(self):
+        snaps = [self.snap(0, 100, 25, 50), self.snap(1, 100, 35, 70)]
+        assert mean_l2_duplication(snaps) == pytest.approx(0.30)
+        assert mean_cross_level_duplication(snaps) == pytest.approx(0.60)
+
+    def test_empty_snapshots(self):
+        assert mean_l2_duplication([]) == 0.0
+        assert iommu_composition([]) == []
+
+    def test_iommu_composition(self):
+        snaps = [self.snap(0, 10, 0, 0, owners=(2, 0, 0, 2))]
+        comp = iommu_composition(snaps)
+        assert comp == pytest.approx([0.5, 0, 0, 0.5])
+
+
+def make_result(ipcs: dict[int, float], names: dict[int, str]):
+    apps = {
+        pid: AppResult(
+            pid=pid, app_name=names[pid], gpu_ids=(pid - 1,),
+            instructions=int(ipc * 1000), runs=10, accesses=10,
+            exec_cycles=1000, counters={}, mean_translation_latency=0.0,
+        )
+        for pid, ipc in ipcs.items()
+    }
+    return SimulationResult(
+        workload_name="w", workload_kind="multi", policy_name="p",
+        total_cycles=1000, apps=apps, iommu_counters={}, walker_counters={},
+        walker_queue_wait_mean=0.0,
+    )
+
+
+class TestWeightedSpeedup:
+    def test_no_interference_gives_app_count(self):
+        mix = make_result({1: 2.0, 2: 3.0}, {1: "A", 2: "B"})
+        alone = {"A": mix.apps[1], "B": mix.apps[2]}
+        assert weighted_speedup(mix, alone) == pytest.approx(2.0)
+
+    def test_slowdowns_per_app(self):
+        mix = make_result({1: 1.0, 2: 1.5}, {1: "A", 2: "B"})
+        alone = {"A": make_result({1: 2.0}, {1: "A"}).apps[1],
+                 "B": make_result({1: 3.0}, {1: "B"}).apps[1]}
+        slowdowns = per_app_slowdowns(mix, alone)
+        assert slowdowns[1] == pytest.approx(0.5)
+        assert slowdowns[2] == pytest.approx(0.5)
+
+    def test_duplicate_apps_share_alone_run(self):
+        mix = make_result({1: 1.0, 2: 1.0}, {1: "A", 2: "A"})
+        alone = {"A": make_result({1: 2.0}, {1: "A"}).apps[1]}
+        assert weighted_speedup(mix, alone) == pytest.approx(1.0)
+
+    def test_missing_alone_run_raises(self):
+        mix = make_result({1: 1.0}, {1: "A"})
+        with pytest.raises(ValueError, match="no alone run"):
+            weighted_speedup(mix, {})
+
+    def test_normalized_ws(self):
+        base = make_result({1: 1.0}, {1: "A"})
+        better = make_result({1: 1.3}, {1: "A"})
+        alone = {"A": make_result({1: 2.0}, {1: "A"}).apps[1]}
+        assert normalized_weighted_speedup(better, base, alone) == pytest.approx(1.3)

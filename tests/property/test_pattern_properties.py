@@ -1,0 +1,115 @@
+"""Property-based tests for the workload pattern generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.patterns import (
+    PATTERNS,
+    PatternParams,
+    far_region_bounds,
+    generate_page_runs,
+    partition_bounds,
+)
+
+pattern_st = st.sampled_from(PATTERNS)
+gpus_st = st.sampled_from([1, 2, 4, 8])
+
+
+def make_params(pattern, footprint, p_reuse, far_frac, seq):
+    return PatternParams(
+        pattern=pattern,
+        footprint_pages=footprint,
+        p_reuse=p_reuse,
+        reuse_window=16,
+        seq_frac=seq,
+        far_frac=far_frac,
+        far_region_pages=max(1, footprint // 2) if far_frac > 0 else 0,
+    )
+
+
+@given(
+    pattern=pattern_st,
+    num_gpus=gpus_st,
+    footprint=st.integers(16, 4096),
+    p_reuse=st.floats(0.0, 0.8),
+    far_frac=st.floats(0.0, 0.15),
+    seq=st.floats(0.0, 1.0),
+    runs=st.integers(0, 800),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=80, deadline=None)
+def test_pages_always_within_footprint(
+    pattern, num_gpus, footprint, p_reuse, far_frac, seq, runs, seed
+):
+    params = make_params(pattern, footprint, p_reuse, far_frac, seq)
+    for gpu in range(num_gpus):
+        pages = generate_page_runs(
+            params, gpu, num_gpus, runs, np.random.default_rng(seed)
+        )
+        assert len(pages) == runs
+        if runs:
+            assert pages.min() >= 0
+            assert pages.max() < footprint
+
+
+@given(
+    num_gpus=gpus_st,
+    footprint=st.integers(16, 4096),
+    seq=st.floats(0.0, 1.0),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_pattern_never_shares(num_gpus, footprint, seq, seed):
+    params = make_params("partition", footprint, 0.4, 0.1, seq)
+    streams = [
+        set(
+            generate_page_runs(
+                params, gpu, num_gpus, 400, np.random.default_rng(seed + gpu)
+            ).tolist()
+        )
+        for gpu in range(num_gpus)
+    ]
+    for a in range(num_gpus):
+        lo, hi = partition_bounds(a, num_gpus, footprint)
+        assert all(lo <= v < hi for v in streams[a])
+
+
+@given(num_gpus=gpus_st, footprint=st.integers(16, 4096))
+@settings(max_examples=60, deadline=None)
+def test_partition_bounds_tile_footprint(num_gpus, footprint):
+    covered = []
+    for gpu in range(num_gpus):
+        lo, hi = partition_bounds(gpu, num_gpus, footprint)
+        assert lo < hi
+        covered.append((lo, hi))
+    assert covered[0][0] == 0
+    assert covered[-1][1] == footprint
+    for (_, hi_a), (lo_b, _) in zip(covered, covered[1:]):
+        assert hi_a == lo_b
+
+
+@given(
+    pattern=pattern_st,
+    num_gpus=gpus_st,
+    footprint=st.integers(32, 2048),
+)
+@settings(max_examples=60, deadline=None)
+def test_far_region_within_footprint(pattern, num_gpus, footprint):
+    params = make_params(pattern, footprint, 0.2, 0.1, 0.5)
+    for gpu in range(num_gpus):
+        lo, hi = far_region_bounds(params, gpu, num_gpus)
+        assert 0 <= lo < hi <= footprint
+
+
+@given(
+    pattern=pattern_st,
+    seed=st.integers(0, 1000),
+    runs=st.integers(1, 500),
+)
+@settings(max_examples=60, deadline=None)
+def test_generation_is_deterministic(pattern, seed, runs):
+    params = make_params(pattern, 1024, 0.3, 0.1, 0.4)
+    a = generate_page_runs(params, 1, 4, runs, np.random.default_rng(seed))
+    b = generate_page_runs(params, 1, 4, runs, np.random.default_rng(seed))
+    assert np.array_equal(a, b)

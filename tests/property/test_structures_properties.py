@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.reuse_distance import COLD, reuse_distances
+from repro.structures.cuckoo_filter import CuckooFilter
+from repro.structures.page_table import PageTableManager
+from repro.structures.tlb import SetAssociativeTLB, TLBEntry
+
+keys_st = st.lists(
+    st.tuples(st.integers(1, 3), st.integers(0, 63)), min_size=0, max_size=200
+)
+
+
+class TestTLBProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "lookup", "remove"]),
+                      st.integers(0, 40)),
+            max_size=300,
+        ),
+        ways=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, ops, ways):
+        tlb = SetAssociativeTLB(num_entries=8, associativity=ways)
+        for op, vpn in ops:
+            if op == "insert":
+                tlb.insert(TLBEntry(1, vpn, vpn))
+            elif op == "lookup":
+                tlb.lookup(1, vpn)
+            else:
+                tlb.remove(1, vpn)
+            assert len(tlb) <= 8
+            # No set may exceed its associativity.
+            assert all(len(s) <= ways for s in tlb._sets)
+
+    @given(ops=st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_tlb_matches_reference_lru(self, ops):
+        """A fully associative LRU TLB must agree with a reference model."""
+        capacity = 8
+        tlb = SetAssociativeTLB(num_entries=capacity, associativity=capacity)
+        reference: OrderedDict[int, int] = OrderedDict()
+        for vpn in ops:
+            entry = tlb.lookup(1, vpn)
+            if vpn in reference:
+                assert entry is not None
+                reference.move_to_end(vpn)
+            else:
+                assert entry is None
+                tlb.insert(TLBEntry(1, vpn, vpn))
+                reference[vpn] = vpn
+                if len(reference) > capacity:
+                    reference.popitem(last=False)
+            assert tlb.resident_keys() == {(1, v) for v in reference}
+
+    @given(vpns=st.lists(st.integers(0, 1000), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_then_peek(self, vpns):
+        tlb = SetAssociativeTLB(num_entries=4096, associativity=64)
+        for vpn in vpns:
+            tlb.insert(TLBEntry(1, vpn, vpn + 1))
+        for vpn in vpns:
+            assert tlb.peek(1, vpn).ppn == vpn + 1
+
+
+class TestCuckooProperties:
+    @given(keys=keys_st)
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_below_capacity(self, keys):
+        """Every inserted (and not displaced) key must test positive while
+        the filter is far from full."""
+        filt = CuckooFilter(num_entries=1024, fingerprint_bits=12)
+        for pid, vpn in keys:
+            filt.insert(pid, vpn)
+        if filt.stats.displaced == 0:
+            assert all(filt.contains(pid, vpn) for pid, vpn in keys)
+
+    @given(keys=st.lists(st.tuples(st.integers(1, 2), st.integers(0, 31)),
+                         max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_delete_conservation(self, keys):
+        """Population equals insertions minus deletions minus displaced."""
+        filt = CuckooFilter(num_entries=256, fingerprint_bits=12)
+        for pid, vpn in keys:
+            filt.insert(pid, vpn)
+        assert len(filt) == filt.stats.insertions - filt.stats.displaced
+        for pid, vpn in keys:
+            filt.delete(pid, vpn)
+        assert len(filt) == (
+            filt.stats.insertions - filt.stats.displaced - filt.stats.deletions
+        )
+
+
+class TestPageTableProperties:
+    @given(vpns=st.lists(st.integers(0, 2**36 - 1), unique=True, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_vpns_get_distinct_frames(self, vpns):
+        manager = PageTableManager()
+        frames = [manager.map_page(1, vpn) for vpn in vpns]
+        assert len(set(frames)) == len(frames)
+        for vpn, ppn in zip(vpns, frames):
+            result = manager.walk(1, vpn)
+            assert result.ppn == ppn
+            assert result.levels_touched == 4
+
+    @given(
+        vpns=st.lists(st.integers(0, 1023), unique=True, min_size=1, max_size=50),
+        probe=st.integers(0, 1023),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_walk_never_hits_unmapped(self, vpns, probe):
+        manager = PageTableManager()
+        for vpn in vpns:
+            manager.map_page(1, vpn)
+        result = manager.walk(1, probe)
+        assert result.hit == (probe in vpns)
+
+
+class TestReuseDistanceProperties:
+    @given(stream=st.lists(st.integers(0, 15), max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_set_count(self, stream):
+        keyed = [(1, v) for v in stream]
+        fast = reuse_distances(keyed)
+        last: dict[int, int] = {}
+        for i, v in enumerate(stream):
+            if v in last:
+                expected = len(set(stream[last[v] + 1 : i]))
+                assert fast[i] == expected
+            else:
+                assert fast[i] == COLD
+            last[v] = i
+
+    @given(stream=st.lists(st.integers(0, 15), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_distances_bounded_by_alphabet(self, stream):
+        fast = reuse_distances([(1, v) for v in stream])
+        finite = fast[fast >= 0]
+        if len(finite):
+            assert finite.max() < 16

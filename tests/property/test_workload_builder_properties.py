@@ -1,0 +1,89 @@
+"""Property-based tests for the workload builders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import baseline_config, scaled_config
+from repro.workloads.applications import APPLICATIONS
+from repro.workloads.multi_app import (
+    MULTI_APP_WORKLOADS,
+    build_alone_workload,
+    build_multi_app_workload,
+    build_single_app_workload,
+)
+
+app_st = st.sampled_from(sorted(APPLICATIONS))
+scale_st = st.floats(0.01, 0.3)
+
+
+@given(app=app_st, scale=scale_st, seed=st.integers(1, 50))
+@settings(max_examples=30, deadline=None)
+def test_single_app_builder_invariants(app, scale, seed):
+    config = baseline_config()
+    workload = build_single_app_workload(app, config, scale=scale, seed=seed)
+    # One PID spanning every GPU, every CU assigned exactly once per GPU.
+    assert workload.pids == [1]
+    assert workload.gpus_for(1) == list(range(config.num_gpus))
+    for placement in workload.placements:
+        assert sorted(placement.cu_ids) == list(range(config.gpu.num_cus))
+    # Accounting identities.
+    assert 0 < workload.measured_runs_for(1) <= workload.runs_for(1)
+    assert workload.measured_instructions_for(1) <= workload.instructions_for(1)
+    assert workload.accesses_for(1) >= workload.runs_for(1)
+    # Every traced page is pre-faultable.
+    footprint = set(workload.footprints[1].tolist())
+    for placement in workload.placements:
+        for stream in placement.streams:
+            assert set(stream.vpns.tolist()) <= footprint
+
+
+@given(
+    workload_name=st.sampled_from(sorted(MULTI_APP_WORKLOADS)),
+    scale=scale_st,
+    seed=st.integers(1, 20),
+)
+@settings(max_examples=20, deadline=None)
+def test_multi_app_builder_invariants(workload_name, scale, seed):
+    config = baseline_config()
+    workload = build_multi_app_workload(workload_name, config, scale=scale, seed=seed)
+    apps, _ = MULTI_APP_WORKLOADS[workload_name]
+    assert [workload.app_names[p] for p in workload.pids] == list(apps)
+    # One application per GPU, footprints per PID cover the traces.
+    for pid in workload.pids:
+        assert workload.gpus_for(pid) == [pid - 1]
+        footprint = set(workload.footprints[pid].tolist())
+        for placement in workload.placements:
+            if placement.pid != pid:
+                continue
+            for stream in placement.streams:
+                assert set(stream.vpns.tolist()) <= footprint
+
+
+@given(app=app_st, scale=scale_st)
+@settings(max_examples=20, deadline=None)
+def test_alone_builder_smaller_than_spanned(app, scale):
+    config = baseline_config()
+    alone = build_alone_workload(app, config, scale=scale)
+    spread = build_single_app_workload(app, config, scale=scale)
+    assert alone.runs_for(1) <= spread.runs_for(1)
+    assert alone.gpus_for(1) == [0]
+
+
+@given(app=app_st, num_gpus=st.sampled_from([2, 4, 8, 16]), seed=st.integers(1, 10))
+@settings(max_examples=20, deadline=None)
+def test_builders_respect_gpu_count(app, num_gpus, seed):
+    config = scaled_config(num_gpus)
+    workload = build_single_app_workload(app, config, scale=0.05, seed=seed)
+    assert len(workload.placements) == num_gpus
+
+
+@given(app=app_st, scale=scale_st, seed=st.integers(1, 20))
+@settings(max_examples=20, deadline=None)
+def test_builder_is_deterministic(app, scale, seed):
+    config = baseline_config()
+    a = build_single_app_workload(app, config, scale=scale, seed=seed)
+    b = build_single_app_workload(app, config, scale=scale, seed=seed)
+    for pa, pb in zip(a.placements, b.placements):
+        for sa, sb in zip(pa.streams, pb.streams):
+            assert (sa.vpns == sb.vpns).all()
+            assert (sa.gaps == sb.gaps).all()

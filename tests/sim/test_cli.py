@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import CONFIG_PRESETS, main, resolve_config, resolve_workload
+from repro.config.presets import baseline_config
+
+
+class TestResolvers:
+    def test_resolve_config_presets(self):
+        for name in CONFIG_PRESETS:
+            assert resolve_config(name) is not None
+
+    def test_resolve_config_unknown(self):
+        with pytest.raises(SystemExit, match="unknown config preset"):
+            resolve_config("quantum")
+
+    def test_resolve_application(self):
+        workload = resolve_workload("mm", baseline_config(), 0.05)
+        assert workload.kind == "single"
+
+    def test_resolve_multi_workload(self):
+        workload = resolve_workload("W1", baseline_config(), 0.05)
+        assert workload.kind == "multi"
+        assert len(workload.pids) == 4
+
+    def test_resolve_mix_workload(self):
+        workload = resolve_workload("W17", baseline_config(), 0.05)
+        assert len(workload.pids) == 6
+
+    def test_resolve_npz_file(self, tmp_path):
+        from repro.workloads.multi_app import build_single_app_workload
+        from repro.workloads.trace_io import save_workload
+
+        path = save_workload(
+            build_single_app_workload("FIR", baseline_config(), scale=0.05),
+            tmp_path / "w.npz",
+        )
+        workload = resolve_workload(str(path), baseline_config(), 0.05)
+        assert workload.name == "FIR"
+
+    def test_resolve_unknown(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            resolve_workload("nope", baseline_config(), 0.05)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "MT" in out
+        assert "W10" in out
+        assert "least-tlb" in out
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "FIR", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "policy baseline" in out
+        assert "IOMMU hit" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["run", "FIR", "--scale", "0.05", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["workload"] == "FIR"
+        assert data["apps"]["1"]["app_name"] == "FIR"
+
+    def test_run_with_preset_and_policy(self, capsys):
+        assert main([
+            "run", "FIR", "--scale", "0.05",
+            "--policy", "least-tlb", "--config", "small-iommu",
+        ]) == 0
+        assert "least-tlb" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "FIR", "--scale", "0.05",
+            "--policies", "baseline,least-tlb",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "normalized to baseline" in out
+        assert "least-tlb" in out
+
+    def test_compare_empty_policies(self):
+        with pytest.raises(SystemExit, match="no policies"):
+            main(["compare", "FIR", "--policies", " "])
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "FIR", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse distances" in out
+        assert "IOMMU TLB capacity" in out

@@ -1,0 +1,101 @@
+"""Unit tests for the SimulationResult/AppResult helper surface."""
+
+import pytest
+
+from repro.sim.results import AppResult, SimulationResult, Snapshot
+
+
+def app(pid, name="A", exec_cycles=1000, instructions=50_000, counters=None):
+    return AppResult(
+        pid=pid, app_name=name, gpu_ids=(pid - 1,),
+        instructions=instructions, runs=10, accesses=20,
+        exec_cycles=exec_cycles, counters=counters or {},
+        mean_translation_latency=12.5,
+    )
+
+
+def result(apps, policy="p"):
+    return SimulationResult(
+        workload_name="w", workload_kind="multi", policy_name=policy,
+        total_cycles=5000, apps={a.pid: a for a in apps},
+        iommu_counters={}, walker_counters={}, walker_queue_wait_mean=0.0,
+    )
+
+
+class TestAppResult:
+    def test_ipc(self):
+        assert app(1, exec_cycles=1000, instructions=50_000).ipc == 50.0
+
+    def test_ipc_zero_cycles(self):
+        assert app(1, exec_cycles=0).ipc == 0.0
+
+    def test_hit_rates_from_counters(self):
+        a = app(1, counters={"l1_hit": 9, "l1_miss": 1, "l2_hit": 1, "l2_miss": 3})
+        assert a.l1_hit_rate == pytest.approx(0.9)
+        assert a.l2_hit_rate == pytest.approx(0.25)
+        assert a.iommu_hit_rate == 0.0  # no lookups recorded
+
+    def test_remote_rate_relative_to_iommu_lookups(self):
+        a = app(1, counters={"iommu_lookup": 100, "remote_hit": 5})
+        assert a.remote_hit_rate == pytest.approx(0.05)
+
+    def test_mpki(self):
+        a = app(1, instructions=100_000, counters={"l2_miss": 50})
+        assert a.mpki == pytest.approx(0.5)
+
+
+class TestSimulationResult:
+    def test_exec_cycles_is_slowest_app(self):
+        r = result([app(1, exec_cycles=500), app(2, exec_cycles=900)])
+        assert r.exec_cycles == 900
+
+    def test_exec_cycles_empty(self):
+        r = result([app(1)])
+        r.apps = {}
+        assert r.exec_cycles == 0
+
+    def test_speedup_vs(self):
+        fast = result([app(1, exec_cycles=500)])
+        slow = result([app(1, exec_cycles=1000)])
+        assert fast.speedup_vs(slow) == pytest.approx(2.0)
+        assert slow.speedup_vs(fast) == pytest.approx(0.5)
+
+    def test_per_app_speedup(self):
+        base = result([app(1, exec_cycles=1000), app(2, exec_cycles=400)])
+        other = result([app(1, exec_cycles=500), app(2, exec_cycles=800)])
+        speedups = other.per_app_speedup_vs(base)
+        assert speedups[1] == pytest.approx(2.0)
+        assert speedups[2] == pytest.approx(0.5)
+
+    def test_mean_over_apps(self):
+        r = result([
+            app(1, counters={"l2_hit": 1, "l2_miss": 1}),
+            app(2, counters={"l2_hit": 3, "l2_miss": 1}),
+        ])
+        assert r.mean_over_apps("l2_hit_rate") == pytest.approx(0.625)
+
+    def test_pids_sorted(self):
+        r = result([app(3), app(1), app(2)])
+        assert r.pids == [1, 2, 3]
+
+    def test_apps_named(self):
+        r = result([app(1, name="MT"), app(2, name="MT"), app(3, name="ST")])
+        assert [a.pid for a in r.apps_named("MT")] == [1, 2]
+
+
+class TestSnapshot:
+    def test_duplication_fractions(self):
+        snap = Snapshot(
+            cycle=0, l2_resident=200, l2_duplicated=50, l2_also_in_iommu=120,
+            iommu_resident=100, iommu_owner_counts=(25, 25, 25, 25),
+        )
+        assert snap.l2_duplication_fraction == pytest.approx(0.25)
+        assert snap.cross_level_duplication_fraction == pytest.approx(0.6)
+
+    def test_empty_snapshot_fractions(self):
+        snap = Snapshot(
+            cycle=0, l2_resident=0, l2_duplicated=0, l2_also_in_iommu=0,
+            iommu_resident=0, iommu_owner_counts=(0, 0, 0, 0),
+        )
+        assert snap.l2_duplication_fraction == 0.0
+        assert snap.cross_level_duplication_fraction == 0.0

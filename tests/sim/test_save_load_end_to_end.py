@@ -1,0 +1,33 @@
+"""End-to-end archive workflow: generate → save → reload → simulate →
+export — the full reproducibility loop a downstream user would run."""
+
+import json
+
+from repro.config.presets import baseline_config
+from repro.reporting.export import save_result_json
+from repro.sim.system import MultiGPUSystem
+from repro.workloads.multi_app import build_multi_app_workload
+from repro.workloads.trace_io import load_workload, save_workload
+
+
+def test_archive_and_replay_workflow(tmp_path):
+    config = baseline_config()
+    workload = build_multi_app_workload("W2", config, scale=0.05)
+
+    archive = save_workload(workload, tmp_path / "w2.npz")
+    replayed = load_workload(archive)
+
+    result = MultiGPUSystem(config, replayed, "least-tlb").run()
+    report = save_result_json(result, tmp_path / "w2-least.json")
+
+    data = json.loads(report.read_text())
+    assert data["workload"] == "W2"
+    assert data["policy"] == "least-tlb"
+    assert set(data["apps"]) == {"1", "2", "3", "4"}
+    for app in data["apps"].values():
+        assert app["exec_cycles"] > 0
+        assert 0.0 <= app["l2_hit_rate"] <= 1.0
+
+    # The archive is self-contained: a second reload gives identical sims.
+    again = MultiGPUSystem(config, load_workload(archive), "least-tlb").run()
+    assert again.total_cycles == result.total_cycles

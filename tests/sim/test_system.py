@@ -1,0 +1,176 @@
+"""Unit tests for system wiring, measurement, and result assembly."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.sim.driver import run_single_app, simulate
+from repro.sim.system import MultiGPUSystem
+from repro.workloads.multi_app import (
+    build_multi_app_workload,
+    build_single_app_workload,
+)
+from repro.workloads.trace import CUStream, Placement, Workload
+
+SCALE = 0.05
+
+
+def tiny_workload(vpns=(1, 2, 3), kind="multi"):
+    placement = Placement(
+        gpu_id=0, pid=1, app_name="t", cu_ids=[0],
+        streams=[CUStream(
+            np.array(vpns, dtype=np.int64),
+            np.full(len(vpns), 100, dtype=np.int64),
+            np.ones(len(vpns), dtype=np.int64),
+        )],
+    )
+    return Workload(name="t", kind=kind, placements=[placement],
+                    app_names={1: "t"}, footprints={1: np.array(sorted(set(vpns)))})
+
+
+class TestConstruction:
+    def test_placement_gpu_bounds_checked(self, tiny_config):
+        workload = tiny_workload()
+        workload.placements[0].gpu_id = 99
+        with pytest.raises(ValueError, match="targets GPU"):
+            MultiGPUSystem(tiny_config, workload, "baseline")
+
+    def test_empty_workload_rejected(self, tiny_config):
+        workload = tiny_workload()
+        workload.placements = []
+        with pytest.raises(ValueError, match="no placements"):
+            MultiGPUSystem(tiny_config, workload, "baseline")
+
+    def test_prefault_maps_footprints(self, tiny_config):
+        workload = tiny_workload()
+        system = MultiGPUSystem(tiny_config, workload, "baseline")
+        assert system.page_tables.walk(1, 1).hit
+
+    def test_prefault_disabled_faults_via_pri(self, tiny_config):
+        workload = tiny_workload(vpns=(5,))
+        system = MultiGPUSystem(tiny_config, workload, "baseline", prefault=False)
+        result = system.run()
+        assert result.apps[1].counters["page_faults"] == 1
+        assert result.apps[1].counters["runs"] == 1  # still completed
+
+
+class TestMeasurement:
+    def test_every_run_completes(self, tiny_config):
+        system = MultiGPUSystem(tiny_config, tiny_workload(), "baseline")
+        result = system.run()
+        assert result.apps[1].counters["runs"] == 3
+        assert system.halted
+
+    def test_multi_app_reruns_fast_finishers(self):
+        config = baseline_config()
+        workload = build_multi_app_workload("W2", config, scale=SCALE)
+        system = MultiGPUSystem(config, workload, "baseline")
+        result = system.run()
+        rounds = [cu.execution_round for gpu in system.gpus for cu in gpu.cus]
+        # At least one application finished early and re-executed.
+        assert max(rounds) >= 1
+        # Statistics still reflect only the first execution.
+        for pid in workload.pids:
+            assert result.apps[pid].counters["runs"] == workload.measured_runs_for(pid)
+
+    def test_single_app_does_not_rerun(self):
+        config = baseline_config()
+        workload = build_single_app_workload("FIR", config, scale=SCALE)
+        system = MultiGPUSystem(config, workload, "baseline")
+        system.run()
+        assert all(cu.execution_round == 0 for gpu in system.gpus for cu in gpu.cus)
+
+    def test_exec_time_recorded_per_app(self):
+        config = baseline_config()
+        workload = build_multi_app_workload("W2", config, scale=SCALE)
+        result = MultiGPUSystem(config, workload, "baseline").run()
+        for pid in workload.pids:
+            assert result.apps[pid].exec_cycles > 0
+        assert result.exec_cycles == max(a.exec_cycles for a in result.apps.values())
+
+
+class TestRecording:
+    def test_iommu_stream_recorded_when_requested(self, tiny_config):
+        workload = tiny_workload(vpns=tuple(range(50)))
+        system = MultiGPUSystem(
+            tiny_config, workload, "baseline", record_iommu_stream=True
+        )
+        result = system.run()
+        assert result.iommu_stream
+        assert all(pid == 1 for pid, _ in result.iommu_stream)
+
+    def test_stream_not_recorded_by_default(self, tiny_config):
+        system = MultiGPUSystem(tiny_config, tiny_workload(), "baseline")
+        assert system.run().iommu_stream is None
+
+    def test_snapshots_taken_at_interval(self):
+        config = baseline_config()
+        workload = build_single_app_workload("FIR", config, scale=SCALE)
+        result = MultiGPUSystem(
+            config, workload, "baseline", snapshot_interval=5000
+        ).run()
+        assert len(result.snapshots) >= 2
+        cycles = [s.cycle for s in result.snapshots]
+        assert cycles == sorted(cycles)
+        for snap in result.snapshots:
+            assert snap.l2_duplicated <= snap.l2_resident
+            assert len(snap.iommu_owner_counts) == config.num_gpus
+
+
+class TestResults:
+    def test_result_metadata(self):
+        result = run_single_app("FIR", policy="baseline", scale=SCALE)
+        assert result.policy_name == "baseline"
+        assert result.workload_kind == "single"
+        assert result.metadata["num_gpus"] == 4
+        assert result.events_executed > 0
+
+    def test_derived_rates_in_range(self):
+        result = run_single_app("MM", policy="baseline", scale=SCALE)
+        app = result.apps[1]
+        for rate in (app.l1_hit_rate, app.l2_hit_rate, app.iommu_hit_rate):
+            assert 0.0 <= rate <= 1.0
+        assert app.ipc > 0
+        assert app.mpki >= 0
+
+    def test_speedup_vs_self_is_one(self):
+        result = run_single_app("FIR", policy="baseline", scale=SCALE)
+        assert result.speedup_vs(result) == pytest.approx(1.0)
+        per_app = result.per_app_speedup_vs(result)
+        assert per_app[1] == pytest.approx(1.0)
+
+    def test_tracker_stats_only_for_least_tlb(self):
+        base = run_single_app("FIR", policy="baseline", scale=SCALE)
+        least = run_single_app("FIR", policy="least-tlb", scale=SCALE)
+        assert base.tracker_stats is None
+        assert least.tracker_stats is not None
+        assert least.tracker_stats["registrations"] > 0
+
+    def test_apps_named(self):
+        result = run_single_app("FIR", policy="baseline", scale=SCALE)
+        assert [a.pid for a in result.apps_named("FIR")] == [1]
+        assert result.apps_named("XX") == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_single_app("MM", policy="least-tlb", scale=SCALE, seed=5)
+        b = run_single_app("MM", policy="least-tlb", scale=SCALE, seed=5)
+        assert a.total_cycles == b.total_cycles
+        assert a.apps[1].counters == b.apps[1].counters
+
+    def test_different_seed_different_result(self):
+        a = run_single_app("MM", policy="baseline", scale=SCALE, seed=5)
+        b = run_single_app("MM", policy="baseline", scale=SCALE, seed=6)
+        assert a.apps[1].counters != b.apps[1].counters
+
+
+class TestShootdown:
+    def test_system_shootdown_clears_everything(self, tiny_config):
+        workload = tiny_workload()
+        system = MultiGPUSystem(tiny_config, workload, "least-tlb")
+        system.run()
+        assert len(system.gpus[0].l2_tlb) > 0
+        system.shootdown()
+        assert len(system.gpus[0].l2_tlb) == 0
+        assert len(system.iommu.tlb) == 0

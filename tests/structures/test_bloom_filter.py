@@ -1,0 +1,60 @@
+"""Unit tests for the counting Bloom filter (tracker ablation comparator)."""
+
+import pytest
+
+from repro.structures.bloom_filter import CountingBloomFilter
+
+
+def test_insert_contains_delete_roundtrip():
+    filt = CountingBloomFilter(num_cells=512)
+    filt.insert(1, 10)
+    assert filt.contains(1, 10)
+    assert filt.delete(1, 10)
+    assert not filt.contains(1, 10)
+
+
+def test_no_false_negatives_before_saturation():
+    filt = CountingBloomFilter(num_cells=4096, num_hashes=2)
+    keys = [(1, v) for v in range(300)]
+    for pid, vpn in keys:
+        filt.insert(pid, vpn)
+    assert all(filt.contains(pid, vpn) for pid, vpn in keys)
+
+
+def test_delete_of_absent_key_detectable_sometimes():
+    filt = CountingBloomFilter(num_cells=512)
+    filt.insert(1, 1)
+    # A key with at least one zero cell is provably absent.
+    absent_deletes = sum(not filt.delete(1, vpn) for vpn in range(100, 200))
+    assert absent_deletes > 50
+    assert filt.stats.failed_deletions > 0
+
+
+def test_counter_saturation_does_not_underflow():
+    filt = CountingBloomFilter(num_cells=4, num_hashes=1, counter_bits=2)
+    for _ in range(10):
+        filt.insert(1, 0)
+    # Saturated at 3; deletes leave saturated cells untouched.
+    for _ in range(10):
+        filt.delete(1, 0)
+    assert filt.contains(1, 0)  # stranded state, by design
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        CountingBloomFilter(num_cells=0)
+    with pytest.raises(ValueError):
+        CountingBloomFilter(num_cells=8, num_hashes=0)
+
+
+def test_size_bytes():
+    filt = CountingBloomFilter(num_cells=2048, counter_bits=4)
+    assert filt.size_bytes() == pytest.approx(1024)
+
+
+def test_clear():
+    filt = CountingBloomFilter(num_cells=128)
+    filt.insert(1, 5)
+    filt.clear()
+    assert not filt.contains(1, 5)
+    assert len(filt) == 0

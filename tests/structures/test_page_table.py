@@ -1,0 +1,105 @@
+"""Unit tests for the radix page tables."""
+
+import pytest
+
+from repro.structures.page_table import PageTable, PageTableManager
+
+
+class TestPageTable:
+    def test_map_translate(self):
+        table = PageTable()
+        table.map(0x1234, 99)
+        assert table.translate(0x1234) == 99
+        assert table.translate(0x1235) is None
+
+    def test_walk_full_depth_on_hit(self):
+        table = PageTable(levels=4)
+        table.map(7, 1)
+        result = table.walk(7)
+        assert result.hit
+        assert result.levels_touched == 4
+        assert not result.faulted
+
+    def test_walk_fault_reports_partial_depth(self):
+        table = PageTable(levels=4, bits_per_level=9)
+        table.map(0, 1)
+        # A vpn differing at the top level faults at level 1.
+        far_vpn = 1 << (3 * 9)
+        result = table.walk(far_vpn)
+        assert result.faulted
+        assert result.levels_touched == 1
+
+    def test_walk_fault_at_leaf(self):
+        table = PageTable(levels=4, bits_per_level=9)
+        table.map(0, 1)
+        result = table.walk(1)  # same intermediate path, missing leaf
+        assert result.faulted
+        assert result.levels_touched == 4
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map(5, 1)
+        assert table.unmap(5) is True
+        assert table.translate(5) is None
+        assert table.unmap(5) is False
+        assert table.mapped_pages == 0
+
+    def test_remap_does_not_double_count(self):
+        table = PageTable()
+        table.map(5, 1)
+        table.map(5, 2)
+        assert table.mapped_pages == 1
+        assert table.translate(5) == 2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PageTable(levels=0)
+        with pytest.raises(ValueError):
+            PageTable(bits_per_level=0)
+
+    def test_distinct_vpns_distinct_frames(self):
+        table = PageTable(levels=2, bits_per_level=4)
+        for vpn in range(256):
+            table.map(vpn, vpn + 1)
+        assert table.mapped_pages == 256
+        assert all(table.translate(v) == v + 1 for v in range(256))
+
+
+class TestPageTableManager:
+    def test_per_pid_isolation(self):
+        manager = PageTableManager()
+        ppn_a = manager.map_page(1, 100)
+        ppn_b = manager.map_page(2, 100)
+        assert ppn_a != ppn_b
+        assert manager.walk(1, 100).ppn == ppn_a
+        assert manager.walk(2, 100).ppn == ppn_b
+
+    def test_map_is_idempotent(self):
+        manager = PageTableManager()
+        first = manager.map_page(1, 5)
+        second = manager.map_page(1, 5)
+        assert first == second
+
+    def test_unknown_pid_faults_at_first_level(self):
+        manager = PageTableManager()
+        result = manager.walk(42, 0)
+        assert result.faulted
+        assert result.levels_touched == 1
+
+    def test_prefault(self):
+        manager = PageTableManager()
+        created = manager.prefault(1, range(100))
+        assert created == 100
+        assert manager.prefault(1, range(100)) == 0
+        assert manager.total_mapped_pages == 100
+
+    def test_frames_never_zero(self):
+        manager = PageTableManager()
+        assert manager.map_page(1, 0) >= 1
+
+    def test_remove_process(self):
+        manager = PageTableManager()
+        manager.map_page(1, 5)
+        assert manager.remove_process(1) is True
+        assert manager.walk(1, 5).faulted
+        assert manager.remove_process(1) is False

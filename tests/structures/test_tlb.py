@@ -1,0 +1,220 @@
+"""Unit tests for the set-associative TLB models."""
+
+import pytest
+
+from repro.structures.tlb import InfiniteTLB, SetAssociativeTLB, TLBEntry
+
+
+def make_entry(vpn, pid=1, ppn=None):
+    return TLBEntry(pid=pid, vpn=vpn, ppn=ppn if ppn is not None else vpn + 1000)
+
+
+class TestGeometry:
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(num_entries=0, associativity=1)
+
+    def test_associativity_must_divide(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(num_entries=10, associativity=4)
+
+    def test_num_sets(self):
+        tlb = SetAssociativeTLB(num_entries=512, associativity=16)
+        assert tlb.num_sets == 32
+
+    def test_fully_associative(self):
+        tlb = SetAssociativeTLB(num_entries=16, associativity=16)
+        assert tlb.num_sets == 1
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        tlb = SetAssociativeTLB(num_entries=16, associativity=4)
+        assert tlb.lookup(1, 5) is None
+        tlb.insert(make_entry(5))
+        found = tlb.lookup(1, 5)
+        assert found is not None
+        assert found.ppn == 1005
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_pid_is_part_of_tag(self):
+        tlb = SetAssociativeTLB(num_entries=16, associativity=4)
+        tlb.insert(make_entry(5, pid=1))
+        assert tlb.lookup(2, 5) is None
+        assert tlb.lookup(1, 5) is not None
+
+    def test_insert_existing_refreshes_without_eviction(self):
+        tlb = SetAssociativeTLB(num_entries=4, associativity=4)
+        tlb.insert(make_entry(1))
+        victim = tlb.insert(make_entry(1, ppn=777))
+        assert victim is None
+        assert tlb.peek(1, 1).ppn == 777
+        assert len(tlb) == 1
+
+    def test_eviction_returns_lru_victim(self):
+        tlb = SetAssociativeTLB(num_entries=2, associativity=2)
+        tlb.insert(make_entry(0))
+        tlb.insert(make_entry(2))  # same set (2 % 1 == 0 % 1 with 1 set)
+        victim = tlb.insert(make_entry(4))
+        assert victim is not None
+        assert victim.vpn == 0
+
+    def test_lookup_promotes_lru(self):
+        tlb = SetAssociativeTLB(num_entries=2, associativity=2)
+        tlb.insert(make_entry(0))
+        tlb.insert(make_entry(2))
+        tlb.lookup(1, 0)  # promote vpn 0
+        victim = tlb.insert(make_entry(4))
+        assert victim.vpn == 2
+
+    def test_touch_promotes_without_stats(self):
+        tlb = SetAssociativeTLB(num_entries=2, associativity=2)
+        tlb.insert(make_entry(0))
+        tlb.insert(make_entry(2))
+        hits_before = tlb.stats.hits
+        assert tlb.touch(1, 0) is True
+        assert tlb.stats.hits == hits_before
+        victim = tlb.insert(make_entry(4))
+        assert victim.vpn == 2
+
+    def test_touch_missing_returns_false(self):
+        tlb = SetAssociativeTLB(num_entries=4, associativity=4)
+        assert tlb.touch(1, 9) is False
+
+    def test_peek_and_contains_no_stats(self):
+        tlb = SetAssociativeTLB(num_entries=4, associativity=4)
+        tlb.insert(make_entry(1))
+        assert tlb.peek(1, 1) is not None
+        assert tlb.contains(1, 1)
+        assert not tlb.contains(1, 2)
+        assert tlb.stats.lookups == 0
+
+    def test_set_indexing_by_vpn(self):
+        tlb = SetAssociativeTLB(num_entries=8, associativity=2)  # 4 sets
+        # Fill set 0 far beyond a single set's capacity via vpns % 4 == 0.
+        for vpn in (0, 4, 8):
+            tlb.insert(make_entry(vpn))
+        assert len(tlb) == 2  # conflict evictions in set 0
+
+    def test_lru_victim_preview(self):
+        tlb = SetAssociativeTLB(num_entries=2, associativity=2)
+        assert tlb.lru_victim(0) is None
+        tlb.insert(make_entry(0))
+        assert tlb.lru_victim(0) is None  # space remains
+        tlb.insert(make_entry(2))
+        assert tlb.lru_victim(4).vpn == 0
+        # Preview must not evict.
+        assert len(tlb) == 2
+
+
+class TestRemoveInvalidate:
+    def test_remove(self):
+        tlb = SetAssociativeTLB(num_entries=4, associativity=4)
+        tlb.insert(make_entry(1))
+        removed = tlb.remove(1, 1)
+        assert removed.vpn == 1
+        assert tlb.remove(1, 1) is None
+        assert len(tlb) == 0
+
+    def test_invalidate_all(self):
+        tlb = SetAssociativeTLB(num_entries=8, associativity=2)
+        for vpn in range(4):
+            tlb.insert(make_entry(vpn))
+        assert tlb.invalidate_all() == 4
+        assert len(tlb) == 0
+
+    def test_invalidate_pid(self):
+        tlb = SetAssociativeTLB(num_entries=8, associativity=8)
+        tlb.insert(make_entry(1, pid=1))
+        tlb.insert(make_entry(2, pid=2))
+        tlb.insert(make_entry(3, pid=2))
+        assert tlb.invalidate_pid(2) == 2
+        assert tlb.contains(1, 1)
+        assert len(tlb) == 1
+
+
+class TestIntrospection:
+    def test_iter_and_resident_keys(self):
+        tlb = SetAssociativeTLB(num_entries=8, associativity=8)
+        for vpn in range(3):
+            tlb.insert(make_entry(vpn))
+        assert {e.vpn for e in tlb.iter_entries()} == {0, 1, 2}
+        assert tlb.resident_keys() == {(1, 0), (1, 1), (1, 2)}
+
+    def test_occupancy(self):
+        tlb = SetAssociativeTLB(num_entries=8, associativity=8)
+        tlb.insert(make_entry(0))
+        tlb.insert(make_entry(1))
+        assert tlb.occupancy() == pytest.approx(0.25)
+
+    def test_key_in_operator(self):
+        tlb = SetAssociativeTLB(num_entries=8, associativity=8)
+        tlb.insert(make_entry(5))
+        assert (1, 5) in tlb
+        assert (1, 6) not in tlb
+
+
+class TestReplacementVariants:
+    def test_fifo_does_not_promote_on_hit(self):
+        tlb = SetAssociativeTLB(num_entries=2, associativity=2, replacement="fifo")
+        tlb.insert(make_entry(0))
+        tlb.insert(make_entry(2))
+        tlb.lookup(1, 0)
+        victim = tlb.insert(make_entry(4))
+        assert victim.vpn == 0  # first in, first out, despite the hit
+
+    def test_random_is_deterministic_under_seed(self):
+        def run(seed):
+            tlb = SetAssociativeTLB(
+                num_entries=4, associativity=4, replacement="random", seed=seed
+            )
+            victims = []
+            for vpn in range(12):
+                victim = tlb.insert(make_entry(vpn * 4))
+                if victim:
+                    victims.append(victim.vpn)
+            return victims
+
+        assert run(3) == run(3)
+
+
+class TestEntry:
+    def test_copy_is_independent(self):
+        entry = make_entry(7)
+        clone = entry.copy()
+        clone.spill_budget = 0
+        assert entry.spill_budget == 1
+
+    def test_key(self):
+        assert make_entry(9, pid=3).key == (3, 9)
+
+
+class TestInfiniteTLB:
+    def test_never_evicts(self):
+        tlb = InfiniteTLB()
+        for vpn in range(10_000):
+            assert tlb.insert(make_entry(vpn)) is None
+        assert len(tlb) == 10_000
+        assert tlb.lookup(1, 9_999) is not None
+
+    def test_stats_still_counted(self):
+        tlb = InfiniteTLB()
+        tlb.lookup(1, 1)
+        tlb.insert(make_entry(1))
+        tlb.lookup(1, 1)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 1
+
+    def test_remove_and_invalidate(self):
+        tlb = InfiniteTLB()
+        tlb.insert(make_entry(1, pid=1))
+        tlb.insert(make_entry(2, pid=2))
+        assert tlb.remove(1, 1).vpn == 1
+        assert tlb.invalidate_pid(2) == 1
+        assert len(tlb) == 0
+
+    def test_lru_victim_is_none(self):
+        tlb = InfiniteTLB()
+        tlb.insert(make_entry(1))
+        assert tlb.lru_victim(1) is None

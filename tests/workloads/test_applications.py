@@ -1,0 +1,132 @@
+"""Unit tests for the application specs and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.config.system import PAGE_2MB
+from repro.workloads.applications import (
+    APPLICATIONS,
+    classify_mpki,
+    generate_application_traces,
+    generate_gpu_trace,
+    get_application,
+)
+
+
+class TestRegistry:
+    def test_table3_applications_present(self):
+        for name in ("FIR", "KM", "PR", "AES", "MT", "MM", "BS", "ST", "FFT", "SC"):
+            assert name in APPLICATIONS
+
+    def test_lookup_case_insensitive(self):
+        assert get_application("mt").name == "MT"
+
+    def test_unknown_application(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            get_application("XYZ")
+
+    def test_paper_mpki_classes_consistent(self):
+        """Each spec's declared class matches the paper's MPKI value."""
+        for spec in APPLICATIONS.values():
+            assert classify_mpki(spec.paper_mpki) == spec.mpki_class
+
+    def test_patterns_match_paper_table(self):
+        """Section 3.1.2's pattern assignment: random (BS, PR), adjacent
+        (ST, FIR), partition (KM, AES), stride (FFT), scatter-gather
+        (MT, MM)."""
+        expected = {
+            "BS": "random", "PR": "random",
+            "ST": "adjacent", "FIR": "adjacent", "SC": "adjacent",
+            "KM": "partition", "AES": "partition",
+            "FFT": "stride",
+            "MT": "scatter_gather", "MM": "scatter_gather",
+        }
+        for name, pattern in expected.items():
+            assert APPLICATIONS[name].pattern.pattern == pattern
+
+
+class TestClassification:
+    def test_boundaries(self):
+        assert classify_mpki(0.05) == "L"
+        assert classify_mpki(0.1) == "M"
+        assert classify_mpki(0.99) == "M"
+        assert classify_mpki(1.0) == "H"
+
+
+class TestTraceGeneration:
+    def test_runs_dealt_across_cus(self):
+        spec = get_application("FIR")
+        trace = generate_gpu_trace(spec, 1, 0, 4, num_cus=8, runs=800, seed=1)
+        assert len(trace.cu_streams) == 8
+        assert trace.num_runs == 800
+        assert all(s.num_runs == 100 for s in trace.cu_streams)
+
+    def test_warmup_marked(self):
+        spec = get_application("FIR")
+        trace = generate_gpu_trace(
+            spec, 1, 0, 4, num_cus=4, runs=400, seed=1, warmup_frac=0.25
+        )
+        for s in trace.cu_streams:
+            assert s.warmup_runs == 25
+            assert s.measured_runs == 75
+
+    def test_deterministic_per_seed(self):
+        spec = get_application("MM")
+        a = generate_gpu_trace(spec, 1, 2, 4, num_cus=4, runs=500, seed=9)
+        b = generate_gpu_trace(spec, 1, 2, 4, num_cus=4, runs=500, seed=9)
+        for sa, sb in zip(a.cu_streams, b.cu_streams):
+            assert np.array_equal(sa.vpns, sb.vpns)
+            assert np.array_equal(sa.gaps, sb.gaps)
+
+    def test_different_gpus_different_streams(self):
+        spec = get_application("PR")
+        a = generate_gpu_trace(spec, 1, 0, 4, num_cus=4, runs=500, seed=9)
+        b = generate_gpu_trace(spec, 1, 1, 4, num_cus=4, runs=500, seed=9)
+        assert not np.array_equal(a.cu_streams[0].vpns, b.cu_streams[0].vpns)
+
+    def test_scale_shrinks_runs_not_footprint(self):
+        spec = get_application("KM")
+        full = generate_application_traces(spec, 1, num_gpus=4, num_cus=4, scale=1.0)
+        small = generate_application_traces(spec, 1, num_gpus=4, num_cus=4, scale=0.1)
+        assert small[0].num_runs < full[0].num_runs
+        # Footprint geometry unchanged: pages still span the same range.
+        assert max(max(s.vpns.max() for s in t.cu_streams) for t in small) > 1000
+
+    def test_invalid_scale(self):
+        spec = get_application("KM")
+        with pytest.raises(ValueError, match="scale"):
+            generate_application_traces(spec, 1, num_gpus=4, num_cus=4, scale=0)
+
+    def test_invalid_warmup(self):
+        spec = get_application("KM")
+        with pytest.raises(ValueError, match="warmup_frac"):
+            generate_gpu_trace(spec, 1, 0, 4, num_cus=4, runs=100, seed=1, warmup_frac=1.0)
+
+
+class TestIntensityPhases:
+    def test_phased_apps_have_bimodal_gaps(self):
+        spec = get_application("MT")
+        assert spec.intensity_period > 0
+        trace = generate_gpu_trace(spec, 1, 0, 4, num_cus=1, runs=40_000, seed=1)
+        gaps = trace.cu_streams[0].gaps
+        # Compute phases stretch gaps by the intensity factor.
+        assert gaps.max() > spec.mean_gap * 2
+        assert gaps.min() < spec.mean_gap
+
+
+class TestVariants:
+    def test_single_gpu_halves_input(self):
+        spec = get_application("ST")
+        alone = spec.for_single_gpu()
+        assert alone.pattern.footprint_pages == spec.pattern.footprint_pages // 2
+        assert alone.pattern.far_region_pages == spec.pattern.far_region_pages // 2
+        assert alone.total_runs == spec.total_runs // 2
+        # Locality/intensity knobs preserved -> MPKI class preserved.
+        assert alone.mean_gap == spec.mean_gap
+        assert alone.pattern.p_reuse == spec.pattern.p_reuse
+
+    def test_large_pages_shrink_footprint(self):
+        spec = get_application("MT")
+        large = spec.scaled_to_page_size(PAGE_2MB)
+        assert large.pattern.footprint_pages == spec.pattern.footprint_pages // 512
+        assert spec.scaled_to_page_size(4096) is spec

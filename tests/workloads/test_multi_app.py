@@ -1,0 +1,142 @@
+"""Unit tests for workload construction (Tables 4, 5, 6)."""
+
+import pytest
+
+from repro.config.presets import baseline_config, scaled_config
+from repro.workloads.multi_app import (
+    MIX_WORKLOADS,
+    MULTI_APP_WORKLOADS,
+    SCALED_WORKLOADS,
+    SINGLE_APP_NAMES,
+    build_alone_workload,
+    build_mix_workload,
+    build_multi_app_workload,
+    build_single_app_workload,
+    workload_category,
+)
+
+
+class TestTables:
+    def test_table4_has_ten_workloads_of_four_apps(self):
+        assert len(MULTI_APP_WORKLOADS) == 10
+        for apps, category in MULTI_APP_WORKLOADS.values():
+            assert len(apps) == 4
+            assert len(category) == 4
+
+    def test_table5_sizes(self):
+        for name, (apps, _) in SCALED_WORKLOADS.items():
+            assert len(apps) == (16 if name == "W16" else 8)
+
+    def test_table6_pairs(self):
+        for pairs, _ in MIX_WORKLOADS.values():
+            assert len(pairs) == 3
+            assert all(len(p) == 2 for p in pairs)
+
+    def test_w10_is_all_high(self):
+        apps, category = MULTI_APP_WORKLOADS["W10"]
+        assert apps == ("MT", "MT", "ST", "ST")
+        assert category == "HHHH"
+
+    def test_category_lookup(self):
+        assert workload_category("W4") == "LLMH"
+        assert workload_category("W17") == "LM,LH,MH"
+        with pytest.raises(ValueError):
+            workload_category("W99")
+
+    def test_single_app_names_match_table3(self):
+        assert SINGLE_APP_NAMES == ("FIR", "KM", "PR", "AES", "MT", "MM", "BS", "ST", "FFT")
+
+
+class TestSingleAppWorkload:
+    def test_spans_all_gpus_one_pid(self):
+        config = baseline_config()
+        workload = build_single_app_workload("MM", config, scale=0.05)
+        assert workload.kind == "single"
+        assert workload.pids == [1]
+        assert workload.gpus_for(1) == [0, 1, 2, 3]
+        assert len(workload.placements) == 4
+        for placement in workload.placements:
+            assert len(placement.cu_ids) == config.gpu.num_cus
+
+    def test_describe_mentions_app(self):
+        workload = build_single_app_workload("MM", baseline_config(), scale=0.05)
+        assert "MM" in workload.describe()
+
+
+class TestMultiAppWorkload:
+    def test_one_app_per_gpu(self):
+        config = baseline_config()
+        workload = build_multi_app_workload("W6", config, scale=0.05)
+        assert workload.kind == "multi"
+        assert workload.pids == [1, 2, 3, 4]
+        assert [workload.app_names[p] for p in workload.pids] == ["FIR", "AES", "MT", "ST"]
+        for pid in workload.pids:
+            assert workload.gpus_for(pid) == [pid - 1]
+
+    def test_explicit_tuple(self):
+        workload = build_multi_app_workload(
+            ("FIR", "KM", "MT", "ST"), baseline_config(), scale=0.05
+        )
+        assert workload.name == "FIR+KM+MT+ST"
+
+    def test_wrong_app_count_rejected(self):
+        with pytest.raises(ValueError, match="one application per GPU"):
+            build_multi_app_workload(("FIR", "KM"), baseline_config(), scale=0.05)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_multi_app_workload("W42", baseline_config())
+
+    def test_8gpu_workload_needs_8gpu_config(self):
+        workload = build_multi_app_workload("W11", scaled_config(8), scale=0.05)
+        assert len(workload.pids) == 8
+        with pytest.raises(ValueError):
+            build_multi_app_workload("W11", baseline_config(), scale=0.05)
+
+    def test_duplicate_apps_get_distinct_pids(self):
+        workload = build_multi_app_workload("W10", baseline_config(), scale=0.05)
+        names = [workload.app_names[p] for p in workload.pids]
+        assert names == ["MT", "MT", "ST", "ST"]
+        assert len(set(workload.pids)) == 4
+
+
+class TestMixWorkload:
+    def test_two_apps_share_each_gpu(self):
+        config = baseline_config()
+        workload = build_mix_workload("W17", config, scale=0.05)
+        assert len(workload.pids) == 6
+        # Pairs on GPUs 0-2; GPU 3 idle (the table lists three pairs).
+        for gpu in range(3):
+            placements = workload.placements_on(gpu)
+            assert len(placements) == 2
+            cus = sorted(c for p in placements for c in p.cu_ids)
+            assert cus == list(range(config.gpu.num_cus))
+        assert workload.placements_on(3) == []
+
+    def test_unknown_mix(self):
+        with pytest.raises(ValueError, match="unknown mix workload"):
+            build_mix_workload("W99", baseline_config())
+
+
+class TestAloneWorkload:
+    def test_single_gpu_single_pid(self):
+        workload = build_alone_workload("KM", baseline_config(), scale=0.05)
+        assert workload.kind == "multi"
+        assert workload.pids == [1]
+        assert workload.gpus_for(1) == [0]
+
+    def test_alone_uses_single_gpu_input(self):
+        config = baseline_config()
+        alone = build_alone_workload("KM", config, scale=1.0)
+        spread = build_single_app_workload("KM", config, scale=1.0)
+        # The alone run executes the halved single-GPU input.
+        assert alone.runs_for(1) < spread.runs_for(1)
+
+
+class TestAccounting:
+    def test_measured_counts_are_consistent(self):
+        workload = build_single_app_workload("FIR", baseline_config(), scale=0.1)
+        pid = 1
+        assert 0 < workload.measured_runs_for(pid) < workload.runs_for(pid)
+        assert 0 < workload.measured_instructions_for(pid) < workload.instructions_for(pid)
+        assert workload.measured_accesses_for(pid) <= workload.accesses_for(pid)

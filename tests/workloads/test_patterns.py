@@ -1,0 +1,167 @@
+"""Unit tests for the access-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.patterns import (
+    PatternParams,
+    far_region_bounds,
+    generate_page_runs,
+    partition_bounds,
+)
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def params(pattern="random", footprint=1024, p_reuse=0.0, window=16, seq=0.0, **kw):
+    return PatternParams(
+        pattern=pattern, footprint_pages=footprint, p_reuse=p_reuse,
+        reuse_window=window, seq_frac=seq, **kw,
+    )
+
+
+class TestValidation:
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            params(pattern="zigzag")
+
+    def test_reuse_probability_bounds(self):
+        with pytest.raises(ValueError):
+            params(p_reuse=1.0)
+
+    def test_reuse_plus_far_must_leave_new(self):
+        with pytest.raises(ValueError, match="room for new"):
+            params(p_reuse=0.6, far_frac=0.4, far_region_pages=10)
+
+    def test_far_region_must_fit_footprint(self):
+        with pytest.raises(ValueError, match="far_region_pages"):
+            params(far_frac=0.1, far_region_pages=4096, footprint=1024)
+
+
+class TestPartitionBounds:
+    def test_covers_footprint_disjointly(self):
+        bounds = [partition_bounds(g, 4, 1000) for g in range(4)]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 1000
+        for (lo_a, hi_a), (lo_b, _) in zip(bounds, bounds[1:]):
+            assert hi_a == lo_b
+            assert hi_a > lo_a
+
+
+class TestPatternSemantics:
+    def test_pages_within_footprint(self):
+        for pattern in ("random", "adjacent", "partition", "stride", "scatter_gather"):
+            p = params(pattern=pattern, footprint=512)
+            for gpu in range(4):
+                pages = generate_page_runs(p, gpu, 4, 2000, RNG(gpu))
+                assert pages.min() >= 0
+                assert pages.max() < 512
+
+    def test_partition_has_no_sharing(self):
+        p = params(pattern="partition", footprint=1024, seq=0.5)
+        touched = [
+            set(generate_page_runs(p, g, 4, 3000, RNG(g)).tolist()) for g in range(4)
+        ]
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not (touched[a] & touched[b])
+
+    def test_random_is_heavily_shared(self):
+        p = params(pattern="random", footprint=256)
+        touched = [
+            set(generate_page_runs(p, g, 4, 4000, RNG(g)).tolist()) for g in range(4)
+        ]
+        shared_all = touched[0] & touched[1] & touched[2] & touched[3]
+        assert len(shared_all) > 0.8 * 256
+
+    def test_adjacent_shares_only_with_neighbors(self):
+        p = params(pattern="adjacent", footprint=4096, overlap_frac=0.3, halo_frac=0.5)
+        touched = [
+            set(generate_page_runs(p, g, 4, 6000, RNG(g)).tolist()) for g in range(4)
+        ]
+        # Neighbours overlap...
+        assert touched[0] & touched[1]
+        # ...and each GPU keeps a private core in its own partition.
+        lo, hi = partition_bounds(0, 4, 4096)
+        own_core = {v for v in touched[0] if lo <= v < hi}
+        assert len(own_core) > len(touched[0]) / 2
+
+    def test_scatter_gather_touches_remote_partitions(self):
+        p = params(pattern="scatter_gather", footprint=4096, local_frac=0.5)
+        pages = generate_page_runs(p, 0, 4, 8000, RNG(1))
+        lo, hi = partition_bounds(0, 4, 4096)
+        remote = np.count_nonzero((pages < lo) | (pages >= hi))
+        assert 0.3 < remote / len(pages) < 0.7
+
+    def test_stride_shares_pairwise(self):
+        p = params(pattern="stride", footprint=2048, seq=0.5)
+        touched = [
+            set(generate_page_runs(p, g, 4, 4000, RNG(g)).tolist()) for g in range(4)
+        ]
+        # Butterfly partners exchange data, so some cross-partition sharing
+        # must exist.
+        assert touched[0] & touched[1]
+
+    def test_single_gpu_uses_whole_footprint(self):
+        p = params(pattern="partition", footprint=512, seq=1.0)
+        pages = generate_page_runs(p, 0, 1, 2000, RNG(0))
+        assert len(set(pages.tolist())) == 512
+
+
+class TestLocalityOverlays:
+    def test_near_reuse_shrinks_unique_pages(self):
+        base = params(pattern="random", footprint=4096)
+        local = params(pattern="random", footprint=4096, p_reuse=0.8, window=32)
+        n = 5000
+        unique_base = len(set(generate_page_runs(base, 0, 1, n, RNG(3)).tolist()))
+        unique_local = len(set(generate_page_runs(local, 0, 1, n, RNG(3)).tolist()))
+        assert unique_local < unique_base / 2
+
+    def test_far_uniform_draws_stay_in_hot_set(self):
+        p = params(
+            pattern="partition", footprint=4096,
+            far_frac=0.5, far_region_pages=512,
+        )
+        pages = generate_page_runs(p, 1, 4, 5000, RNG(4))
+        lo, hi = far_region_bounds(p, 1, 4)
+        in_hot = np.count_nonzero((pages >= lo) & (pages < hi))
+        assert in_hot >= 0.4 * len(pages)
+
+    def test_far_cyclic_sweeps_in_order(self):
+        p = params(
+            pattern="random", footprint=4096,
+            far_frac=0.99, p_reuse=0.0, far_region_pages=256, far_cyclic=True,
+        )
+        pages = generate_page_runs(p, 0, 1, 1000, RNG(5))
+        # Nearly every access is a cyclic sweep of the 256-page hot set:
+        # consecutive far pages differ by exactly 1 (mod 256).
+        far = pages[pages < 256]
+        diffs = np.diff(far) % 256
+        assert np.count_nonzero(diffs == 1) > 0.9 * len(diffs)
+
+    def test_far_region_partitioned_for_partition_pattern(self):
+        p = params(
+            pattern="partition", footprint=4096,
+            far_frac=0.3, far_region_pages=1024,
+        )
+        bounds = [far_region_bounds(p, g, 4) for g in range(4)]
+        for g, (lo, hi) in enumerate(bounds):
+            plo, phi = partition_bounds(g, 4, 4096)
+            assert plo <= lo < hi <= phi
+            assert hi - lo == 256
+
+    def test_far_region_shared_for_random_pattern(self):
+        p = params(pattern="random", footprint=4096, far_frac=0.3, far_region_pages=1024)
+        assert far_region_bounds(p, 0, 4) == far_region_bounds(p, 3, 4) == (0, 1024)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        p = params(pattern="scatter_gather", footprint=2048, p_reuse=0.5, window=64)
+        a = generate_page_runs(p, 2, 4, 3000, RNG(11))
+        b = generate_page_runs(p, 2, 4, 3000, RNG(11))
+        assert np.array_equal(a, b)
+
+    def test_zero_runs(self):
+        p = params()
+        assert len(generate_page_runs(p, 0, 4, 0, RNG(0))) == 0

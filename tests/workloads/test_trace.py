@@ -1,0 +1,96 @@
+"""Unit tests for the trace data model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import CUStream, GPUTrace, Placement, Workload
+
+
+def stream(n=4, warmup=0):
+    return CUStream(
+        vpns=np.arange(n, dtype=np.int64),
+        gaps=np.full(n, 10, dtype=np.int64),
+        repeats=np.full(n, 3, dtype=np.int64),
+        warmup_runs=warmup,
+    )
+
+
+class TestCUStream:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            CUStream(np.arange(3), np.arange(2), np.arange(3))
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup"):
+            stream(warmup=-1)
+
+    def test_warmup_clamped_below_length(self):
+        s = stream(n=4, warmup=10)
+        assert s.warmup_runs == 3
+        assert s.measured_runs == 1
+
+    def test_counts(self):
+        s = stream(n=4, warmup=1)
+        assert s.num_runs == 4
+        assert s.num_accesses == 12
+        assert s.measured_accesses == 9
+        assert s.instructions == 40
+        assert s.measured_instructions == 30
+
+    def test_empty_stream(self):
+        s = CUStream(np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+                     np.array([], dtype=np.int64))
+        assert s.num_runs == 0
+        assert s.measured_runs == 0
+
+
+class TestGPUTrace:
+    def test_aggregates(self):
+        trace = GPUTrace(pid=1, app_name="x", cu_streams=[stream(4), stream(2)])
+        assert trace.num_runs == 6
+        assert trace.num_accesses == 18
+        assert trace.instructions == 60
+
+    def test_touched_pages(self):
+        trace = GPUTrace(pid=1, app_name="x", cu_streams=[stream(3)])
+        assert trace.touched_pages() == {0, 1, 2}
+
+
+class TestPlacement:
+    def test_mismatched_streams_rejected(self):
+        with pytest.raises(ValueError, match="streams"):
+            Placement(gpu_id=0, pid=1, app_name="x", cu_ids=[0, 1],
+                      streams=[stream()])
+
+
+class TestWorkload:
+    def make(self, kind="multi"):
+        placements = [
+            Placement(gpu_id=0, pid=1, app_name="a", cu_ids=[0], streams=[stream(4)]),
+            Placement(gpu_id=1, pid=2, app_name="b", cu_ids=[0], streams=[stream(2)]),
+        ]
+        return Workload(
+            name="w", kind=kind, placements=placements,
+            app_names={1: "a", 2: "b"},
+            footprints={1: np.arange(4), 2: np.arange(2)},
+        )
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            self.make(kind="hybrid")
+
+    def test_pid_queries(self):
+        workload = self.make()
+        assert workload.pids == [1, 2]
+        assert workload.gpus_for(1) == [0]
+        assert workload.runs_for(1) == 4
+        assert workload.instructions_for(2) == 20
+
+    def test_placements_on(self):
+        workload = self.make()
+        assert len(workload.placements_on(0)) == 1
+        assert workload.placements_on(2) == []
+
+    def test_describe(self):
+        text = self.make().describe()
+        assert "pid 1" in text and "pid 2" in text

@@ -1,0 +1,107 @@
+"""Unit tests for workload serialization and bring-your-own-trace."""
+
+import numpy as np
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.sim.system import MultiGPUSystem
+from repro.workloads.multi_app import build_multi_app_workload, build_single_app_workload
+from repro.workloads.trace_io import (
+    load_workload,
+    save_workload,
+    workload_from_page_streams,
+)
+
+
+class TestRoundTrip:
+    def test_single_app_workload_roundtrips(self, tmp_path):
+        config = baseline_config()
+        original = build_single_app_workload("MM", config, scale=0.05)
+        path = save_workload(original, tmp_path / "mm.npz")
+        loaded = load_workload(path)
+        assert loaded.name == original.name
+        assert loaded.kind == original.kind
+        assert loaded.app_names == original.app_names
+        assert len(loaded.placements) == len(original.placements)
+        for a, b in zip(original.placements, loaded.placements):
+            assert a.gpu_id == b.gpu_id and a.pid == b.pid
+            assert a.cu_ids == b.cu_ids
+            for sa, sb in zip(a.streams, b.streams):
+                assert np.array_equal(sa.vpns, sb.vpns)
+                assert np.array_equal(sa.gaps, sb.gaps)
+                assert np.array_equal(sa.repeats, sb.repeats)
+                assert sa.warmup_runs == sb.warmup_runs
+        for pid in original.footprints:
+            assert np.array_equal(original.footprints[pid], loaded.footprints[pid])
+
+    def test_multi_app_workload_roundtrips(self, tmp_path):
+        config = baseline_config()
+        original = build_multi_app_workload("W2", config, scale=0.05)
+        loaded = load_workload(save_workload(original, tmp_path / "w2.npz"))
+        assert loaded.pids == original.pids
+        for pid in original.pids:
+            assert loaded.instructions_for(pid) == original.instructions_for(pid)
+            assert loaded.measured_runs_for(pid) == original.measured_runs_for(pid)
+
+    def test_loaded_workload_simulates_identically(self, tmp_path):
+        config = baseline_config()
+        original = build_single_app_workload("FIR", config, scale=0.05)
+        loaded = load_workload(save_workload(original, tmp_path / "fir.npz"))
+        a = MultiGPUSystem(config, original, "least-tlb").run()
+        b = MultiGPUSystem(config, loaded, "least-tlb").run()
+        assert a.total_cycles == b.total_cycles
+        assert a.apps[1].counters == b.apps[1].counters
+
+    def test_path_without_suffix(self, tmp_path):
+        original = build_single_app_workload("FIR", baseline_config(), scale=0.05)
+        written = save_workload(original, tmp_path / "plain")
+        assert written.suffix == ".npz"
+        assert load_workload(written).name == "FIR"
+
+    def test_version_check(self, tmp_path):
+        original = build_single_app_workload("FIR", baseline_config(), scale=0.05)
+        path = save_workload(original, tmp_path / "fir.npz")
+        # Corrupt the manifest version.
+        import json
+
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode())
+        manifest["version"] = 99
+        arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_workload(path)
+
+
+class TestBringYourOwnTrace:
+    def test_builds_runnable_workload(self, tiny_config):
+        rng = np.random.default_rng(1)
+        workload = workload_from_page_streams(
+            "mytrace",
+            {0: rng.integers(0, 50, 200), 1: rng.integers(0, 50, 150)},
+            num_cus=4,
+            mean_gap=100,
+        )
+        assert workload.pids == [1, 2]
+        result = MultiGPUSystem(tiny_config, workload, "least-tlb").run()
+        assert result.apps[1].counters["runs"] > 0
+        assert result.apps[2].counters["runs"] > 0
+
+    def test_shared_pid_mode(self):
+        workload = workload_from_page_streams(
+            "shared", {0: np.arange(10), 1: np.arange(10)},
+            num_cus=2, pid_per_gpu=False, kind="single",
+        )
+        assert workload.pids == [1]
+        assert sorted(workload.gpus_for(1)) == [0, 1]
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError, match="nonempty"):
+            workload_from_page_streams("bad", {0: np.array([])})
+
+    def test_footprint_covers_pages(self):
+        workload = workload_from_page_streams(
+            "fp", {0: np.array([5, 9, 5, 3])}, num_cus=1
+        )
+        assert set(workload.footprints[1].tolist()) == {3, 5, 9}
