@@ -22,6 +22,8 @@ from pathlib import Path
 
 from repro.config import presets
 from repro.config.system import SystemConfig
+from repro.engine.watchdog import SimulationStalledError
+from repro.faults import FaultPlan, FaultPlanError, InvariantViolation
 from repro.metrics.reuse_distance import fraction_within, reuse_cdf, reuse_distances
 from repro.policies import policy_names
 from repro.reporting import bar_chart, cdf_chart, comparison_table, save_result_json
@@ -51,29 +53,46 @@ CONFIG_PRESETS = {
 }
 
 
+def _cli_error(message: str) -> SystemExit:
+    """A usage error: ``error:``-prefixed message on stderr, exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def resolve_config(name: str) -> SystemConfig:
     """Build the named config preset or exit with the valid choices."""
     try:
         return CONFIG_PRESETS[name]()
     except KeyError:
-        raise SystemExit(
+        raise _cli_error(
             f"unknown config preset {name!r}; choose from {sorted(CONFIG_PRESETS)}"
         ) from None
 
 
-def resolve_workload(name: str, config: SystemConfig, scale: float) -> Workload:
+def resolve_policy(name: str) -> str:
+    """Validate a policy name or exit with the valid choices."""
+    if name not in policy_names():
+        raise _cli_error(
+            f"unknown policy {name!r}; choose from {', '.join(policy_names())}"
+        )
+    return name
+
+
+def resolve_workload(
+    name: str, config: SystemConfig, scale: float, seed: int | None = None
+) -> Workload:
     """Resolve an application/workload name or ``.npz`` path to a workload."""
     upper = name.upper()
     if upper in APPLICATIONS:
-        return build_single_app_workload(upper, config, scale=scale)
+        return build_single_app_workload(upper, config, scale=scale, seed=seed)
     if upper in MULTI_APP_WORKLOADS or upper in SCALED_WORKLOADS:
-        return build_multi_app_workload(upper, config, scale=scale)
+        return build_multi_app_workload(upper, config, scale=scale, seed=seed)
     if upper in MIX_WORKLOADS:
-        return build_mix_workload(upper, config, scale=scale)
+        return build_mix_workload(upper, config, scale=scale, seed=seed)
     path = Path(name)
     if path.exists():
         return load_workload(path)
-    raise SystemExit(
+    raise _cli_error(
         f"unknown workload {name!r}: not an application, a workload name, "
         f"or an existing .npz file"
     )
@@ -113,16 +132,41 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_seed(config: SystemConfig, seed: int | None) -> SystemConfig:
+    return config if seed is None else config.derive(seed=seed)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one simulation, optionally exported to JSON."""
-    config = resolve_config(args.config)
-    workload = resolve_workload(args.workload, config, args.scale)
-    result = simulate(
-        config, workload, args.policy,
-        record_iommu_stream=args.record_stream,
-        snapshot_interval=args.snapshot_interval,
-    )
+    config = _apply_seed(resolve_config(args.config), args.seed)
+    policy = resolve_policy(args.policy)
+    try:
+        # Parsed eagerly so a typo in the plan fails before the run starts.
+        faults = FaultPlan.parse(args.faults) if args.faults is not None else None
+    except FaultPlanError as exc:
+        raise _cli_error(str(exc)) from None
+    workload = resolve_workload(args.workload, config, args.scale, args.seed)
+    try:
+        result = simulate(
+            config, workload, policy,
+            record_iommu_stream=args.record_stream,
+            snapshot_interval=args.snapshot_interval,
+            faults=faults,
+            check_invariants=args.check_invariants,
+            max_cycles=args.max_cycles,
+            max_events=args.max_events,
+        )
+    except SimulationStalledError as exc:
+        print(f"error: simulation stalled: {exc}", file=sys.stderr)
+        for key, value in sorted(exc.diagnostics.items()):
+            print(f"  {key}: {value}", file=sys.stderr)
+        return 3
+    except InvariantViolation as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     _print_result(result)
+    if args.check_invariants:
+        print(f"invariants OK ({result.metadata.get('invariant_checks', 0)} checks)")
     if args.json:
         path = save_result_json(result, args.json, include_stream=args.record_stream)
         print(f"\nwrote {path}")
@@ -131,13 +175,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """``repro compare``: run several policies and chart the speedups."""
-    config = resolve_config(args.config)
+    config = _apply_seed(resolve_config(args.config), args.seed)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     if not policies:
-        raise SystemExit("no policies given")
+        raise _cli_error("no policies given")
+    for policy in policies:
+        resolve_policy(policy)
     results = {}
     for policy in policies:
-        workload = resolve_workload(args.workload, config, args.scale)
+        workload = resolve_workload(args.workload, config, args.scale, args.seed)
         results[policy] = simulate(config, workload, policy)
     base = results[policies[0]]
     print(f"workload {args.workload}, normalized to {policies[0]}:\n")
@@ -158,8 +204,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_characterize(args: argparse.Namespace) -> int:
     """``repro characterize``: hit rates, MPKI, reuse-distance CDF."""
-    config = resolve_config(args.config)
-    workload = resolve_workload(args.workload, config, args.scale)
+    config = _apply_seed(resolve_config(args.config), args.seed)
+    workload = resolve_workload(args.workload, config, args.scale, args.seed)
     result = simulate(config, workload, "baseline", record_iommu_stream=True)
     _print_result(result)
     distances = reuse_distances(result.iommu_stream)
@@ -192,6 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace-length scale (default 0.3)")
         p.add_argument("--config", default="baseline",
                        help=f"config preset ({', '.join(sorted(CONFIG_PRESETS))})")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the workload/config random seed")
 
     run = sub.add_parser("run", help="run one simulation")
     add_common(run)
@@ -202,6 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record the IOMMU request stream")
     run.add_argument("--snapshot-interval", type=int, default=0,
                      help="TLB-content snapshot interval in cycles")
+    run.add_argument("--faults", default=None,
+                     help="fault-injection plan, e.g. drop-remote:0.01,flip-tlb:0.0001 "
+                          "(see docs/robustness.md)")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="audit translation-hierarchy invariants while running")
+    run.add_argument("--max-cycles", type=int, default=None,
+                     help="stop the simulation at this cycle")
+    run.add_argument("--max-events", type=int, default=None,
+                     help="safety cap: fail as stalled if this many events execute "
+                          "without completing the workload")
     run.set_defaults(func=cmd_run)
 
     compare = sub.add_parser("compare", help="run several policies and compare")

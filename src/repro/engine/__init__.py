@@ -2,5 +2,13 @@
 
 from repro.engine.event_queue import EventQueue, SimulationError
 from repro.engine.stats import CounterSet, LatencyAccumulator
+from repro.engine.watchdog import SimulationStalledError, Watchdog
 
-__all__ = ["EventQueue", "SimulationError", "CounterSet", "LatencyAccumulator"]
+__all__ = [
+    "EventQueue",
+    "SimulationError",
+    "SimulationStalledError",
+    "Watchdog",
+    "CounterSet",
+    "LatencyAccumulator",
+]

@@ -1,0 +1,31 @@
+"""Fault injection, protocol hardening, and invariant checking.
+
+The robustness subsystem: deterministic seeded fault campaigns against
+the translation hierarchy (:mod:`repro.faults.plan`,
+:mod:`repro.faults.injector`), plus the runtime invariant auditor
+(:mod:`repro.faults.invariants`).  The forward-progress watchdog lives
+with the kernel in :mod:`repro.engine.watchdog`.  See
+``docs/robustness.md`` for the fault model and recovery semantics.
+"""
+
+from repro.faults.injector import FaultInjector, build_injector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.plan import (
+    ALL_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    HardeningConfig,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "HardeningConfig",
+    "InvariantChecker",
+    "InvariantViolation",
+    "build_injector",
+]

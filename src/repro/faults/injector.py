@@ -1,0 +1,119 @@
+"""Deterministic fault injection.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into per-site decisions.  Each site draws from its *own* seeded RNG
+stream, so enabling one fault site never perturbs the decision sequence
+of another — a campaign stays reproducible even as sites are added or
+removed, and two runs with the same ``(plan, seed)`` inject the exact
+same faults at the exact same points.
+
+The injector is pure decision logic; the instrumented components
+(:mod:`repro.iommu`, :mod:`repro.gpu`, :mod:`repro.core.least_tlb`)
+consult it at each hook point.  When no plan is active the system holds
+no injector at all (``system.faults is None``) and every hook short-
+circuits on that single ``None`` check — the zero-perturbation path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.stats import CounterSet
+from repro.faults.plan import KILL_SITE, FaultPlan, FaultSpec
+
+
+class FaultInjector:
+    """Seeded, per-site random fault decisions for one simulation."""
+
+    __slots__ = ("plan", "seed", "stats", "_rates", "_params", "_rngs", "walker_kills")
+
+    def __init__(self, plan: FaultPlan, seed: int) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.stats = CounterSet()
+        self._rates: dict[str, float] = {}
+        self._params: dict[str, int] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self.walker_kills: list[tuple[int, int]] = []
+        """Scheduled ``(walker_index, cycle)`` kills from the plan."""
+        for spec in plan:
+            if spec.site == KILL_SITE:
+                self.walker_kills.append((spec.param, spec.at_cycle))
+                continue
+            self._rates[spec.site] = spec.rate
+            self._params[spec.site] = spec.param
+            # One independent stream per site: site decisions never
+            # perturb each other, keeping campaigns composable.
+            self._rngs[spec.site] = random.Random(f"{seed}/{spec.site}")
+
+    # -- core draw -----------------------------------------------------------
+
+    def _fire(self, site: str) -> bool:
+        rate = self._rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        if rate < 1.0 and self._rngs[site].random() >= rate:
+            return False
+        self.stats.inc(f"{site}_injected")
+        return True
+
+    # -- interconnect-response sites ------------------------------------------
+
+    def drop_remote_probe(self) -> bool:
+        """Lose a remote-L2 probe in the peer fabric (no response ever)."""
+        return self._fire("drop-remote")
+
+    def remote_probe_delay(self) -> int:
+        """Extra cycles to delay this remote probe (0 = on time)."""
+        return self._params["delay-remote"] if self._fire("delay-remote") else 0
+
+    def drop_response(self) -> bool:
+        """Lose an IOMMU→GPU translation response on the host link."""
+        return self._fire("drop-response")
+
+    def duplicate_response(self) -> bool:
+        """Deliver an IOMMU→GPU translation response twice."""
+        return self._fire("dup-response")
+
+    # -- page-walker sites ------------------------------------------------------
+
+    def drop_walk_result(self) -> bool:
+        """Lose a completed walk's result on its way back."""
+        return self._fire("drop-walk")
+
+    def walker_stall(self) -> int:
+        """Extra cycles this walk spends stalled (0 = healthy)."""
+        return self._params["stall-walker"] if self._fire("stall-walker") else 0
+
+    # -- PRI and TLB sites --------------------------------------------------------
+
+    def drop_pri_batch(self) -> bool:
+        """Lose a dispatched PRI batch (no completion interrupt)."""
+        return self._fire("drop-pri")
+
+    def tlb_parity(self) -> bool:
+        """Parity error on a TLB lookup: the entry must be invalidated."""
+        return self._fire("flip-tlb")
+
+    # -- reporting -------------------------------------------------------------------
+
+    def injected_total(self) -> int:
+        """Faults injected so far, across every site."""
+        return sum(self.stats.as_dict().values())
+
+
+def build_injector(plan: FaultPlan | FaultSpec | str | None, seed: int) -> FaultInjector | None:
+    """Normalise a plan (object, CLI string, or ``None``) to an injector.
+
+    Returns ``None`` for an absent or empty plan — callers key every
+    fault hook off that ``None``.
+    """
+    if plan is None:
+        return None
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    elif isinstance(plan, FaultSpec):
+        plan = FaultPlan((plan,))
+    if plan.is_empty():
+        return None
+    return FaultInjector(plan, seed)

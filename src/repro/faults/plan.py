@@ -1,0 +1,222 @@
+"""Fault plans: declarative, seeded descriptions of what to break.
+
+A :class:`FaultPlan` names the *sites* in the translation hierarchy to
+perturb and with what probability, so a fault campaign is reproducible
+from ``(plan, seed)`` alone — the same way a workload is reproducible
+from ``(spec, seed)``.  Plans are parsed from compact CLI specs::
+
+    drop-remote:0.01                  # lose 1% of remote L2 probes
+    delay-remote:0.05:400             # delay 5% of probes by 400 cycles
+    drop-response:0.001               # lose IOMMU->GPU fill responses
+    dup-response:0.01                 # duplicate fill responses
+    drop-walk:0.02                    # lose completed walk results
+    stall-walker:0.1:2000             # slow 10% of walks by 2000 cycles
+    kill-walker:3@100000              # walker 3 dies at cycle 100000
+    drop-pri:0.5                      # lose PRI batch completions
+    flip-tlb:0.0001                   # TLB parity error on lookup
+
+Multiple sites combine with commas:
+``drop-remote:0.01,flip-tlb:0.0001``.
+
+The companion :class:`HardeningConfig` holds the protocol-hardening
+parameters (timeouts, bounded retries, exponential backoff, tracker
+degradation) that let the hierarchy survive those faults.  Hardening is
+armed automatically whenever a non-empty plan is active and stays off
+otherwise, so fault-free runs schedule exactly the events they always
+did (the zero-perturbation guarantee, pinned by
+``tests/sim/test_zero_perturbation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sites that take ``name:rate`` (a probability in [0, 1]).
+RATE_SITES = (
+    "drop-remote",
+    "drop-response",
+    "dup-response",
+    "drop-walk",
+    "drop-pri",
+    "flip-tlb",
+)
+
+#: Sites that take ``name:rate:cycles`` (probability plus a delay).
+RATE_PARAM_SITES = ("delay-remote", "stall-walker")
+
+#: The one scheduled site: ``kill-walker:index@cycle``.
+KILL_SITE = "kill-walker"
+
+ALL_SITES = RATE_SITES + RATE_PARAM_SITES + (KILL_SITE,)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault site: where, how often, and how hard."""
+
+    site: str
+    rate: float = 0.0
+    param: int = 0
+    """Extra cycles for delay/stall sites; the walker index for kills."""
+    at_cycle: int = -1
+    """Injection cycle for scheduled faults (``kill-walker``)."""
+
+    def describe(self) -> str:
+        """The spec back in CLI syntax."""
+        if self.site == KILL_SITE:
+            return f"{self.site}:{self.param}@{self.at_cycle}"
+        if self.site in RATE_PARAM_SITES:
+            return f"{self.site}:{self.rate:g}:{self.param}"
+        return f"{self.site}:{self.rate:g}"
+
+
+class FaultPlanError(ValueError):
+    """A fault spec string could not be parsed or validated."""
+
+
+def _parse_rate(site: str, text: str) -> float:
+    try:
+        rate = float(text)
+    except ValueError:
+        raise FaultPlanError(f"{site}: rate {text!r} is not a number") from None
+    if not 0.0 <= rate <= 1.0:
+        raise FaultPlanError(f"{site}: rate {rate} outside [0, 1]")
+    return rate
+
+
+def _parse_int(site: str, text: str, what: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise FaultPlanError(f"{site}: {what} {text!r} is not an integer") from None
+    if value < 0:
+        raise FaultPlanError(f"{site}: {what} must be >= 0, got {value}")
+    return value
+
+
+def _parse_item(item: str) -> FaultSpec:
+    site, sep, rest = item.partition(":")
+    site = site.strip()
+    if site not in ALL_SITES:
+        raise FaultPlanError(
+            f"unknown fault site {site!r}; choose from {', '.join(ALL_SITES)}"
+        )
+    if not sep:
+        raise FaultPlanError(f"{site}: missing argument (expected {site}:<rate>)")
+    if site == KILL_SITE:
+        index_text, sep, cycle_text = rest.partition("@")
+        if not sep:
+            raise FaultPlanError(
+                f"{site}: expected {site}:<walker-index>@<cycle>, got {item!r}"
+            )
+        return FaultSpec(
+            site=site,
+            param=_parse_int(site, index_text, "walker index"),
+            at_cycle=_parse_int(site, cycle_text, "cycle"),
+        )
+    if site in RATE_PARAM_SITES:
+        rate_text, sep, param_text = rest.partition(":")
+        if not sep:
+            raise FaultPlanError(
+                f"{site}: expected {site}:<rate>:<cycles>, got {item!r}"
+            )
+        return FaultSpec(
+            site=site,
+            rate=_parse_rate(site, rate_text),
+            param=_parse_int(site, param_text, "cycles"),
+        )
+    return FaultSpec(site=site, rate=_parse_rate(site, rest))
+
+
+class FaultPlan:
+    """An immutable collection of :class:`FaultSpec` records."""
+
+    __slots__ = ("specs",)
+
+    def __init__(self, specs: tuple[FaultSpec, ...] = ()) -> None:
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.site != KILL_SITE and spec.site in seen:
+                raise FaultPlanError(f"duplicate fault site {spec.site!r}")
+            seen.add(spec.site)
+        self.specs = tuple(specs)
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FaultPlan":
+        """Parse a comma-separated CLI fault spec.  Empty → empty plan."""
+        if not text or not text.strip():
+            return cls(())
+        return cls(tuple(_parse_item(item.strip()) for item in text.split(",") if item.strip()))
+
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not any(
+            spec.rate > 0 or spec.site == KILL_SITE for spec in self.specs
+        )
+
+    def describe(self) -> str:
+        """The plan back in CLI syntax (stable, for result metadata)."""
+        return ",".join(spec.describe() for spec in self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.describe()!r})"
+
+
+@dataclass(frozen=True)
+class HardeningConfig:
+    """Protocol-hardening parameters (timeouts, retries, degradation).
+
+    Armed automatically when fault injection is active; every timer it
+    arms is an *extra* scheduled event, which is why hardening is off in
+    fault-free runs (preserving bit-identical baselines).
+    """
+
+    walk_timeout: int = 20_000
+    """Cycles after dispatch before an unanswered page walk is declared
+    lost.  Generous: must exceed walk latency plus worst-case queueing,
+    or healthy walks trigger spurious (harmless but wasteful) retries."""
+
+    probe_timeout: int = 5_000
+    """Cycles before an unanswered remote-L2 probe is abandoned and the
+    pending entry falls back to the walk path."""
+
+    max_walk_retries: int = 3
+    """Walk re-issues before giving up and falling back to the PRI fault
+    path (the request's last resort before the watchdog fires)."""
+
+    retry_backoff_base: int = 500
+    """First retry delay; successive retries double it (exponential
+    backoff), spreading recovery traffic instead of thundering."""
+
+    pri_retry_margin: int = 10_000
+    """Cycles past ``fault_handling_latency`` before a dispatched PRI
+    batch with no completion is re-driven."""
+
+    max_pri_retries: int = 2
+    """PRI batch re-dispatches before the batch is abandoned (leaving
+    the stall to the watchdog)."""
+
+    tracker_fp_limit: int = 0
+    """Tracker false positives tolerated before remote-probe forwarding
+    is disabled (graceful degradation to walk-only mode).  0 disables
+    the downgrade entirely."""
+
+    def __post_init__(self) -> None:
+        if self.walk_timeout <= 0 or self.probe_timeout <= 0:
+            raise ValueError("hardening timeouts must be positive")
+        if self.max_walk_retries < 0 or self.max_pri_retries < 0:
+            raise ValueError("retry limits must be >= 0")
+        if self.retry_backoff_base <= 0:
+            raise ValueError("retry_backoff_base must be positive")
+        if self.tracker_fp_limit < 0:
+            raise ValueError("tracker_fp_limit must be >= 0")
+
+    def backoff(self, attempt: int) -> int:
+        """Delay before retry number ``attempt`` (1-based), doubling."""
+        return self.retry_backoff_base * (1 << max(0, attempt - 1))

@@ -135,6 +135,14 @@ class GPUDevice:
     def _l2_lookup(self, cu: ComputeUnit, pid: int, vpn: int, measured: bool) -> None:
         stats = self.system.stats_for(pid) if measured else None
         entry = self.l2_tlb.lookup(pid, vpn)
+        faults = self.system.faults
+        if entry is not None and faults is not None and faults.tlb_parity():
+            # Parity-error model at the L2: the entry is dropped and the
+            # access degrades to a miss.  The tracker keeps a now-stale
+            # fingerprint — exactly the false-positive noise the tracker
+            # is designed to absorb.
+            self.l2_tlb.remove(pid, vpn)
+            entry = None
         if entry is not None:
             if stats is not None:
                 stats.inc("l2_hit")
@@ -232,6 +240,9 @@ class GPUDevice:
                 self.system.queue.schedule(max(now, cu.ready_time), self._issue, cu)
 
     def _finish_run(self, cu: ComputeUnit, measured: bool) -> None:
+        # Every retired run is forward progress; the watchdog stalls out
+        # only when this marker stops moving.
+        self.system.progress_marker += 1
         if measured:
             cu.measured_remaining -= 1
             if cu.measured_remaining == 0:

@@ -16,7 +16,15 @@ from repro.engine.stats import LatencyAccumulator
 class Link:
     """A unidirectional link with latency and finite injection bandwidth."""
 
-    __slots__ = ("name", "latency", "cycles_per_message", "_next_free", "traffic", "queueing")
+    __slots__ = (
+        "name",
+        "latency",
+        "cycles_per_message",
+        "_next_free",
+        "traffic",
+        "drops",
+        "queueing",
+    )
 
     def __init__(self, name: str, latency: int, bandwidth: float = 1.0) -> None:
         """``bandwidth`` is messages per cycle (>= 1 message every
@@ -30,6 +38,7 @@ class Link:
         self.cycles_per_message = 1.0 / bandwidth
         self._next_free = 0.0
         self.traffic = 0
+        self.drops = 0
         self.queueing = LatencyAccumulator()
 
     def send(self, now: int) -> int:
@@ -45,8 +54,13 @@ class Link:
         self.queueing.record(queue_delay)
         return int(depart) + self.latency
 
+    def record_drop(self) -> None:
+        """Account a message lost on this link (fault injection)."""
+        self.drops += 1
+
     def reset(self) -> None:
         """Clear traffic accounting and serialization state."""
         self._next_free = 0.0
         self.traffic = 0
+        self.drops = 0
         self.queueing = LatencyAccumulator()

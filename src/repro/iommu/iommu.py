@@ -43,10 +43,23 @@ class IOMMU:
                 name="iommu-tlb",
                 seed=config.seed + 1000,
             )
+        # Fault injection and hardening are system-owned (None in the
+        # default, zero-perturbation configuration).
+        injector = system.faults
         self.walkers = WalkerPool(
-            system.queue, system.page_tables, config.iommu, config.num_gpus
+            system.queue,
+            system.page_tables,
+            config.iommu,
+            config.num_gpus,
+            injector=injector,
         )
-        self.pri = PRIQueue(system.queue, system.page_tables, config.iommu)
+        self.pri = PRIQueue(
+            system.queue,
+            system.page_tables,
+            config.iommu,
+            injector=injector,
+            hardening=system.hardening,
+        )
         self.pending = PendingTable()
         self.stats = CounterSet()
         # Eviction Counters: how many IOMMU TLB entries each GPU's L2
@@ -72,6 +85,14 @@ class IOMMU:
     def lookup(self, request: ATSRequest) -> TLBEntry | None:
         """IOMMU TLB lookup for ``request``, with per-application stats."""
         entry = self.tlb.lookup(request.pid, request.vpn)
+        injector = self.system.faults
+        if entry is not None and injector is not None and injector.tlb_parity():
+            # Parity-error model: the corrupt entry cannot be trusted;
+            # invalidate it (through remove_tlb, keeping the Eviction
+            # Counters exact) and treat the lookup as a miss.
+            self.remove_tlb(request.key)
+            self.stats.inc("tlb_parity_errors")
+            entry = None
         if request.measured:
             stats = self.system.stats_for(request.pid)
             stats.inc("iommu_lookup")
@@ -140,7 +161,15 @@ class IOMMU:
             spill_budget = self.config.spill_budget
         queue = self.system.queue
         now = queue.now
+        injector = self.system.faults
         for request in waiters:
+            if injector is not None and injector.drop_response():
+                # The response is lost on the host link.  The GPU's MSHR
+                # keeps waiting; the watchdog converts the resulting
+                # stall into a diagnosable SimulationStalledError.
+                self.stats.inc("responses_dropped")
+                self.system.topology.from_iommu[request.gpu_id].record_drop()
+                continue
             arrival = self.system.topology.iommu_to_gpu(request.gpu_id, now)
             queue.schedule(
                 arrival,
@@ -150,6 +179,18 @@ class IOMMU:
                 ppn,
                 spill_budget,
             )
+            if injector is not None and injector.duplicate_response():
+                # The fabric delivers the packet twice; the second copy
+                # finds no MSHR waiters and degenerates to an L2 refresh.
+                self.stats.inc("responses_duplicated")
+                queue.schedule(
+                    arrival,
+                    self.system.gpus[request.gpu_id].receive_fill,
+                    request.pid,
+                    request.vpn,
+                    ppn,
+                    spill_budget,
+                )
             if request.measured:
                 stats = self.system.stats_for(request.pid)
                 stats.inc(f"served_{source}")

@@ -24,12 +24,15 @@ simply discarded on arrival.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.config.system import IOMMUConfig
 from repro.engine.event_queue import EventQueue
 from repro.engine.stats import CounterSet, LatencyAccumulator
 from repro.structures.page_table import PageTableManager, WalkResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 WalkCallback = Callable[[WalkResult], None]
 
@@ -42,7 +45,7 @@ _CANCELLED = 3
 class WalkTicket:
     """Handle for one requested walk, usable for cancellation."""
 
-    __slots__ = ("pid", "vpn", "gpu_id", "callback", "enqueue_time", "state")
+    __slots__ = ("pid", "vpn", "gpu_id", "callback", "enqueue_time", "state", "walker_id")
 
     def __init__(
         self, pid: int, vpn: int, gpu_id: int, callback: WalkCallback, enqueue_time: int
@@ -53,6 +56,8 @@ class WalkTicket:
         self.callback = callback
         self.enqueue_time = enqueue_time
         self.state = _QUEUED
+        self.walker_id = -1
+        """Physical walker the walk was dispatched on (-1 while queued)."""
 
     @property
     def cancelled(self) -> bool:
@@ -69,6 +74,7 @@ class WalkerPool:
         page_tables: PageTableManager,
         config: IOMMUConfig,
         num_gpus: int,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.queue = queue
         self.page_tables = page_tables
@@ -76,9 +82,16 @@ class WalkerPool:
         self.num_gpus = num_gpus
         self.capacity = config.num_walkers * config.walker_threads
         self.scheduler = config.walker_scheduler
+        self.injector = injector
         self._busy_total = 0
         self.stats = CounterSet()
         self.queue_wait = LatencyAccumulator()
+        # Physical walker identity: walks are assigned round-robin over
+        # the live walkers so a kill-walker fault can target the in-flight
+        # work of one specific walker.
+        self._alive_walkers = list(range(config.num_walkers))
+        self._dead_walkers: set[int] = set()
+        self._walker_rotor = 0
         if self.scheduler == "dws":
             self._allocation = max(1, self.capacity // num_gpus)
             self._busy_per_gpu = [0] * num_gpus
@@ -131,6 +144,30 @@ class WalkerPool:
         self.stats.inc("walks_cancelled")
         return True
 
+    @property
+    def lost_capacity(self) -> int:
+        """Walker threads lost to killed walkers."""
+        return len(self._dead_walkers) * self.config.walker_threads
+
+    def kill_walker(self, walker_id: int) -> bool:
+        """Fail one physical walker (fault injection).
+
+        The walker's in-flight walks are lost — their results never
+        arrive, leaving recovery to the hardening retries — and its
+        threads leave the pool, so queued and future walks redistribute
+        over the surviving walkers.  Returns ``False`` for an unknown or
+        already-dead walker.
+        """
+        if walker_id in self._dead_walkers or walker_id not in self._alive_walkers:
+            return False
+        self._alive_walkers.remove(walker_id)
+        self._dead_walkers.add(walker_id)
+        self.capacity = self.config.walker_threads * len(self._alive_walkers)
+        if self.scheduler == "dws":
+            self._allocation = max(1, self.capacity // self.num_gpus)
+        self.stats.inc("walkers_killed")
+        return True
+
     # -- internals ------------------------------------------------------------
 
     def _walk_latency(self, result: WalkResult) -> int:
@@ -139,6 +176,11 @@ class WalkerPool:
 
     def _dispatch(self, ticket: WalkTicket) -> None:
         ticket.state = _RUNNING
+        if self._alive_walkers:
+            ticket.walker_id = self._alive_walkers[
+                self._walker_rotor % len(self._alive_walkers)
+            ]
+            self._walker_rotor += 1
         self.queue_wait.record(self.queue.now - ticket.enqueue_time)
         self._busy_total += 1
         if self.scheduler == "dws":
@@ -147,9 +189,10 @@ class WalkerPool:
         result = self.page_tables.walk(ticket.pid, ticket.vpn)
         if result.faulted:
             self.stats.inc("walks_faulted")
-        self.queue.schedule_after(
-            self._walk_latency(result), self._complete, ticket, result
-        )
+        latency = self._walk_latency(result)
+        if self.injector is not None:
+            latency += self.injector.walker_stall()
+        self.queue.schedule_after(latency, self._complete, ticket, result)
 
     def _complete(self, ticket: WalkTicket, result: WalkResult) -> None:
         ticket.state = _DONE
@@ -159,9 +202,20 @@ class WalkerPool:
             self._dequeue_dws(ticket.gpu_id)
         else:
             self._dequeue_fifo()
+        if ticket.walker_id in self._dead_walkers:
+            # The walker died with this walk in flight: the result is
+            # lost.  Hardening timeouts re-issue the walk on a survivor.
+            self.stats.inc("walks_lost")
+            return
+        if self.injector is not None and self.injector.drop_walk_result():
+            self.stats.inc("walks_lost")
+            return
         ticket.callback(result)
 
     def _dequeue_fifo(self) -> None:
+        if self._busy_total >= self.capacity:
+            # A killed walker shrank the pool below current occupancy.
+            return
         while self._fifo:
             ticket = self._fifo.popleft()
             if ticket.state == _QUEUED:
@@ -177,6 +231,9 @@ class WalkerPool:
         but never starve a peer — the page-walk-stealing discipline of
         Section 5.6.
         """
+        if self._busy_total >= self.capacity:
+            # A killed walker shrank the pool below current occupancy.
+            return
         self._drop_cancelled()
         best_gpu = -1
         best_deficit: int | None = None

@@ -29,10 +29,37 @@ class PendingEntry:
     walk_ticket: object | None = None
     """Handle of the racing walk, cancellable while still queued."""
 
+    created_at: int = 0
+    """Cycle the entry was opened (surfaced in stall diagnostics)."""
+
+    walk_attempts: int = 0
+    """Walks issued for this key, including hardening retries."""
+
+    walk_generation: int = 0
+    """Monotonic walk-issue counter.  A hardening timeout or retry is
+    valid only for the generation it was armed against, so a late walk
+    response can never be mistaken for the loss of its successor."""
+
+    remote_generation: int = 0
+    """Same discipline for remote-probe timeouts."""
+
     @property
     def resolved(self) -> bool:
         """True once no response can still arrive for this key."""
         return not (self.walk_pending or self.remote_pending or self.fault_pending)
+
+    def describe(self) -> dict[str, object]:
+        """Structured snapshot for diagnostics dumps."""
+        return {
+            "key": self.key,
+            "waiters": len(self.waiters),
+            "walk_pending": self.walk_pending,
+            "remote_pending": self.remote_pending,
+            "fault_pending": self.fault_pending,
+            "served": self.served,
+            "walk_attempts": self.walk_attempts,
+            "created_at": self.created_at,
+        }
 
 
 class PendingTable:
@@ -54,7 +81,7 @@ class PendingTable:
         key = request.key
         if key in self._entries:
             raise KeyError(f"pending entry already exists for {key}")
-        entry = PendingEntry(key=key, waiters=[request])
+        entry = PendingEntry(key=key, waiters=[request], created_at=request.issue_time)
         self._entries[key] = entry
         if len(self._entries) > self.peak:
             self.peak = len(self._entries)
@@ -81,3 +108,15 @@ class PendingTable:
 
     def __contains__(self, key: tuple[int, int]) -> bool:
         return key in self._entries
+
+    def keys(self):
+        """All in-flight translation keys."""
+        return self._entries.keys()
+
+    def items(self):
+        """All in-flight ``(key, entry)`` pairs."""
+        return self._entries.items()
+
+    def describe(self) -> list[dict[str, object]]:
+        """Diagnostic snapshot of every in-flight entry (stall dumps)."""
+        return [entry.describe() for entry in self._entries.values()]

@@ -6,19 +6,32 @@ handling is expensive, the IOMMU batches PRI requests (Section 2.2): a
 batch dispatches when it reaches ``pri_batch_size`` entries or when the
 oldest entry has waited ``pri_timeout`` cycles, and completes after the
 CPU-side ``fault_handling_latency``.
+
+Robustness: a dispatched batch whose completion interrupt is lost (the
+``drop-pri`` fault site) would otherwise strand every request in it.
+When protocol hardening is active, each dispatched batch is tracked
+in flight and re-driven after ``fault_handling_latency +
+pri_retry_margin`` cycles of silence, up to ``max_pri_retries`` times;
+an abandoned batch is left to the engine watchdog.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.config.system import IOMMUConfig
 from repro.engine.event_queue import EventQueue
 from repro.engine.stats import CounterSet, LatencyAccumulator
 from repro.structures.page_table import PageTableManager
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import HardeningConfig
+
 FaultCallback = Callable[[int], None]
 """Invoked with the newly mapped PPN once the fault is serviced."""
+
+_Batch = list[tuple[int, int, FaultCallback, int]]
 
 
 class PRIQueue:
@@ -29,12 +42,18 @@ class PRIQueue:
         queue: EventQueue,
         page_tables: PageTableManager,
         config: IOMMUConfig,
+        injector: "FaultInjector | None" = None,
+        hardening: "HardeningConfig | None" = None,
     ) -> None:
         self.queue = queue
         self.page_tables = page_tables
         self.config = config
-        self._pending: list[tuple[int, int, FaultCallback, int]] = []
+        self.injector = injector
+        self.hardening = hardening
+        self._pending: _Batch = []
         self._timer_generation = 0
+        self._batch_seq = 0
+        self._in_flight: dict[int, tuple[_Batch, int]] = {}
         self.stats = CounterSet()
         self.service_time = LatencyAccumulator()
 
@@ -62,11 +81,29 @@ class PRIQueue:
         self._pending = []
         self._timer_generation += 1
         self.stats.inc("batches")
-        self.queue.schedule_after(
-            self.config.fault_handling_latency, self._batch_done, batch
-        )
+        self._send_batch(batch, attempt=1)
 
-    def _batch_done(self, batch: list[tuple[int, int, FaultCallback, int]]) -> None:
+    def _send_batch(self, batch: _Batch, attempt: int) -> None:
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        if self.injector is not None and self.injector.drop_pri_batch():
+            # The completion interrupt is lost in flight; only the
+            # hardening re-drive below (or the watchdog) saves the batch.
+            self.stats.inc("batches_dropped")
+        else:
+            self.queue.schedule_after(
+                self.config.fault_handling_latency, self._batch_done, batch_id, batch
+            )
+        if self.hardening is not None:
+            self._in_flight[batch_id] = (batch, attempt)
+            self.queue.schedule_after(
+                self.config.fault_handling_latency + self.hardening.pri_retry_margin,
+                self._batch_check,
+                batch_id,
+            )
+
+    def _batch_done(self, batch_id: int, batch: _Batch) -> None:
+        self._in_flight.pop(batch_id, None)
         now = self.queue.now
         for pid, vpn, callback, reported_at in batch:
             ppn = self.page_tables.map_page(pid, vpn)
@@ -74,7 +111,25 @@ class PRIQueue:
             self.service_time.record(now - reported_at)
             callback(ppn)
 
+    def _batch_check(self, batch_id: int) -> None:
+        """Hardening re-drive: resend a batch that never completed."""
+        info = self._in_flight.pop(batch_id, None)
+        if info is None:
+            return
+        batch, attempt = info
+        assert self.hardening is not None
+        if attempt > self.hardening.max_pri_retries:
+            self.stats.inc("batches_abandoned")
+            return
+        self.stats.inc("batch_retries")
+        self._send_batch(batch, attempt + 1)
+
     @property
     def outstanding(self) -> int:
         """Faults reported but not yet dispatched in a batch."""
         return len(self._pending)
+
+    @property
+    def in_flight_batches(self) -> int:
+        """Dispatched batches awaiting completion (hardening mode only)."""
+        return len(self._in_flight)

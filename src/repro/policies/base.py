@@ -36,6 +36,11 @@ class TranslationPolicy(ABC):
 
     name = "abstract"
 
+    least_inclusive = False
+    """True for policies whose walk results bypass the IOMMU TLB (the
+    victim-TLB designs).  The invariant checker keys its cross-level
+    exclusivity audit off this flag."""
+
     def __init__(self, system: "MultiGPUSystem") -> None:
         self.system = system
 
@@ -117,16 +122,37 @@ class TranslationPolicy(ABC):
         pending = self.iommu.pending.get(request.key)
         assert pending is not None, "walk started without a pending entry"
         pending.walk_pending = True
+        pending.walk_attempts += 1
+        pending.walk_generation += 1
         pending.walk_ticket = self.iommu.start_walk(request, self._walk_complete)
+        hardening = self.system.hardening
+        if hardening is not None:
+            # Hardened protocol: declare the walk lost if no response
+            # arrives in time, and retry it (page_walker faults can eat
+            # walks whole; without this the pending entry hangs forever).
+            self.queue.schedule_after(
+                hardening.walk_timeout,
+                self._walk_timed_out,
+                request,
+                pending.walk_generation,
+            )
 
     def _walk_complete(self, request: ATSRequest, result) -> None:
         pending = self.iommu.pending.get(request.key)
-        assert pending is not None, "walk completed without a pending entry"
+        if pending is None:
+            # Hardened protocol only: a retried walk (or PRI fallback)
+            # already served and reaped the entry, and this is the
+            # original, slower response straggling in.
+            self.iommu.stats.inc("stale_walk_responses")
+            return
         pending.walk_pending = False
         if result.faulted:
             if pending.served:
                 # The remote probe won the race; no need to fault.
                 self.iommu.pending.maybe_remove(pending)
+                return
+            if pending.fault_pending:
+                # A concurrent (retried) walk already reported the fault.
                 return
             pending.fault_pending = True
             self.iommu.report_fault(
@@ -135,9 +161,67 @@ class TranslationPolicy(ABC):
             return
         self._deliver_walk_result(request, result.ppn)
 
+    def _walk_timed_out(self, request: ATSRequest, generation: int) -> None:
+        """Hardening: the walk issued as ``generation`` never answered."""
+        pending = self.iommu.pending.get(request.key)
+        if (
+            pending is None
+            or not pending.walk_pending
+            or pending.walk_generation != generation
+        ):
+            return  # the walk answered, or a newer attempt owns the key
+        hardening = self.system.hardening
+        assert hardening is not None
+        self.iommu.stats.inc("walk_timeouts")
+        if pending.walk_ticket is not None:
+            # Squash the lost walk if it is still queued so a retry does
+            # not double-book walker throughput.
+            self.iommu.walkers.cancel(pending.walk_ticket)
+            pending.walk_ticket = None
+        pending.walk_pending = False
+        if pending.served:
+            # A racing responder already answered; the timeout only
+            # releases the entry the lost walk would have pinned forever.
+            self.iommu.pending.maybe_remove(pending)
+            return
+        if pending.walk_attempts <= hardening.max_walk_retries:
+            self.iommu.stats.inc("walk_retries")
+            self.queue.schedule_after(
+                hardening.backoff(pending.walk_attempts),
+                self._retry_walk,
+                request,
+                pending.walk_generation,
+            )
+            return
+        # Retries exhausted: last resort is the PRI fault path, which
+        # re-drives the mapping through the CPU.
+        self.iommu.stats.inc("walk_retries_exhausted")
+        if not pending.fault_pending:
+            pending.fault_pending = True
+            self.iommu.report_fault(
+                request, lambda ppn: self._fault_serviced(request, ppn)
+            )
+
+    def _retry_walk(self, request: ATSRequest, generation: int) -> None:
+        """Hardening: re-issue a lost walk after its backoff delay."""
+        pending = self.iommu.pending.get(request.key)
+        if (
+            pending is None
+            or pending.served
+            or pending.walk_pending
+            or pending.fault_pending
+            or pending.walk_generation != generation
+        ):
+            return  # answered or superseded while we backed off
+        self._start_walk(request)
+
     def _fault_serviced(self, request: ATSRequest, ppn: int) -> None:
         pending = self.iommu.pending.get(request.key)
-        assert pending is not None
+        if pending is None:
+            # Hardened protocol only: a PRI batch retry double-serviced
+            # the fault after the first service reaped the entry.
+            self.iommu.stats.inc("stale_fault_responses")
+            return
         pending.fault_pending = False
         self._deliver_walk_result(request, ppn)
 

@@ -25,6 +25,8 @@ class ExclusivePolicy(TranslationPolicy):
 
     name = "exclusive"
 
+    least_inclusive = True
+
     def on_iommu_request(self, request: ATSRequest) -> None:
         entry = self.iommu.lookup(request)
         if entry is not None:

@@ -48,11 +48,14 @@ def simulate(
     config: SystemConfig,
     workload: Workload,
     policy: str = "baseline",
+    *,
+    max_cycles: int | None = None,
+    max_events: int | None = None,
     **system_kwargs: Any,
 ) -> SimulationResult:
     """Build a system around ``workload`` and run it to completion."""
     system = MultiGPUSystem(config, workload, policy, **system_kwargs)
-    return system.run()
+    return system.run(max_cycles, max_events=max_events)
 
 
 def run_single_app(

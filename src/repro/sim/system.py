@@ -24,6 +24,8 @@ from typing import Any
 from repro.config.system import IOMMUConfig, SystemConfig
 from repro.engine.event_queue import EventQueue
 from repro.engine.stats import CounterSet, LatencyAccumulator
+from repro.engine.watchdog import SimulationStalledError, Watchdog
+from repro.faults import FaultPlan, HardeningConfig, InvariantChecker, build_injector
 from repro.gpu.ats import ATSRequest
 from repro.gpu.compute_unit import ComputeUnit
 from repro.gpu.gpu_device import GPUDevice
@@ -50,6 +52,10 @@ class MultiGPUSystem:
         snapshot_interval: int = 0,
         shootdown_interval: int = 0,
         prefault: bool = True,
+        faults: "FaultPlan | str | None" = None,
+        hardening: HardeningConfig | None = None,
+        check_invariants: bool = False,
+        watchdog: bool | None = None,
     ) -> None:
         if not workload.placements:
             raise ValueError("workload has no placements")
@@ -65,6 +71,24 @@ class MultiGPUSystem:
         self.page_tables = PageTableManager(levels=config.page_table_levels)
         self.topology = Topology(config.num_gpus, config.interconnect)
         self.halted = False
+        self.progress_marker = 0
+
+        # Fault injection, hardening, and checking — all resolved before
+        # the IOMMU is built, since it wires the injector into its walker
+        # pool and PRI queue.  ``self.faults is None`` (the default) is the
+        # zero-perturbation path: no hook fires, no extra event schedules.
+        if isinstance(faults, FaultPlan):
+            self.fault_plan = faults
+        else:
+            self.fault_plan = FaultPlan.parse(faults)
+        self.faults = build_injector(self.fault_plan, config.seed)
+        if hardening is None and self.faults is not None:
+            hardening = HardeningConfig()
+        self.hardening = hardening
+        if watchdog is None:
+            watchdog = self.faults is not None
+        self.watchdog = Watchdog(self) if watchdog else None
+        self.invariants = InvariantChecker(self) if check_invariants else None
 
         self._pid_stats: dict[int, CounterSet] = {
             pid: CounterSet() for pid in workload.pids
@@ -189,16 +213,84 @@ class MultiGPUSystem:
 
     # -- execution -------------------------------------------------------------------
 
-    def run(self, max_cycles: int | None = None) -> SimulationResult:
-        """Execute the workload to completion and return its results."""
+    def run(
+        self,
+        max_cycles: int | None = None,
+        *,
+        max_events: int | None = None,
+    ) -> SimulationResult:
+        """Execute the workload to completion and return its results.
+
+        ``max_events`` is a safety cap: a run that exhausts it with
+        applications still outstanding raises
+        :class:`SimulationStalledError` instead of silently returning a
+        truncated result.
+        """
         for gpu in self.gpus:
             gpu.start()
         if self.snapshot_interval > 0:
             self.queue.schedule_after(self.snapshot_interval, self._take_snapshot)
         if self.shootdown_interval > 0:
             self.queue.schedule_after(self.shootdown_interval, self._periodic_shootdown)
-        self.queue.run(until=max_cycles)
+        if self.faults is not None:
+            for walker_id, cycle in self.faults.walker_kills:
+                self.queue.schedule(cycle, self.iommu.walkers.kill_walker, walker_id)
+        if self.watchdog is not None:
+            self.watchdog.arm()
+        if self.invariants is not None:
+            self.invariants.arm()
+        self.queue.run(until=max_cycles, max_events=max_events)
+        if self._pids_pending and max_cycles is None:
+            # Always-on cheap checks: the queue must never drain (or hit
+            # the event cap) while CUs are still waiting on translations.
+            if max_events is not None and len(self.queue):
+                raise SimulationStalledError(
+                    f"event cap of {max_events} events exhausted with "
+                    f"applications still outstanding",
+                    self.stall_diagnostics(f"max_events={max_events} exhausted"),
+                )
+            if not len(self.queue):
+                raise SimulationStalledError(
+                    "event queue drained with applications still outstanding "
+                    "(a response was lost and nothing re-drives the request)",
+                    self.stall_diagnostics("event queue drained"),
+                )
+        if self.invariants is not None:
+            self.invariants.check(final=not self._pids_pending)
         return self._collect_results()
+
+    def stall_diagnostics(self, reason: str) -> dict[str, Any]:
+        """A structured snapshot of everything in flight, for stall errors."""
+        gpus = {}
+        for gpu in self.gpus:
+            gpus[f"gpu{gpu.gpu_id}"] = {
+                "mshr_entries": len(gpu.mshr),
+                "mshr_keys": sorted(gpu.mshr)[:8],
+                "cu_outstanding": sum(cu.outstanding for cu in gpu.cus),
+            }
+        return {
+            "reason": reason,
+            "cycle": self.queue.now,
+            "events_executed": self.queue.events_executed,
+            "queue_length": len(self.queue),
+            "queue_head": self.queue.peek_time(),
+            "pids_pending": sorted(self._pids_pending),
+            "pending_table": self.iommu.pending.describe(),
+            "gpus": gpus,
+            "walkers": {
+                "busy": self.iommu.walkers.busy,
+                "queued": self.iommu.walkers.pending(),
+                "lost_capacity": self.iommu.walkers.lost_capacity,
+            },
+            "pri": {
+                "outstanding": self.iommu.pri.outstanding,
+                "in_flight_batches": self.iommu.pri.in_flight_batches,
+            },
+            "interconnect": self.topology.describe_state(),
+            "fault_injections": (
+                self.faults.stats.as_dict() if self.faults is not None else {}
+            ),
+        }
 
     def shootdown(self, pid: int | None = None) -> None:
         """System-wide TLB shootdown (Section 4.4): every GPU's L1/L2, the
@@ -249,11 +341,22 @@ class MultiGPUSystem:
             snapshots=list(self.snapshots),
             iommu_stream=self._stream_recorder,
             events_executed=self.queue.events_executed,
-            metadata={
-                "shootdowns": self.shootdowns_performed,
-                "num_gpus": self.config.num_gpus,
-                "page_size": self.config.page_size,
-                "spill_budget": self.config.spill_budget,
-                "local_page_tables": self.config.local_page_tables,
-            },
+            metadata=self._result_metadata(),
         )
+
+    def _result_metadata(self) -> dict[str, Any]:
+        metadata: dict[str, Any] = {
+            "shootdowns": self.shootdowns_performed,
+            "num_gpus": self.config.num_gpus,
+            "page_size": self.config.page_size,
+            "spill_budget": self.config.spill_budget,
+            "local_page_tables": self.config.local_page_tables,
+            "seed": self.config.seed,
+        }
+        if self.faults is not None:
+            metadata["faults"] = self.fault_plan.describe()
+            metadata["fault_injections"] = self.faults.stats.as_dict()
+        if self.invariants is not None:
+            metadata["invariant_checks"] = self.invariants.checks_run
+            metadata["invariant_max_overlap"] = self.invariants.max_overlap
+        return metadata

@@ -1,0 +1,146 @@
+"""Unit tests for fault-plan parsing and the deterministic injector."""
+
+import pytest
+
+from repro.faults import (
+    ALL_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    HardeningConfig,
+    build_injector,
+)
+
+
+class TestFaultPlanParsing:
+    def test_empty_text_is_empty_plan(self):
+        for text in (None, "", "   "):
+            plan = FaultPlan.parse(text)
+            assert plan.is_empty()
+            assert len(plan) == 0
+
+    def test_parse_rate_site(self):
+        plan = FaultPlan.parse("drop-remote:0.25")
+        (spec,) = plan
+        assert spec.site == "drop-remote"
+        assert spec.rate == 0.25
+
+    def test_parse_rate_param_site(self):
+        plan = FaultPlan.parse("stall-walker:0.1:2000")
+        (spec,) = plan
+        assert spec.rate == 0.1
+        assert spec.param == 2000
+
+    def test_parse_kill_site(self):
+        plan = FaultPlan.parse("kill-walker:3@100000")
+        (spec,) = plan
+        assert spec.param == 3
+        assert spec.at_cycle == 100000
+
+    def test_parse_combined(self):
+        plan = FaultPlan.parse("drop-remote:0.01,flip-tlb:0.0001,kill-walker:0@5000")
+        assert len(plan) == 3
+        assert not plan.is_empty()
+
+    def test_describe_round_trips(self):
+        text = "drop-remote:0.01,delay-remote:0.05:400,kill-walker:2@9000"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.describe()).describe() == plan.describe()
+
+    @pytest.mark.parametrize("bad", [
+        "melt-cpu:1.0",          # unknown site
+        "drop-remote",           # missing rate
+        "drop-remote:nan2",      # non-numeric rate
+        "drop-remote:1.5",       # rate out of range
+        "drop-remote:-0.1",      # negative rate
+        "stall-walker:0.1",      # missing param
+        "kill-walker:3",         # missing @cycle
+        "kill-walker:x@100",     # non-integer index
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(bad)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="duplicate"):
+            FaultPlan.parse("drop-remote:0.1,drop-remote:0.2")
+
+    def test_multiple_kills_allowed(self):
+        plan = FaultPlan.parse("kill-walker:0@100,kill-walker:1@200")
+        assert len(plan) == 2
+
+
+class TestHardeningConfig:
+    def test_backoff_doubles(self):
+        h = HardeningConfig(retry_backoff_base=500)
+        assert [h.backoff(a) for a in (1, 2, 3, 4)] == [500, 1000, 2000, 4000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardeningConfig(walk_timeout=0)
+        with pytest.raises(ValueError):
+            HardeningConfig(max_walk_retries=-1)
+        with pytest.raises(ValueError):
+            HardeningConfig(retry_backoff_base=0)
+
+
+class TestFaultInjector:
+    def test_build_injector_none_for_empty(self):
+        assert build_injector(None, seed=1) is None
+        assert build_injector("", seed=1) is None
+        assert build_injector(FaultPlan(), seed=1) is None
+        assert build_injector("drop-remote:0.0", seed=1) is None
+
+    def test_build_injector_from_spec_and_string(self):
+        assert build_injector("drop-remote:0.5", seed=1) is not None
+        assert build_injector(FaultSpec("drop-remote", rate=0.5), seed=1) is not None
+
+    def test_deterministic_per_seed(self):
+        plan = FaultPlan.parse("drop-remote:0.3")
+        a = FaultInjector(plan, seed=42)
+        b = FaultInjector(plan, seed=42)
+        draws_a = [a.drop_remote_probe() for _ in range(500)]
+        draws_b = [b.drop_remote_probe() for _ in range(500)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_sites_use_independent_streams(self):
+        """Adding a second site must not perturb the first site's draws."""
+        alone = FaultInjector(FaultPlan.parse("drop-remote:0.3"), seed=7)
+        combined = FaultInjector(
+            FaultPlan.parse("drop-remote:0.3,flip-tlb:0.5"), seed=7
+        )
+        draws = []
+        for _ in range(300):
+            draws.append(combined.drop_remote_probe())
+            combined.tlb_parity()  # interleave the other site's draws
+        assert draws == [alone.drop_remote_probe() for _ in range(300)]
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(FaultPlan.parse("drop-walk:1.0"), seed=1)
+        assert all(injector.drop_walk_result() for _ in range(50))
+        assert injector.stats["drop-walk_injected"] == 50
+        assert injector.injected_total() == 50
+
+    def test_param_sites_return_magnitude(self):
+        injector = FaultInjector(FaultPlan.parse("stall-walker:1.0:2000"), seed=1)
+        assert injector.walker_stall() == 2000
+        quiet = FaultInjector(FaultPlan.parse("drop-remote:1.0"), seed=1)
+        assert quiet.walker_stall() == 0
+
+    def test_walker_kills_collected(self):
+        injector = FaultInjector(
+            FaultPlan.parse("kill-walker:0@100,kill-walker:5@900"), seed=1
+        )
+        assert injector.walker_kills == [(0, 100), (5, 900)]
+
+    def test_all_sites_parseable(self):
+        for site in ALL_SITES:
+            if site == "kill-walker":
+                text = f"{site}:0@1"
+            elif site in ("delay-remote", "stall-walker"):
+                text = f"{site}:0.5:100"
+            else:
+                text = f"{site}:0.5"
+            assert not FaultPlan.parse(text).is_empty()

@@ -13,9 +13,11 @@ class TestResolvers:
         for name in CONFIG_PRESETS:
             assert resolve_config(name) is not None
 
-    def test_resolve_config_unknown(self):
-        with pytest.raises(SystemExit, match="unknown config preset"):
+    def test_resolve_config_unknown(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             resolve_config("quantum")
+        assert excinfo.value.code == 2
+        assert "error: unknown config preset" in capsys.readouterr().err
 
     def test_resolve_application(self):
         workload = resolve_workload("mm", baseline_config(), 0.05)
@@ -41,9 +43,11 @@ class TestResolvers:
         workload = resolve_workload(str(path), baseline_config(), 0.05)
         assert workload.name == "FIR"
 
-    def test_resolve_unknown(self):
-        with pytest.raises(SystemExit, match="unknown workload"):
+    def test_resolve_unknown(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             resolve_workload("nope", baseline_config(), 0.05)
+        assert excinfo.value.code == 2
+        assert "error: unknown workload" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -83,9 +87,59 @@ class TestCommands:
         assert "normalized to baseline" in out
         assert "least-tlb" in out
 
-    def test_compare_empty_policies(self):
-        with pytest.raises(SystemExit, match="no policies"):
+    def test_compare_empty_policies(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["compare", "FIR", "--policies", " "])
+        assert excinfo.value.code == 2
+        assert "error: no policies" in capsys.readouterr().err
+
+    def test_run_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "FIR", "--scale", "0.05", "--policy", "psychic"])
+        assert excinfo.value.code == 2
+        assert "error: unknown policy" in capsys.readouterr().err
+
+    def test_run_bad_fault_plan(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "FIR", "--scale", "0.05", "--faults", "melt-cpu:1.0"])
+        assert excinfo.value.code == 2
+        assert "error: unknown fault site" in capsys.readouterr().err
+
+    def test_run_seed_recorded_in_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        assert main([
+            "run", "FIR", "--scale", "0.05", "--seed", "7", "--json", str(path),
+        ]) == 0
+        data = json.loads(path.read_text())
+        assert data["metadata"]["seed"] == 7
+
+    def test_run_seed_changes_results(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for seed, path in zip(("3", "4"), paths):
+            assert main([
+                "run", "FIR", "--scale", "0.05", "--seed", seed,
+                "--json", str(path),
+            ]) == 0
+        a, b = (json.loads(p.read_text()) for p in paths)
+        assert a["metadata"]["seed"] != b["metadata"]["seed"]
+        assert a["events_executed"] != b["events_executed"]
+
+    def test_run_max_events_cap_reports_stall(self, capsys):
+        assert main(["run", "FIR", "--scale", "0.05", "--max-events", "50"]) == 3
+        err = capsys.readouterr().err
+        assert "simulation stalled" in err
+        assert "max_events=50 exhausted" in err
+
+    def test_run_max_cycles_truncates(self, capsys):
+        assert main(["run", "FIR", "--scale", "0.05", "--max-cycles", "2000"]) == 0
+        assert "total cycles 2,000" in capsys.readouterr().out
+
+    def test_run_fault_smoke_with_invariants(self, capsys):
+        assert main([
+            "run", "FIR", "--scale", "0.05", "--policy", "least-tlb",
+            "--faults", "drop-remote:0.01", "--check-invariants",
+        ]) == 0
+        assert "invariants OK" in capsys.readouterr().out
 
     def test_characterize(self, capsys):
         assert main(["characterize", "FIR", "--scale", "0.05"]) == 0

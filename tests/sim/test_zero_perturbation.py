@@ -1,0 +1,94 @@
+"""The zero-perturbation guarantee.
+
+The robustness subsystem (fault hooks, hardening timers, watchdog,
+invariant checker) must be invisible when disabled: a fault-free run of
+the instrumented code produces **bit-identical** results to the
+pre-instrumentation simulator.  The goldens in ``tests/golden/`` pin
+that behaviour — ``events_executed`` is part of the comparison, so even
+one extra scheduled event breaks these tests.
+
+If a change legitimately alters simulation behaviour, regenerate the
+goldens with::
+
+    PYTHONPATH=src python -m repro.cli run MM --policy least-tlb \\
+        --scale 0.05 --json tests/golden/mm_least_tlb_scale005.json
+    PYTHONPATH=src python -m repro.cli run W8 --policy baseline \\
+        --scale 0.05 --json tests/golden/w8_baseline_scale005.json
+
+and justify the diff in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config.presets import baseline_config
+from repro.faults import FaultPlan
+from repro.reporting import result_to_dict
+from repro.sim.system import MultiGPUSystem
+from repro.workloads.multi_app import (
+    build_multi_app_workload,
+    build_single_app_workload,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+CASES = {
+    "mm_least_tlb_scale005.json": ("MM", "least-tlb", build_single_app_workload),
+    "w8_baseline_scale005.json": ("W8", "baseline", build_multi_app_workload),
+}
+
+
+def run_case(name, policy, builder, **system_kwargs):
+    config = baseline_config()
+    workload = builder(name, config, scale=0.05)
+    system = MultiGPUSystem(config, workload, policy, **system_kwargs)
+    result = system.run()
+    # JSON round-trip normalises tuples/keys exactly like the golden file.
+    return json.loads(json.dumps(result_to_dict(result)))
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("golden", sorted(CASES))
+    def test_fault_free_run_matches_golden(self, golden):
+        name, policy, builder = CASES[golden]
+        expected = json.loads((GOLDEN_DIR / golden).read_text())
+        assert run_case(name, policy, builder) == expected
+
+    @pytest.mark.parametrize("golden", sorted(CASES))
+    def test_empty_fault_plan_is_no_fault_plan(self, golden):
+        """An empty/zero-rate plan must not build an injector, arm
+        hardening, or perturb a single event."""
+        name, policy, builder = CASES[golden]
+        expected = json.loads((GOLDEN_DIR / golden).read_text())
+        for faults in ("", FaultPlan(), "drop-remote:0.0"):
+            assert run_case(name, policy, builder, faults=faults) == expected
+
+
+class TestDisabledSubsystemState:
+    def test_fault_free_system_holds_no_robustness_state(self):
+        config = baseline_config()
+        workload = build_single_app_workload("MM", config, scale=0.05)
+        system = MultiGPUSystem(config, workload, "least-tlb")
+        assert system.faults is None
+        assert system.hardening is None
+        assert system.watchdog is None
+        assert system.invariants is None
+        assert system.iommu.walkers.injector is None
+        assert system.iommu.pri.injector is None
+        assert system.iommu.pri.hardening is None
+
+    def test_active_plan_arms_everything(self):
+        config = baseline_config()
+        workload = build_single_app_workload("MM", config, scale=0.05)
+        system = MultiGPUSystem(config, workload, "least-tlb", faults="flip-tlb:0.5")
+        assert system.faults is not None
+        assert system.hardening is not None
+        assert system.watchdog is not None
+        assert system.iommu.walkers.injector is system.faults
+        assert system.iommu.pri.injector is system.faults
+
+    def test_determinism_across_repeat_runs(self):
+        name, policy, builder = CASES["mm_least_tlb_scale005.json"]
+        assert run_case(name, policy, builder) == run_case(name, policy, builder)
