@@ -18,6 +18,7 @@ from typing import Any, Callable
 
 from repro.config.presets import baseline_config
 from repro.config.system import SystemConfig
+from repro.sim.cache import ResultCache, run_fingerprint
 from repro.sim.driver import run_alone, run_mix, run_multi_app, run_single_app
 from repro.sim.results import AppResult, SimulationResult
 from repro.workloads.multi_app import MULTI_APP_WORKLOADS, SINGLE_APP_NAMES
@@ -28,16 +29,53 @@ DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 
 
 class ResultLab:
-    """Caching simulation runner shared by every benchmark."""
+    """Caching simulation runner shared by every benchmark.
 
-    def __init__(self, scale: float = DEFAULT_SCALE) -> None:
+    Two cache layers: a per-session dictionary (keyed explicitly on the
+    resolved scale and seed, so changing ``REPRO_SCALE`` between labs can
+    never alias results) and the persistent on-disk
+    :class:`~repro.sim.cache.ResultCache`, whose fingerprint covers the
+    full config/workload/policy/scale/seed/code-version identity.  Set
+    ``REPRO_NO_CACHE=1`` to disable the persistent layer.
+    """
+
+    def __init__(
+        self,
+        scale: float = DEFAULT_SCALE,
+        seed: int | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
         self.scale = scale
-        self._cache: dict[tuple, SimulationResult] = {}
+        self.seed = seed
+        self.cache = ResultCache.from_env() if cache is None else cache
+        self._session: dict[tuple, SimulationResult] = {}
 
-    def _run(self, key: tuple, factory: Callable[[], SimulationResult]) -> SimulationResult:
-        if key not in self._cache:
-            self._cache[key] = factory()
-        return self._cache[key]
+    def _run(
+        self,
+        kind: str,
+        workload: str,
+        policy: str,
+        config: SystemConfig | None,
+        tag: str,
+        kwargs: dict[str, Any],
+        factory: Callable[[], SimulationResult],
+    ) -> SimulationResult:
+        resolved = config if config is not None else baseline_config()
+        seed = self.seed if self.seed is not None else resolved.seed
+        key = (kind, workload, policy, tag, self.scale, seed)
+        result = self._session.get(key)
+        if result is not None:
+            return result
+        fingerprint = run_fingerprint(
+            kind=kind, workload=workload, policy=policy, config=resolved,
+            scale=self.scale, seed=self.seed, options=kwargs,
+        )
+        result = self.cache.get(fingerprint)
+        if result is None:
+            result = factory()
+            self.cache.put(fingerprint, result)
+        self._session[key] = result
+        return result
 
     def single(
         self,
@@ -47,9 +85,11 @@ class ResultLab:
         tag: str = "base",
         **kwargs: Any,
     ) -> SimulationResult:
-        key = ("single", app, policy, tag, self.scale)
         return self._run(
-            key, lambda: run_single_app(app, config, policy, scale=self.scale, **kwargs)
+            "single", app, policy, config, tag, kwargs,
+            lambda: run_single_app(
+                app, config, policy, scale=self.scale, seed=self.seed, **kwargs
+            ),
         )
 
     def multi(
@@ -60,9 +100,11 @@ class ResultLab:
         tag: str = "base",
         **kwargs: Any,
     ) -> SimulationResult:
-        key = ("multi", workload, policy, tag, self.scale)
         return self._run(
-            key, lambda: run_multi_app(workload, config, policy, scale=self.scale, **kwargs)
+            "multi", workload, policy, config, tag, kwargs,
+            lambda: run_multi_app(
+                workload, config, policy, scale=self.scale, seed=self.seed, **kwargs
+            ),
         )
 
     def mix(
@@ -73,14 +115,20 @@ class ResultLab:
         tag: str = "base",
         **kwargs: Any,
     ) -> SimulationResult:
-        key = ("mix", workload, policy, tag, self.scale)
         return self._run(
-            key, lambda: run_mix(workload, config, policy, scale=self.scale, **kwargs)
+            "mix", workload, policy, config, tag, kwargs,
+            lambda: run_mix(
+                workload, config, policy, scale=self.scale, seed=self.seed, **kwargs
+            ),
         )
 
     def alone(self, app: str, tag: str = "base", config: SystemConfig | None = None) -> SimulationResult:
-        key = ("alone", app, tag, self.scale)
-        return self._run(key, lambda: run_alone(app, config, "baseline", scale=self.scale))
+        return self._run(
+            "alone", app, "baseline", config, tag, {},
+            lambda: run_alone(
+                app, config, "baseline", scale=self.scale, seed=self.seed
+            ),
+        )
 
     def alone_refs(self, apps) -> dict[str, AppResult]:
         """Alone-run references for weighted speedup."""

@@ -7,6 +7,8 @@
     repro run W8 --policy baseline --json out.json
     repro compare MM --policies baseline,least-tlb,tlb-probing
     repro characterize ST --scale 0.3            # MPKI, hit rates, reuse CDF
+    repro bench --list                           # the experiment matrix
+    repro bench --only 'fig1*' --jobs 4          # parallel, cached bench run
 
 Workload names resolve in order: a Table 3 application abbreviation
 (single-application-multi-GPU), a Table 4/5 ``W``-name (one app per GPU),
@@ -17,7 +19,9 @@ file written by :func:`repro.workloads.trace_io.save_workload`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from repro.config import presets
@@ -136,6 +140,24 @@ def _apply_seed(config: SystemConfig, seed: int | None) -> SystemConfig:
     return config if seed is None else config.derive(seed=seed)
 
 
+def _profiled(call, *, sort: str = "cumulative", top: int = 25, dump: str | None = None):
+    """Run ``call()`` under cProfile; print the top-N report afterwards."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return call()
+    finally:
+        profiler.disable()
+        if dump:
+            profiler.dump_stats(dump)
+            print(f"profile dump written to {dump}", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats(sort).print_stats(top)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one simulation, optionally exported to JSON."""
     config = _apply_seed(resolve_config(args.config), args.seed)
@@ -146,8 +168,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     except FaultPlanError as exc:
         raise _cli_error(str(exc)) from None
     workload = resolve_workload(args.workload, config, args.scale, args.seed)
-    try:
-        result = simulate(
+
+    def execute() -> SimulationResult:
+        return simulate(
             config, workload, policy,
             record_iommu_stream=args.record_stream,
             snapshot_interval=args.snapshot_interval,
@@ -156,6 +179,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_cycles=args.max_cycles,
             max_events=args.max_events,
         )
+
+    try:
+        if args.profile:
+            result = _profiled(execute, dump=args.profile_dump)
+        else:
+            result = execute()
     except SimulationStalledError as exc:
         print(f"error: simulation stalled: {exc}", file=sys.stderr)
         for key, value in sorted(exc.diagnostics.items()):
@@ -219,6 +248,110 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: the parallel, cached experiment-matrix runner."""
+    # Imported here so plain ``repro run`` never pays for the runner.
+    from repro.sim.cache import ResultCache
+    from repro.sim.parallel import (
+        BENCH_MATRIX,
+        default_workers,
+        expand_matrix,
+        matrix_summary,
+        run_matrix,
+        select_benches,
+    )
+
+    try:
+        benches = select_benches(args.only)
+    except KeyError:
+        raise _cli_error(
+            f"--only {args.only!r} matches no bench; choose from "
+            f"{', '.join(BENCH_MATRIX)}"
+        ) from None
+
+    if args.list:
+        rows = [
+            [name, len(BENCH_MATRIX[name](args.scale, args.seed))]
+            for name in benches
+        ]
+        print(comparison_table(rows, ["bench", "jobs"]))
+        return 0
+
+    cache = ResultCache.from_env(args.cache_dir)
+    if args.no_cache:
+        cache.enabled = False
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cleared {removed} cache entries from {cache.cache_dir}")
+
+    pairs = expand_matrix(benches, scale=args.scale, seed=args.seed)
+    workers = args.jobs if args.jobs is not None else default_workers()
+    if args.profile:
+        workers = 1  # keep the whole run in-process so the profile sees it
+
+    def note(message: str) -> None:
+        if args.verbose:
+            print(message, file=sys.stderr)
+
+    start = time.perf_counter()
+
+    def execute():
+        return run_matrix(pairs, workers=workers, cache=cache, progress=note)
+
+    if args.profile:
+        outcomes = _profiled(execute, dump=args.profile_dump)
+    else:
+        outcomes = execute()
+    wall = time.perf_counter() - start
+
+    summary = matrix_summary(outcomes)
+    rows = [
+        [
+            o.spec.label,
+            "hit" if o.cached else f"{o.seconds:.2f}s",
+            o.events,
+            f"{o.events_per_sec:,.0f}" if not o.cached else "-",
+            ",".join(o.benches[:2]) + ("…" if len(o.benches) > 2 else ""),
+        ]
+        for o in sorted(outcomes, key=lambda o: o.spec.label)
+    ]
+    print(comparison_table(rows, ["job", "time", "events", "events/s", "benches"]))
+    print(
+        f"\nmatrix: {len(pairs)} jobs -> {summary['unique_jobs']} unique "
+        f"({summary['cache_hits']} cache hits, {summary['simulated']} simulated) "
+        f"in {wall:.2f}s wall"
+    )
+    if summary["simulated"]:
+        print(
+            f"simulated {summary['simulated_events']:,} events at "
+            f"{summary['events_per_sec']:,.0f} events/s aggregate "
+            f"({workers} workers)"
+        )
+    print(f"cache: {cache.describe()}")
+    if args.json:
+        payload = {
+            "wall_seconds": wall,
+            "workers": workers,
+            "jobs": len(pairs),
+            **summary,
+            "outcomes": [
+                {
+                    "label": o.spec.label,
+                    "digest": o.digest,
+                    "cached": o.cached,
+                    "seconds": o.seconds,
+                    "events": o.events,
+                    "total_cycles": o.total_cycles,
+                    "benches": list(o.benches),
+                }
+                for o in outcomes
+            ],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -260,7 +393,42 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-events", type=int, default=None,
                      help="safety cap: fail as stalled if this many events execute "
                           "without completing the workload")
+    run.add_argument("--profile", action="store_true",
+                     help="run under cProfile and print the top-25 report to stderr")
+    run.add_argument("--profile-dump", default=None, metavar="FILE",
+                     help="with --profile: also write the raw pstats dump here")
     run.set_defaults(func=cmd_run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the experiment matrix in parallel with persistent caching",
+    )
+    bench.add_argument("--list", action="store_true",
+                       help="list bench families and their job counts, then exit")
+    bench.add_argument("--only", default=None, metavar="PATTERN",
+                       help="run only bench families matching this glob/substring")
+    bench.add_argument("--scale", type=float, default=0.3,
+                       help="trace-length scale for every job (default 0.3)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="override the workload/config random seed")
+    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: one per core)")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="ignore the persistent result cache entirely")
+    bench.add_argument("--clear-cache", action="store_true",
+                       help="delete every cached result before running")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro-sim)")
+    bench.add_argument("--profile", action="store_true",
+                       help="serial in-process run under cProfile (implies --jobs 1)")
+    bench.add_argument("--profile-dump", default=None, metavar="FILE",
+                       help="with --profile: also write the raw pstats dump here")
+    bench.add_argument("--json", default=None, metavar="FILE",
+                       help="write the matrix summary to this JSON file")
+    bench.add_argument("--verbose", action="store_true",
+                       help="stream per-job progress to stderr")
+    bench.set_defaults(func=cmd_bench)
 
     compare = sub.add_parser("compare", help="run several policies and compare")
     add_common(compare)

@@ -33,6 +33,9 @@ class ComputeUnit:
         "execution_round",
         "measured_remaining",
         "rerun",
+        "_vpns",
+        "_gaps",
+        "_repeats",
     )
 
     def __init__(
@@ -56,6 +59,13 @@ class ComputeUnit:
         self.execution_round = 0
         self.measured_remaining = stream.measured_runs
         self.rerun = rerun
+        # The replay loop reads one (vpn, gap, repeats) triple per issued
+        # run; indexing numpy arrays allocates a numpy scalar each time, so
+        # materialise plain-int lists once up front (``tolist`` yields
+        # Python ints, bit-identical to ``int(arr[i])``).
+        self._vpns: list[int] = stream.vpns.tolist()
+        self._gaps: list[int] = stream.gaps.tolist()
+        self._repeats: list[int] = stream.repeats.tolist()
 
     @property
     def measured(self) -> bool:
@@ -84,12 +94,12 @@ class ComputeUnit:
 
     def current_vpn(self) -> int:
         """Virtual page of the run about to issue."""
-        return int(self.stream.vpns[self.index])
+        return self._vpns[self.index]
 
     def current_gap(self) -> int:
         """Issue distance (cycles) of the run about to issue."""
-        return int(self.stream.gaps[self.index])
+        return self._gaps[self.index]
 
     def current_repeats(self) -> int:
         """Burst length of the run about to issue."""
-        return int(self.stream.repeats[self.index])
+        return self._repeats[self.index]

@@ -2,9 +2,12 @@
 
 from repro.reporting.charts import bar_chart, cdf_chart, comparison_table, grouped_bars
 from repro.reporting.export import (
+    app_result_from_dict,
     app_result_to_dict,
+    result_from_dict,
     result_to_dict,
     save_result_json,
+    snapshot_from_dict,
     snapshot_to_dict,
 )
 
@@ -13,8 +16,11 @@ __all__ = [
     "cdf_chart",
     "comparison_table",
     "grouped_bars",
+    "app_result_from_dict",
     "app_result_to_dict",
+    "result_from_dict",
     "result_to_dict",
     "save_result_json",
+    "snapshot_from_dict",
     "snapshot_to_dict",
 ]

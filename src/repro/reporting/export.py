@@ -83,3 +83,57 @@ def save_result_json(
         + "\n"
     )
     return path
+
+
+# -- reconstruction (the persistent result cache's load path) ----------------
+
+
+def app_result_from_dict(data: dict[str, Any]) -> AppResult:
+    """Rebuild an :class:`AppResult` from its :func:`app_result_to_dict`
+    form.  Derived metrics (IPC, MPKI, hit rates) are recomputed, so only
+    the measured fields are read back."""
+    return AppResult(
+        pid=data["pid"],
+        app_name=data["app_name"],
+        gpu_ids=tuple(data["gpu_ids"]),
+        instructions=data["instructions"],
+        runs=data["runs"],
+        accesses=data["accesses"],
+        exec_cycles=data["exec_cycles"],
+        counters=dict(data["counters"]),
+        mean_translation_latency=data["mean_translation_latency"],
+    )
+
+
+def snapshot_from_dict(data: dict[str, Any]) -> Snapshot:
+    """Rebuild a :class:`Snapshot` from its :func:`snapshot_to_dict` form."""
+    return Snapshot(
+        cycle=data["cycle"],
+        l2_resident=data["l2_resident"],
+        l2_duplicated=data["l2_duplicated"],
+        l2_also_in_iommu=data["l2_also_in_iommu"],
+        iommu_resident=data["iommu_resident"],
+        iommu_owner_counts=tuple(data["iommu_owner_counts"]),
+    )
+
+
+def result_from_dict(data: dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from its :func:`result_to_dict`
+    form: ``result_to_dict(result_from_dict(d)) == d`` for any ``d`` this
+    module wrote."""
+    stream = data.get("iommu_stream")
+    return SimulationResult(
+        workload_name=data["workload"],
+        workload_kind=data["kind"],
+        policy_name=data["policy"],
+        total_cycles=data["total_cycles"],
+        apps={int(pid): app_result_from_dict(app) for pid, app in data["apps"].items()},
+        iommu_counters=dict(data["iommu_counters"]),
+        walker_counters=dict(data["walker_counters"]),
+        walker_queue_wait_mean=data["walker_queue_wait_mean"],
+        tracker_stats=dict(data["tracker_stats"]) if data.get("tracker_stats") else None,
+        snapshots=[snapshot_from_dict(s) for s in data.get("snapshots", [])],
+        iommu_stream=[tuple(entry) for entry in stream] if stream is not None else None,
+        events_executed=data.get("events_executed", 0),
+        metadata=dict(data.get("metadata", {})),
+    )

@@ -1,5 +1,6 @@
-"""Simulation assembly and drivers."""
+"""Simulation assembly, drivers, result caching, and the parallel runner."""
 
+from repro.sim.cache import ResultCache, code_version_hash, run_fingerprint
 from repro.sim.driver import (
     default_scale,
     run_alone,
@@ -12,6 +13,9 @@ from repro.sim.results import AppResult, SimulationResult, Snapshot
 from repro.sim.system import MultiGPUSystem
 
 __all__ = [
+    "ResultCache",
+    "code_version_hash",
+    "run_fingerprint",
     "default_scale",
     "run_alone",
     "run_mix",

@@ -1,0 +1,252 @@
+"""Persistent, content-addressed simulation result cache.
+
+A simulation is a pure function of its inputs: the
+:class:`~repro.config.system.SystemConfig`, the workload specification
+(name, kind, scale, seed), the translation policy, any fault/hardening
+configuration, and the simulator code itself.  This module fingerprints
+that tuple, hashes it, and stores the finished
+:class:`~repro.sim.results.SimulationResult` on disk under the digest, so
+re-running any benchmark after an unrelated edit is a cache hit instead of
+a re-simulation.
+
+Keying rules (see ``docs/performance.md``):
+
+* every field of the (frozen, nested) config dataclasses is in the key —
+  mutating any of them forces a re-simulation;
+* ``scale`` and ``seed`` are keyed explicitly, never read from the
+  environment at lookup time;
+* fault plans and hardening configs are keyed via their canonical forms,
+  so a fault campaign never reuses a fault-free result (determinism
+  interaction: the fault-plan seed is the config seed, which is keyed);
+* a hash over the ``repro`` package's source invalidates everything
+  whenever simulator code changes.
+
+Stores are atomic (write-to-temp + ``os.replace``) so a killed run never
+leaves a half-written entry, and loads tolerate corruption: an unreadable
+entry is dropped and treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.faults.plan import FaultPlan
+from repro.reporting.export import result_from_dict, result_to_dict
+from repro.sim.results import SimulationResult
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+#: Bumped when the cache entry layout itself changes.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sim``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sim"
+
+
+@lru_cache(maxsize=1)
+def code_version_hash() -> str:
+    """SHA-256 over every ``repro`` source file, path-ordered.
+
+    Any edit to the simulator invalidates every cached result; results
+    therefore never survive the code that produced them.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-serialisable form.
+
+    Dataclasses flatten to field dictionaries, fault plans to their CLI
+    syntax, containers recurse, and anything else falls back to ``repr``
+    (stable for the value types that reach a simulation's keyword
+    arguments).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, FaultPlan):
+        return {"fault_plan": value.describe()}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__type__": type(value).__name__, **canonicalize(asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonicalize(v) for v in value)
+    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+        return value.item()
+    return repr(value)
+
+
+def run_fingerprint(
+    *,
+    kind: str,
+    workload: Any,
+    policy: str,
+    config: Any,
+    scale: float,
+    seed: int | None,
+    options: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The complete identity of one simulation as a plain dictionary.
+
+    ``seed=None`` resolves to the config seed (what the drivers do), so a
+    run keyed with an explicit seed equal to the config's and one keyed
+    with ``None`` share an entry — they are the same simulation.
+    """
+    resolved_seed = seed
+    if resolved_seed is None:
+        resolved_seed = getattr(config, "seed", None)
+    return {
+        "format": CACHE_FORMAT,
+        "code": code_version_hash(),
+        "kind": kind,
+        "workload": canonicalize(workload),
+        "policy": policy,
+        "scale": scale,
+        "seed": resolved_seed,
+        "config": canonicalize(config),
+        "options": canonicalize(options or {}),
+    }
+
+
+def fingerprint_digest(fingerprint: dict[str, Any]) -> str:
+    """Content address of a fingerprint: SHA-256 of its canonical JSON."""
+    payload = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of finished simulation results, one JSON per digest."""
+
+    def __init__(self, cache_dir: str | Path | None = None, *, enabled: bool = True) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def from_env(cls, cache_dir: str | Path | None = None) -> "ResultCache":
+        """A cache honouring ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR``."""
+        disabled = os.environ.get(CACHE_DISABLE_ENV, "").strip() not in ("", "0")
+        return cls(cache_dir, enabled=not disabled)
+
+    def path_for(self, fingerprint: dict[str, Any]) -> Path:
+        """Where the entry for ``fingerprint`` lives (existing or not)."""
+        return self.cache_dir / f"{fingerprint_digest(fingerprint)}.json"
+
+    # -- load ---------------------------------------------------------------
+
+    def get(self, fingerprint: dict[str, Any]) -> SimulationResult | None:
+        """The cached result for ``fingerprint``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry (truncated write from a killed
+        process, stray file, hash collision) is deleted and reported as a
+        miss — the caller simply re-simulates.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["fingerprint"] != fingerprint:
+                raise ValueError("fingerprint mismatch (digest collision?)")
+            result = result_from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    # -- store --------------------------------------------------------------
+
+    def put(self, fingerprint: dict[str, Any], result: SimulationResult) -> Path | None:
+        """Store ``result`` under ``fingerprint`` atomically.
+
+        The recorded IOMMU stream (when present) is kept, so a cache hit
+        reproduces the full result including reuse-distance inputs.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(fingerprint)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": fingerprint,
+            "result": result_to_dict(result, include_stream=True),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=path.stem[:16], suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every cache entry.  Returns the number removed."""
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        """How many entries are currently stored."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def describe(self) -> dict[str, Any]:
+        """Session statistics plus the on-disk state, for CLI reporting."""
+        return {
+            "dir": str(self.cache_dir),
+            "enabled": self.enabled,
+            "entries": self.entry_count(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

@@ -1,0 +1,392 @@
+"""Parallel experiment runner.
+
+The paper's evaluation is an embarrassingly parallel matrix of independent
+simulations: every figure/ablation bench is a set of ``(kind, workload,
+policy, config, scale, seed)`` points, many shared between benches (every
+weighted-speedup figure needs the same ``run_alone`` denominators, every
+hit-rate figure re-reads the perf figure's runs).  This module makes that
+matrix declarative:
+
+* :class:`JobSpec` — one simulation, fully described by value;
+* :data:`BENCH_MATRIX` — the experiment matrix, one entry per bench
+  family, each expanding to its job specs;
+* :func:`run_matrix` — deduplicate shared jobs by cache fingerprint, serve
+  hits from the persistent :class:`~repro.sim.cache.ResultCache`, and fan
+  the misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  sized to the machine.
+
+Each unique simulation executes exactly once per matrix regardless of how
+many benches request it, and exactly zero times when a previous run (of
+the same code version) already cached it.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.config.presets import (
+    baseline_config,
+    dws_config,
+    infinite_iommu_config,
+    large_page_config,
+    local_page_table_config,
+    scaled_config,
+    small_iommu_config,
+)
+from repro.config.system import SystemConfig
+from repro.sim.cache import ResultCache, fingerprint_digest, run_fingerprint
+from repro.sim.driver import run_alone, run_mix, run_multi_app, run_single_app
+from repro.sim.results import SimulationResult
+from repro.workloads.multi_app import (
+    MIX_WORKLOADS,
+    MULTI_APP_WORKLOADS,
+    SCALED_WORKLOADS,
+    SINGLE_APP_NAMES,
+)
+
+_RUNNERS: dict[str, Callable[..., SimulationResult]] = {
+    "single": run_single_app,
+    "multi": run_multi_app,
+    "mix": run_mix,
+    "alone": run_alone,
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation of the experiment matrix, described entirely by value
+    (picklable, hashable, and fingerprintable)."""
+
+    kind: str
+    workload: str
+    policy: str = "baseline"
+    config: SystemConfig | None = None
+    """``None`` means the Table 2 baseline config."""
+    scale: float = 0.5
+    seed: int | None = None
+    options: tuple[tuple[str, Any], ...] = ()
+    """Extra ``simulate`` keyword arguments, sorted ``(name, value)``."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _RUNNERS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; choose from {sorted(_RUNNERS)}"
+            )
+
+    def resolved_config(self) -> SystemConfig:
+        """The spec's config, with ``None`` resolved to the baseline."""
+        return self.config if self.config is not None else baseline_config()
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity for progress output."""
+        return f"{self.kind}:{self.workload}/{self.policy}@{self.scale:g}"
+
+    def fingerprint(self) -> dict[str, Any]:
+        """The spec's persistent-cache fingerprint."""
+        return run_fingerprint(
+            kind=self.kind,
+            workload=self.workload,
+            policy=self.policy,
+            config=self.resolved_config(),
+            scale=self.scale,
+            seed=self.seed,
+            options=dict(self.options),
+        )
+
+    def execute(self) -> SimulationResult:
+        """Run the simulation in the current process."""
+        runner = _RUNNERS[self.kind]
+        kwargs = dict(self.options)
+        if self.kind == "alone":
+            return run_alone(
+                self.workload, self.resolved_config(), self.policy,
+                scale=self.scale, seed=self.seed, **kwargs,
+            )
+        return runner(
+            self.workload, self.resolved_config(), self.policy,
+            scale=self.scale, seed=self.seed, **kwargs,
+        )
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one unique job of a matrix run."""
+
+    spec: JobSpec
+    digest: str
+    benches: tuple[str, ...]
+    cached: bool
+    seconds: float
+    events: int
+    total_cycles: int
+    result: SimulationResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulation throughput (0.0 for cache hits, which do no work)."""
+        if self.cached or self.seconds <= 0:
+            return 0.0
+        return self.events / self.seconds
+
+
+# -- the experiment matrix ---------------------------------------------------
+
+
+def _singles(policies: Iterable[str], scale: float, seed: int | None,
+             config: SystemConfig | None = None) -> list[JobSpec]:
+    return [
+        JobSpec("single", app, policy, config, scale, seed)
+        for app in SINGLE_APP_NAMES
+        for policy in policies
+    ]
+
+
+def _multis(workloads: Iterable[str], policies: Iterable[str], scale: float,
+            seed: int | None, config: SystemConfig | None = None) -> list[JobSpec]:
+    return [
+        JobSpec("multi", wl, policy, config, scale, seed)
+        for wl in workloads
+        for policy in policies
+    ]
+
+
+def _alones_for(workloads: Iterable[str], scale: float, seed: int | None) -> list[JobSpec]:
+    apps: set[str] = set()
+    for wl in workloads:
+        table = {**MULTI_APP_WORKLOADS, **SCALED_WORKLOADS}
+        if wl in table:
+            apps.update(table[wl][0])
+        elif wl in MIX_WORKLOADS:
+            for a, b in MIX_WORKLOADS[wl][0]:
+                apps.update((a, b))
+    return [JobSpec("alone", app, "baseline", None, scale, seed) for app in sorted(apps)]
+
+
+def _fig16_jobs(scale: float, seed: int | None) -> list[JobSpec]:
+    workloads = tuple(MULTI_APP_WORKLOADS)
+    return (
+        _multis(workloads, ("baseline", "least-tlb"), scale, seed)
+        + _alones_for(workloads, scale, seed)
+    )
+
+
+def _fig21_jobs(scale: float, seed: int | None) -> list[JobSpec]:
+    jobs = _multis(
+        ("W11", "W12", "W13", "W14", "W15"), ("baseline", "least-tlb"),
+        scale, seed, scaled_config(8),
+    )
+    jobs += _multis(("W16",), ("baseline", "least-tlb"), scale, seed, scaled_config(16))
+    return jobs
+
+
+def _fig22_jobs(scale: float, seed: int | None) -> list[JobSpec]:
+    workloads = tuple(MIX_WORKLOADS)
+    return [
+        JobSpec("mix", wl, policy, None, scale, seed)
+        for wl in workloads
+        for policy in ("baseline", "least-tlb")
+    ] + _alones_for(workloads, scale, seed)
+
+
+#: The full experiment matrix: bench family → job-spec builder.  Builders
+#: take ``(scale, seed)`` so one flag rescales the whole matrix uniformly.
+BENCH_MATRIX: dict[str, Callable[[float, int | None], list[JobSpec]]] = {
+    "fig02_baseline_hit_rates": lambda s, d: _singles(("baseline",), s, d),
+    "fig03_infinite_iommu": lambda s, d: _singles(("baseline",), s, d)
+    + _singles(("baseline",), s, d, infinite_iommu_config()),
+    "fig14_single_app_perf": lambda s, d: _singles(("baseline", "least-tlb"), s, d),
+    "fig15_single_app_hit_rates": lambda s, d: _singles(("baseline", "least-tlb"), s, d),
+    "fig16_multi_app_perf": _fig16_jobs,
+    "fig17_multi_app_hit_rates": _fig16_jobs,
+    "fig21_gpu_scaling": _fig21_jobs,
+    "fig22_mix_workload": _fig22_jobs,
+    "fig23_local_page_tables": lambda s, d: _singles(
+        ("baseline", "least-tlb"), s, d, local_page_table_config()
+    ),
+    "fig24_large_pages": lambda s, d: _singles(
+        ("baseline", "least-tlb"), s, d, large_page_config()
+    ),
+    "fig25_tlb_probing": lambda s, d: _singles(("tlb-probing",), s, d)
+    + _multis(tuple(MULTI_APP_WORKLOADS), ("tlb-probing",), s, d),
+    "fig26_dws": lambda s, d: _multis(
+        tuple(MULTI_APP_WORKLOADS), ("baseline", "least-tlb"), s, d, dws_config()
+    ),
+    "abl_policies": lambda s, d: _singles(
+        ("baseline", "strictly-inclusive", "exclusive", "least-tlb"), s, d
+    ),
+    "sens_iommu_size": lambda s, d: _multis(
+        tuple(MULTI_APP_WORKLOADS), ("baseline", "least-tlb"), s, d, small_iommu_config()
+    ),
+}
+
+
+def bench_names() -> list[str]:
+    """Every bench family of the matrix, in declaration order."""
+    return list(BENCH_MATRIX)
+
+
+def select_benches(pattern: str | None) -> list[str]:
+    """Bench families matching an ``fnmatch`` pattern (``None`` → all).
+
+    Raises :class:`KeyError` when nothing matches, so the CLI can report a
+    usage error with the valid names.
+    """
+    names = bench_names()
+    if pattern is None:
+        return names
+    matched = [n for n in names if fnmatch.fnmatch(n, pattern) or pattern in n]
+    if not matched:
+        raise KeyError(pattern)
+    return matched
+
+
+def expand_matrix(
+    benches: Iterable[str], *, scale: float, seed: int | None = None
+) -> list[tuple[str, JobSpec]]:
+    """Expand bench families into their ``(bench, spec)`` pairs."""
+    pairs: list[tuple[str, JobSpec]] = []
+    for bench in benches:
+        for spec in BENCH_MATRIX[bench](scale, seed):
+            pairs.append((bench, spec))
+    return pairs
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def default_workers() -> int:
+    """Pool size: every core, floor one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_for_pool(spec: JobSpec) -> tuple[float, dict[str, Any]]:
+    """Worker-side job execution (module-level, so it pickles)."""
+    from repro.reporting.export import result_to_dict
+
+    start = time.perf_counter()
+    result = spec.execute()
+    return time.perf_counter() - start, result_to_dict(result, include_stream=True)
+
+
+def dedupe_jobs(
+    pairs: Iterable[tuple[str, JobSpec]]
+) -> list[tuple[JobSpec, dict[str, Any], str, tuple[str, ...]]]:
+    """Collapse the matrix to unique simulations by cache fingerprint.
+
+    Returns ``(spec, fingerprint, digest, benches)`` per unique job, in
+    first-appearance order; ``benches`` lists every family that wanted it.
+    """
+    seen: dict[str, tuple[JobSpec, dict[str, Any], list[str]]] = {}
+    order: list[str] = []
+    for bench, spec in pairs:
+        fingerprint = spec.fingerprint()
+        digest = fingerprint_digest(fingerprint)
+        if digest not in seen:
+            seen[digest] = (spec, fingerprint, [])
+            order.append(digest)
+        if bench not in seen[digest][2]:
+            seen[digest][2].append(bench)
+    return [
+        (seen[d][0], seen[d][1], d, tuple(seen[d][2])) for d in order
+    ]
+
+
+def run_matrix(
+    pairs: Iterable[tuple[str, JobSpec]],
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[JobOutcome]:
+    """Run a (bench, spec) matrix: dedupe, serve cache hits, fan out misses.
+
+    ``workers=1`` executes in-process (no pool), which keeps ``--profile``
+    meaningful and avoids fork overhead for tiny matrices.
+    """
+    workers = default_workers() if workers is None else max(1, workers)
+    cache = ResultCache.from_env() if cache is None else cache
+    note = progress or (lambda _msg: None)
+
+    unique = dedupe_jobs(pairs)
+    outcomes: list[JobOutcome] = []
+    misses: list[tuple[JobSpec, dict[str, Any], str, tuple[str, ...]]] = []
+    for spec, fingerprint, digest, benches in unique:
+        result = cache.get(fingerprint)
+        if result is not None:
+            note(f"cache hit  {spec.label}")
+            outcomes.append(
+                JobOutcome(
+                    spec=spec, digest=digest, benches=benches, cached=True,
+                    seconds=0.0, events=result.events_executed,
+                    total_cycles=result.total_cycles, result=result,
+                )
+            )
+        else:
+            misses.append((spec, fingerprint, digest, benches))
+
+    if not misses:
+        return outcomes
+
+    if workers == 1 or len(misses) == 1:
+        for spec, fingerprint, digest, benches in misses:
+            note(f"simulate   {spec.label}")
+            start = time.perf_counter()
+            result = spec.execute()
+            seconds = time.perf_counter() - start
+            cache.put(fingerprint, result)
+            outcomes.append(
+                JobOutcome(
+                    spec=spec, digest=digest, benches=benches, cached=False,
+                    seconds=seconds, events=result.events_executed,
+                    total_cycles=result.total_cycles, result=result,
+                )
+            )
+        return outcomes
+
+    from repro.reporting.export import result_from_dict
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+        futures = {}
+        for spec, fingerprint, digest, benches in misses:
+            note(f"submit     {spec.label}")
+            futures[pool.submit(_execute_for_pool, spec)] = (
+                spec, fingerprint, digest, benches,
+            )
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                spec, fingerprint, digest, benches = futures[future]
+                seconds, result_dict = future.result()
+                result = result_from_dict(result_dict)
+                cache.put(fingerprint, result)
+                note(f"finished   {spec.label} ({seconds:.1f}s)")
+                outcomes.append(
+                    JobOutcome(
+                        spec=spec, digest=digest, benches=benches, cached=False,
+                        seconds=seconds, events=result.events_executed,
+                        total_cycles=result.total_cycles, result=result,
+                    )
+                )
+    return outcomes
+
+
+def matrix_summary(outcomes: list[JobOutcome]) -> dict[str, Any]:
+    """Aggregate statistics of one matrix run, for reporting and JSON."""
+    simulated = [o for o in outcomes if not o.cached]
+    sim_seconds = sum(o.seconds for o in simulated)
+    sim_events = sum(o.events for o in simulated)
+    return {
+        "unique_jobs": len(outcomes),
+        "cache_hits": sum(1 for o in outcomes if o.cached),
+        "simulated": len(simulated),
+        "simulated_seconds": sim_seconds,
+        "simulated_events": sim_events,
+        "events_per_sec": (sim_events / sim_seconds) if sim_seconds > 0 else 0.0,
+    }

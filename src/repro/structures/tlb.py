@@ -17,7 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.structures.replacement import ReplacementPolicy, make_policy
+from repro.structures.replacement import LRUPolicy, ReplacementPolicy, make_policy
 
 TranslationKey = tuple[int, int]
 """A ``(pid, vpn)`` pair identifying one translation."""
@@ -89,7 +89,18 @@ class SetAssociativeTLB:
     associative TLB is simply ``associativity == num_entries`` (one set).
     """
 
-    __slots__ = ("num_entries", "associativity", "num_sets", "_sets", "_policy", "stats", "name")
+    __slots__ = (
+        "num_entries",
+        "associativity",
+        "num_sets",
+        "_sets",
+        "_set_mask",
+        "_only_set",
+        "_policy",
+        "_lru_fast",
+        "stats",
+        "name",
+    )
 
     def __init__(
         self,
@@ -111,14 +122,28 @@ class SetAssociativeTLB:
         self._sets: list[OrderedDict[TranslationKey, TLBEntry]] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        # Hot-path precomputation: Table 2's geometries all have
+        # power-of-two set counts, so the modulo reduces to a mask; a
+        # single-set (fully associative) TLB skips indexing entirely.
+        self._set_mask = (
+            self.num_sets - 1 if self.num_sets & (self.num_sets - 1) == 0 else -1
+        )
+        self._only_set = self._sets[0] if self.num_sets == 1 else None
         self._policy: ReplacementPolicy = make_policy(replacement, seed=seed)
+        # LRU's only hook is OrderedDict.move_to_end; calling it directly
+        # avoids a method dispatch per hit on the default configuration.
+        self._lru_fast = type(self._policy) is LRUPolicy
         self.stats = TLBStats()
         self.name = name
 
     # -- indexing ---------------------------------------------------------
 
     def _set_for(self, vpn: int) -> OrderedDict[TranslationKey, TLBEntry]:
-        return self._sets[vpn % self.num_sets]
+        only = self._only_set
+        if only is not None:
+            return only
+        mask = self._set_mask
+        return self._sets[vpn & mask if mask >= 0 else vpn % self.num_sets]
 
     # -- core operations ---------------------------------------------------
 
@@ -129,14 +154,22 @@ class SetAssociativeTLB:
         normal access path); ``touch=False`` is a snoop that must not perturb
         recency (used by remote probes and invariants checks).
         """
-        tlb_set = self._set_for(vpn)
-        entry = tlb_set.get((pid, vpn))
+        key = (pid, vpn)
+        tlb_set = self._only_set
+        if tlb_set is None:
+            mask = self._set_mask
+            tlb_set = self._sets[vpn & mask if mask >= 0 else vpn % self.num_sets]
+        entry = tlb_set.get(key)
+        stats = self.stats
         if entry is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if touch:
-            self._policy.on_access(tlb_set, (pid, vpn))
+            if self._lru_fast:
+                tlb_set.move_to_end(key)
+            else:
+                self._policy.on_access(tlb_set, key)
         return entry
 
     def contains(self, pid: int, vpn: int) -> bool:
@@ -162,12 +195,19 @@ class SetAssociativeTLB:
         Inserting a key that is already present refreshes the stored entry
         in place (no eviction).
         """
-        tlb_set = self._set_for(entry.vpn)
-        key = entry.key
+        key = (entry.pid, entry.vpn)
+        tlb_set = self._only_set
+        if tlb_set is None:
+            mask = self._set_mask
+            vpn = entry.vpn
+            tlb_set = self._sets[vpn & mask if mask >= 0 else vpn % self.num_sets]
         self.stats.insertions += 1
         if key in tlb_set:
             tlb_set[key] = entry
-            self._policy.on_access(tlb_set, key)
+            if self._lru_fast:
+                tlb_set.move_to_end(key)
+            else:
+                self._policy.on_access(tlb_set, key)
             return None
         victim: TLBEntry | None = None
         if len(tlb_set) >= self.associativity:

@@ -66,6 +66,34 @@ def test_run_until_is_inclusive():
     assert seen == [1, 2, 3]
 
 
+def test_until_below_next_event_time_advances_clock():
+    queue = EventQueue()
+    queue.schedule(15, lambda: None)
+    # The bound is below the next event's time: nothing executes, but the
+    # clock advances to the bound.
+    assert queue.run(until=10) == 10
+    assert queue.now == 10
+    assert len(queue) == 1
+
+
+def test_until_bounded_run_cannot_rewind_time():
+    """Regression: after ``run(until=T)`` reported ``now == T``, a later
+    run with a smaller bound must not rewind the clock — otherwise an
+    event could be scheduled (and executed) at a cycle earlier than the
+    ``now`` the first run reported."""
+    queue = EventQueue()
+    hits = []
+    queue.schedule(15, hits.append, "late")
+    assert queue.run(until=10) == 10
+    assert queue.run(until=3) == 10  # smaller bound: clock stays put
+    assert queue.now == 10
+    with pytest.raises(SimulationError):
+        queue.schedule(7, hits.append, "earlier-than-reported-now")
+    queue.run()
+    assert hits == ["late"]
+    assert queue.now == 15
+
+
 def test_run_max_events():
     queue = EventQueue()
     seen = []

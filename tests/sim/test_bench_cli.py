@@ -1,0 +1,91 @@
+"""CLI tests for ``repro bench`` and the ``--profile`` flag."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_bench_list_exits_zero(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig14_single_app_perf" in out
+    assert "jobs" in out
+
+
+def test_bench_list_honours_only(capsys):
+    assert main(["bench", "--list", "--only", "fig2*"]) == 0
+    out = capsys.readouterr().out
+    assert "fig21_gpu_scaling" in out
+    assert "fig14_single_app_perf" not in out
+
+
+def test_bench_unknown_only_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--only", "no-such-bench"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "no-such-bench" in err
+
+
+def test_bench_cold_then_warm(tmp_path, capsys):
+    argv = [
+        "bench", "--only", "fig02_baseline_hit_rates", "--scale", "0.05",
+        "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "simulated)" in cold
+
+    json_path = tmp_path / "summary.json"
+    assert main(argv + ["--json", str(json_path)]) == 0
+    warm = capsys.readouterr().out
+    assert "hit" in warm
+    summary = json.loads(json_path.read_text())
+    assert summary["cache_hits"] == summary["unique_jobs"]
+    assert summary["simulated"] == 0
+    assert len(summary["outcomes"]) == summary["unique_jobs"]
+
+
+def test_bench_no_cache_skips_store(tmp_path, capsys):
+    argv = [
+        "bench", "--only", "fig02_baseline_hit_rates", "--scale", "0.05",
+        "--jobs", "1", "--cache-dir", str(tmp_path), "--no-cache",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_bench_clear_cache(tmp_path, capsys):
+    argv = [
+        "bench", "--only", "fig02_baseline_hit_rates", "--scale", "0.05",
+        "--jobs", "1", "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert list(tmp_path.glob("*.json"))
+    assert main(argv + ["--clear-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cleared" in out
+
+
+def test_run_profile_smoke(tmp_path, capsys):
+    dump = tmp_path / "run.prof"
+    assert main([
+        "run", "MM", "--scale", "0.05",
+        "--profile", "--profile-dump", str(dump),
+    ]) == 0
+    err = capsys.readouterr().err  # pstats table goes to stderr
+    assert "cumulative" in err
+    assert dump.exists()
+
+
+def test_bench_profile_forces_in_process(tmp_path, capsys):
+    assert main([
+        "bench", "--only", "fig02_baseline_hit_rates", "--scale", "0.05",
+        "--cache-dir", str(tmp_path), "--profile",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "cumulative" in err
