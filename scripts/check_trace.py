@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""CI schema check for exported Chrome trace files.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_trace.py repro-trace.json
+
+Loads the file, runs :func:`repro.telemetry.validate_chrome_trace`
+against it, prints every problem found, and exits non-zero if the trace
+is not a well-formed ``trace_event`` payload that Perfetto / Chrome
+``about:tracing`` would accept.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry import validate_chrome_trace
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_trace.py TRACE_FILE", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.is_file():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+
+    problems = validate_chrome_trace(payload)
+    if problems:
+        print(f"{path}: INVALID ({len(problems)} problem(s))")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+
+    events = payload["traceEvents"]
+    durations = sum(1 for e in events if e.get("ph") == "X")
+    print(f"{path}: OK ({len(events)} events, {durations} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -33,6 +33,8 @@ from repro.policies import policy_names
 from repro.reporting import bar_chart, cdf_chart, comparison_table, save_result_json
 from repro.sim.driver import simulate
 from repro.sim.results import SimulationResult
+from repro.sim.system import MultiGPUSystem
+from repro.telemetry import TelemetryConfig, export_chrome_trace, flame_summary
 from repro.workloads.applications import APPLICATIONS
 from repro.workloads.multi_app import (
     MIX_WORKLOADS,
@@ -158,6 +160,43 @@ def _profiled(call, *, sort: str = "cumulative", top: int = 25, dump: str | None
         stats.sort_stats(sort).print_stats(top)
 
 
+DEFAULT_TRACE_OUT = "repro-trace.json"
+
+
+def _telemetry_config(
+    trace_rate: float | None, timeline: int
+) -> TelemetryConfig | None:
+    """The telemetry config a command's flags ask for, or ``None`` for the
+    zero-perturbation default (no hub is built at all)."""
+    if trace_rate is None and timeline <= 0:
+        return None
+    try:
+        return TelemetryConfig(
+            sample_rate=trace_rate if trace_rate is not None else 0.0,
+            timeline_interval=max(0, timeline),
+        )
+    except ValueError as exc:
+        raise _cli_error(str(exc)) from None
+
+
+def _print_telemetry(hub) -> None:
+    """The per-site latency percentile table of a telemetry-enabled run."""
+    if not hub.histograms:
+        return
+    rows = [
+        [site, hist.count, hist.min, int(hist.p50), int(hist.p90),
+         int(hist.p99), hist.max]
+        for site, hist in sorted(hub.histograms.items())
+    ]
+    print("\nlatency sites (cycles):")
+    print(comparison_table(
+        rows, ["site", "samples", "min", "p50", "p90", "p99", "max"]
+    ))
+    if hub.traces:
+        print(f"\ntraced {len(hub.traces)} requests "
+              f"({sum(len(t) for t in hub.traces)} spans)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one simulation, optionally exported to JSON."""
     config = _apply_seed(resolve_config(args.config), args.seed)
@@ -167,18 +206,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         faults = FaultPlan.parse(args.faults) if args.faults is not None else None
     except FaultPlanError as exc:
         raise _cli_error(str(exc)) from None
+    telemetry = _telemetry_config(args.trace, args.timeline)
     workload = resolve_workload(args.workload, config, args.scale, args.seed)
 
+    # Built as a system (not via ``simulate``) so the telemetry hub stays
+    # reachable for the Chrome-trace export after the run.
+    system = MultiGPUSystem(
+        config, workload, policy,
+        record_iommu_stream=args.record_stream,
+        snapshot_interval=args.snapshot_interval,
+        faults=faults,
+        check_invariants=args.check_invariants,
+        telemetry=telemetry,
+    )
+
     def execute() -> SimulationResult:
-        return simulate(
-            config, workload, policy,
-            record_iommu_stream=args.record_stream,
-            snapshot_interval=args.snapshot_interval,
-            faults=faults,
-            check_invariants=args.check_invariants,
-            max_cycles=args.max_cycles,
-            max_events=args.max_events,
-        )
+        return system.run(args.max_cycles, max_events=args.max_events)
 
     try:
         if args.profile:
@@ -196,9 +239,58 @@ def cmd_run(args: argparse.Namespace) -> int:
     _print_result(result)
     if args.check_invariants:
         print(f"invariants OK ({result.metadata.get('invariant_checks', 0)} checks)")
+    if system.telemetry is not None:
+        _print_telemetry(system.telemetry)
+    if args.trace is not None:
+        out = args.trace_out or DEFAULT_TRACE_OUT
+        path = export_chrome_trace(
+            system.telemetry.traces, out,
+            run_info={
+                "workload": result.workload_name,
+                "policy": result.policy_name,
+                "sample_rate": args.trace,
+            },
+        )
+        print(f"wrote Chrome trace {path} "
+              f"({len(system.telemetry.traces)} traces)")
     if args.json:
         path = save_result_json(result, args.json, include_stream=args.record_stream)
         print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: a traced run, Chrome-trace export, flame summary."""
+    config = _apply_seed(resolve_config(args.config), args.seed)
+    policy = resolve_policy(args.policy)
+    telemetry = _telemetry_config(args.rate, args.timeline)
+    assert telemetry is not None  # --rate always set (default 0.05)
+    if telemetry.stride == 0:
+        raise _cli_error("--rate must be > 0 to collect traces")
+    workload = resolve_workload(args.workload, config, args.scale, args.seed)
+    system = MultiGPUSystem(config, workload, policy, telemetry=telemetry)
+    try:
+        result = system.run(max_events=args.max_events)
+    except SimulationStalledError as exc:
+        print(f"error: simulation stalled: {exc}", file=sys.stderr)
+        return 3
+    hub = system.telemetry
+    print(f"workload {result.workload_name}, policy {result.policy_name}: "
+          f"{result.total_cycles:,} cycles, {len(hub.traces)} traces sampled "
+          f"at rate {args.rate}")
+    print()
+    print(flame_summary(hub.traces))
+    _print_telemetry(hub)
+    path = export_chrome_trace(
+        hub.traces, args.out,
+        run_info={
+            "workload": result.workload_name,
+            "policy": result.policy_name,
+            "sample_rate": args.rate,
+        },
+    )
+    print(f"\nwrote Chrome trace {path} — open in chrome://tracing or "
+          f"https://ui.perfetto.dev")
     return 0
 
 
@@ -228,6 +320,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
         for policy, r in results.items()
     ]
     print(comparison_table(rows, ["policy", "exec cycles", "IOMMU hit", "remote hit"]))
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "scale": args.scale,
+            "reference": policies[0],
+            "policies": {
+                policy: {
+                    "exec_cycles": r.exec_cycles,
+                    "total_cycles": r.total_cycles,
+                    "speedup": r.speedup_vs(base),
+                    "mean_iommu_hit_rate": r.mean_over_apps("iommu_hit_rate"),
+                    "mean_remote_hit_rate": r.mean_over_apps("remote_hit_rate"),
+                    "mean_l2_hit_rate": r.mean_over_apps("l2_hit_rate"),
+                    "mean_translation_latency":
+                        r.mean_over_apps("mean_translation_latency"),
+                }
+                for policy, r in results.items()
+            },
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -243,8 +356,29 @@ def cmd_characterize(args: argparse.Namespace) -> int:
           f"{len(result.iommu_stream):,} requests):")
     capacity = config.iommu.tlb.num_entries
     print(cdf_chart(reuse_cdf(distances), markers={capacity: "IOMMU TLB capacity"}))
-    print(f"\ncapturable by the {capacity}-entry IOMMU TLB: "
-          f"{fraction_within(distances, capacity):.1%}")
+    captured = fraction_within(distances, capacity)
+    print(f"\ncapturable by the {capacity}-entry IOMMU TLB: {captured:.1%}")
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "scale": args.scale,
+            "iommu_requests": len(result.iommu_stream),
+            "finite_reuses": int(finite),
+            "iommu_tlb_capacity": capacity,
+            "capturable_fraction": captured,
+            "apps": {
+                str(a.pid): {
+                    "app_name": a.app_name,
+                    "mpki": a.mpki,
+                    "l1_hit_rate": a.l1_hit_rate,
+                    "l2_hit_rate": a.l2_hit_rate,
+                    "iommu_hit_rate": a.iommu_hit_rate,
+                }
+                for a in result.apps.values()
+            },
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -397,7 +531,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run under cProfile and print the top-25 report to stderr")
     run.add_argument("--profile-dump", default=None, metavar="FILE",
                      help="with --profile: also write the raw pstats dump here")
+    run.add_argument("--trace", nargs="?", const=0.05, type=float, default=None,
+                     metavar="RATE",
+                     help="sample translation requests for span tracing "
+                          "(default rate 0.05) and write a Chrome trace")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help=f"Chrome trace output path (default {DEFAULT_TRACE_OUT})")
+    run.add_argument("--timeline", type=int, default=0, metavar="CYCLES",
+                     help="record an interval-timeline epoch every N cycles")
     run.set_defaults(func=cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="trace a run and export Chrome trace_event JSON"
+    )
+    add_common(trace)
+    trace.add_argument("--policy", default="least-tlb",
+                       help=f"translation policy ({', '.join(policy_names())})")
+    trace.add_argument("--rate", type=float, default=0.05,
+                       help="span-sampling rate in (0, 1] (default 0.05)")
+    trace.add_argument("--timeline", type=int, default=0, metavar="CYCLES",
+                       help="record an interval-timeline epoch every N cycles")
+    trace.add_argument("--out", default=DEFAULT_TRACE_OUT, metavar="FILE",
+                       help=f"Chrome trace output path (default {DEFAULT_TRACE_OUT})")
+    trace.add_argument("--max-events", type=int, default=None,
+                       help="safety cap: fail as stalled past this many events")
+    trace.set_defaults(func=cmd_trace)
 
     bench = sub.add_parser(
         "bench",
@@ -434,12 +592,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(compare)
     compare.add_argument("--policies", default="baseline,least-tlb",
                          help="comma-separated policy list (first = reference)")
+    compare.add_argument("--json", default=None, metavar="FILE",
+                         help="write the comparison summary to this JSON file")
     compare.set_defaults(func=cmd_compare)
 
     characterize = sub.add_parser(
         "characterize", help="hit rates, MPKI, and reuse-distance CDF"
     )
     add_common(characterize)
+    characterize.add_argument("--json", default=None, metavar="FILE",
+                              help="write the characterization to this JSON file")
     characterize.set_defaults(func=cmd_characterize)
 
     return parser

@@ -124,6 +124,8 @@ class LeastTLBPolicy(TranslationPolicy):
             self._probe_rotor += 1
             if request.measured:
                 self.system.stats_for(request.pid).inc("tracker_positive")
+            if request.trace is not None:
+                request.trace.begin("remote_probe", self.queue.now, target=target)
             injector = self.system.faults
             if injector is not None and injector.drop_remote_probe():
                 # The probe vanishes in the peer fabric; only the probe
@@ -131,6 +133,9 @@ class LeastTLBPolicy(TranslationPolicy):
                 # serial variant) falls back to the walk.
                 self.iommu.stats.inc("probes_dropped")
                 self.topology.iommu_to_gpu_probe[target].record_drop()
+                if request.trace is not None:
+                    request.trace.end("remote_probe", self.queue.now,
+                                      outcome="fault")
             else:
                 extra = injector.remote_probe_delay() if injector is not None else 0
                 arrival = self.topology.probe_to_gpu(target, self.queue.now, extra)
@@ -139,6 +144,7 @@ class LeastTLBPolicy(TranslationPolicy):
                     self._remote_probe,
                     request,
                     target,
+                    pending.serial,
                 )
             hardening = self.system.hardening
             if hardening is not None:
@@ -146,6 +152,7 @@ class LeastTLBPolicy(TranslationPolicy):
                     hardening.probe_timeout,
                     self._probe_timed_out,
                     request,
+                    pending.serial,
                     pending.remote_generation,
                 )
         if self.race_ptw or not probing:
@@ -153,16 +160,21 @@ class LeastTLBPolicy(TranslationPolicy):
             # response arrives second from being delivered twice.
             self._start_walk(request)
 
-    def _probe_timed_out(self, request: ATSRequest, generation: int) -> None:
+    def _probe_timed_out(
+        self, request: ATSRequest, serial: int, generation: int
+    ) -> None:
         """Hardening: the probe issued as ``generation`` never answered."""
         pending = self.iommu.pending.get(request.key)
         if (
             pending is None
+            or pending.serial != serial
             or not pending.remote_pending
             or pending.remote_generation != generation
         ):
-            return  # the probe answered, or a newer probe owns the key
+            return  # the probe answered, or a newer probe/entry owns the key
         self.iommu.stats.inc("probe_timeouts")
+        if request.trace is not None:
+            request.trace.end("remote_probe", self.queue.now, outcome="timeout")
         pending.remote_pending = False
         if not pending.served and not pending.walk_pending and not pending.fault_pending:
             # Serial (remote-then-walk) variant, or a racing walk that was
@@ -171,17 +183,25 @@ class LeastTLBPolicy(TranslationPolicy):
         else:
             self.iommu.pending.maybe_remove(pending)
 
-    def _remote_probe(self, request: ATSRequest, target: int) -> None:
+    def _remote_probe(self, request: ATSRequest, target: int, serial: int) -> None:
         pending = self.iommu.pending.get(request.key)
-        if pending is None:
+        if pending is None or pending.serial != serial:
             # Hardened protocol only: the probe timed out, its fallback
-            # walk served the waiters, and the entry was already reaped.
+            # walk served the waiters, and the entry was reaped (and
+            # possibly re-created for a new miss — a different serial is
+            # a different incarnation, not this probe's entry).
             self.iommu.stats.inc("stale_probe_responses")
             return
         pending.remote_pending = False
         entry = self.gpus[target].probe_l2(
             request.pid, request.vpn, remove_on_hit=self.mode == "multi"
         )
+        if request.trace is not None:
+            request.trace.end(
+                "remote_probe",
+                self.queue.now,
+                outcome="hit" if entry is not None else "miss",
+            )
         if entry is not None:
             if self.mode == "multi":
                 # No inter-application sharing: the spilled entry migrates
@@ -201,6 +221,11 @@ class LeastTLBPolicy(TranslationPolicy):
                     if self.iommu.walkers.cancel(pending.walk_ticket):
                         pending.walk_pending = False
                         pending.walk_ticket = None
+                        if request.trace is not None:
+                            # A cancelled walk's callback never fires; close
+                            # its span here so the trace stays balanced.
+                            request.trace.end("page_walk", self.queue.now,
+                                              outcome="cancelled")
         else:
             # Tracker false positive (fingerprint aliasing or a stale entry
             # after a local shootdown).  The racing walk hides the latency
@@ -235,8 +260,13 @@ class LeastTLBPolicy(TranslationPolicy):
         resets the spill bit to 1 on reuse)."""
         budget = self.system.config.spill_budget
         now = self.queue.now
+        hub = self.system.telemetry
         for waiter in waiters:
             arrival = self.topology.gpu_to_gpu(target, waiter.gpu_id, now)
+            if waiter.trace is not None:
+                waiter.trace.end("pending_wait", now)
+                waiter.trace.add_complete("response", now, arrival,
+                                          outcome="remote")
             self.queue.schedule(
                 arrival,
                 self.gpus[waiter.gpu_id].receive_fill,
@@ -249,7 +279,12 @@ class LeastTLBPolicy(TranslationPolicy):
                 stats = self.system.stats_for(waiter.pid)
                 stats.inc("remote_hit")
                 stats.inc("served_remote")
-                self.system.latency_for(waiter.pid).record(arrival - waiter.issue_time)
+                latency = arrival - waiter.issue_time
+                self.system.latency_for(waiter.pid).record(latency)
+                if hub is not None:
+                    hub.record_latency("l2_miss", latency)
+                    hub.record_latency("remote_probe", latency)
+                    hub.record_app_latency(waiter.pid, latency)
         self.iommu.stats.inc("responses_remote", len(waiters))
 
     def _fill_levels_after_walk(self, request: ATSRequest, ppn: int) -> None:

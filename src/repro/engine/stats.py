@@ -60,23 +60,46 @@ class CounterSet:
 
 
 class LatencyAccumulator:
-    """Accumulates a latency distribution without storing every sample."""
+    """Accumulates a latency distribution without storing every sample.
 
-    __slots__ = ("count", "total", "max")
+    For full distributions (percentiles, buckets) use
+    :class:`repro.telemetry.histogram.LogHistogram`; this accumulator is
+    the always-on, four-integer summary every component can afford.
+    """
+
+    __slots__ = ("count", "total", "max", "min")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.max = 0
+        self.min = 0
 
     def record(self, latency: int) -> None:
         """Add one latency sample (cycles)."""
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
+        if self.count == 0 or latency < self.min:
+            self.min = latency
         self.count += 1
         self.total += latency
         if latency > self.max:
             self.max = latency
+
+    def merge(self, other: "LatencyAccumulator") -> None:
+        """Fold ``other``'s samples into this accumulator, losslessly —
+        per-GPU or per-app distributions combine into system-wide ones
+        without dropping ``count``/``min``/``max``."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min = other.min
+        else:
+            self.min = min(self.min, other.min)
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
 
     @property
     def mean(self) -> float:

@@ -10,6 +10,10 @@ their first full run contribute load but not statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.spans import RequestTrace
 
 
 @dataclass(slots=True)
@@ -21,6 +25,9 @@ class ATSRequest:
     vpn: int
     issue_time: int
     measured: bool = True
+    trace: "RequestTrace | None" = None
+    """Span tree of this request when it was telemetry-sampled (the
+    default ``None`` is the untraced fast path)."""
 
     @property
     def key(self) -> tuple[int, int]:

@@ -38,8 +38,10 @@ class GPUDevice:
         )
         self.l1_tlbs: dict[int, SetAssociativeTLB] = {}
         self.cus: list[ComputeUnit] = []
-        # MSHR: translation key -> CUs waiting for the in-flight fill.
-        self.mshr: dict[tuple[int, int], list[tuple[ComputeUnit, bool]]] = {}
+        # MSHR: translation key -> (CU, measured, trace) waiters for the
+        # in-flight fill.  The trace slot is None unless the request was
+        # telemetry-sampled.
+        self.mshr: dict[tuple[int, int], list] = {}
         self._l1_config = config.gpu.l1_tlb
         self._l2_latency = config.gpu.l2_tlb.lookup_latency
         self._l1_latency = config.gpu.l1_tlb.lookup_latency
@@ -117,12 +119,31 @@ class GPUDevice:
                 stats.inc("l1_miss")
                 stats.inc("l1_hit", repeats - 1)
 
+        # Telemetry: sample this issue for span tracing.  Every hook in
+        # this file is guarded on the hub — a system without telemetry
+        # takes the exact pre-telemetry path (pinned by the goldens).
+        hub = self.system.telemetry
+        trace = None
+        if hub is not None and measured:
+            trace = hub.maybe_sample(self.gpu_id, cu.cu_id, pid, vpn, now)
+
         if entry is not None:
+            if hub is not None and measured:
+                hub.record_latency("l1_hit", self._l1_latency)
+            if trace is not None:
+                trace.add_complete("l1_lookup", now, now + self._l1_latency,
+                                   outcome="hit")
+                trace.close_root(now + self._l1_latency, outcome="l1_hit")
+                hub.complete(trace)
             self._finish_run(cu, measured)
         else:
+            if trace is not None:
+                trace.add_complete("l1_lookup", now, now + self._l1_latency,
+                                   outcome="miss")
             cu.outstanding += 1
             queue.schedule_after(
-                self._l1_latency + self._l2_latency, self._l2_lookup, cu, pid, vpn, measured
+                self._l1_latency + self._l2_latency,
+                self._l2_lookup, cu, pid, vpn, measured, trace,
             )
 
         if cu.advance():
@@ -132,8 +153,12 @@ class GPUDevice:
             else:
                 cu.waiting_for_slot = True
 
-    def _l2_lookup(self, cu: ComputeUnit, pid: int, vpn: int, measured: bool) -> None:
+    def _l2_lookup(
+        self, cu: ComputeUnit, pid: int, vpn: int, measured: bool, trace=None
+    ) -> None:
         stats = self.system.stats_for(pid) if measured else None
+        hub = self.system.telemetry
+        now = self.system.queue.now
         entry = self.l2_tlb.lookup(pid, vpn)
         faults = self.system.faults
         if entry is not None and faults is not None and faults.tlb_parity():
@@ -146,29 +171,44 @@ class GPUDevice:
         if entry is not None:
             if stats is not None:
                 stats.inc("l2_hit")
+            if hub is not None and measured:
+                hub.record_latency("l2_hit", self._l1_latency + self._l2_latency)
+            if trace is not None:
+                trace.add_complete("l2_lookup", now - self._l2_latency, now,
+                                   outcome="hit")
+                trace.close_root(now, outcome="l2_hit")
+                hub.complete(trace)
             self._fill_l1(cu, entry)
             self._translation_done(cu, measured)
             return
         if stats is not None:
             stats.inc("l2_miss")
+        if trace is not None:
+            trace.add_complete("l2_lookup", now - self._l2_latency, now,
+                               outcome="miss")
         key = (pid, vpn)
         waiters = self.mshr.get(key)
         if waiters is not None:
-            waiters.append((cu, measured))
+            waiters.append((cu, measured, trace))
             if stats is not None:
                 stats.inc("l2_mshr_merge")
+            if trace is not None:
+                trace.begin("mshr_wait", now)
             return
-        self.mshr[key] = [(cu, measured)]
+        self.mshr[key] = [(cu, measured, trace)]
         request = ATSRequest(
             gpu_id=self.gpu_id,
             pid=pid,
             vpn=vpn,
-            issue_time=self.system.queue.now,
+            issue_time=now,
             measured=measured,
+            trace=trace,
         )
         if self.local_walkers is not None:
             if stats is not None:
                 stats.inc("local_walks")
+            if trace is not None:
+                trace.begin("local_walk", now)
             self.local_walkers.request(
                 pid, vpn, 0, lambda result: self._local_walk_done(request, result)
             )
@@ -177,6 +217,12 @@ class GPUDevice:
 
     def _local_walk_done(self, request: ATSRequest, result) -> None:
         """A device-memory page-table walk finished (Figure 23 variant)."""
+        if request.trace is not None:
+            request.trace.end(
+                "local_walk",
+                self.system.queue.now,
+                outcome="hit" if result.hit else "miss",
+            )
         if result.hit:
             self.receive_fill(
                 request.pid, request.vpn, result.ppn, self.config.spill_budget
@@ -205,11 +251,17 @@ class GPUDevice:
         entry = TLBEntry(pid, vpn, ppn, spill_budget=spill_budget, owner_gpu=self.gpu_id)
         self._insert_l2(entry)
         waiters = self.mshr.pop(key, [])
-        for cu, measured in waiters:
+        hub = self.system.telemetry
+        now = self.system.queue.now
+        for cu, measured, trace in waiters:
             self._fill_l1(cu, entry)
             if measured:
                 stats = self.system.stats_for(pid)
                 stats.inc("translations_filled")
+            if trace is not None:
+                trace.end("mshr_wait", now)
+                trace.close_root(now, outcome="filled")
+                hub.complete(trace)
             self._translation_done(cu, measured)
 
     def receive_spill(self, entry: TLBEntry) -> None:

@@ -52,6 +52,7 @@ class IOMMU:
             config.iommu,
             config.num_gpus,
             injector=injector,
+            telemetry=system.telemetry,
         )
         self.pri = PRIQueue(
             system.queue,
@@ -59,6 +60,7 @@ class IOMMU:
             config.iommu,
             injector=injector,
             hardening=system.hardening,
+            telemetry=system.telemetry,
         )
         self.pending = PendingTable()
         self.stats = CounterSet()
@@ -76,6 +78,8 @@ class IOMMU:
         """An ATS packet arrived over the host link."""
         self.stats.inc("requests")
         self.system.record_iommu_request(request)
+        if request.trace is not None:
+            request.trace.begin("iommu_lookup", self.system.queue.now)
         self.system.queue.schedule_after(
             self._lookup_latency, self.system.policy.on_iommu_request, request
         )
@@ -98,6 +102,12 @@ class IOMMU:
             stats.inc("iommu_lookup")
             stats.inc("iommu_hit" if entry is not None else "iommu_miss")
         self.stats.inc("tlb_hit" if entry is not None else "tlb_miss")
+        if request.trace is not None:
+            request.trace.end(
+                "iommu_lookup",
+                self.system.queue.now,
+                outcome="hit" if entry is not None else "miss",
+            )
         return entry
 
     def insert_tlb(self, entry: TLBEntry) -> TLBEntry | None:
@@ -162,15 +172,24 @@ class IOMMU:
         queue = self.system.queue
         now = queue.now
         injector = self.system.faults
+        hub = self.system.telemetry
         for request in waiters:
+            if request.trace is not None:
+                request.trace.end("pending_wait", now)
             if injector is not None and injector.drop_response():
                 # The response is lost on the host link.  The GPU's MSHR
                 # keeps waiting; the watchdog converts the resulting
                 # stall into a diagnosable SimulationStalledError.
                 self.stats.inc("responses_dropped")
                 self.system.topology.from_iommu[request.gpu_id].record_drop()
+                if request.trace is not None:
+                    request.trace.add_complete("response", now, now,
+                                               outcome="fault")
                 continue
             arrival = self.system.topology.iommu_to_gpu(request.gpu_id, now)
+            if request.trace is not None:
+                request.trace.add_complete("response", now, arrival,
+                                           outcome=source)
             queue.schedule(
                 arrival,
                 self.system.gpus[request.gpu_id].receive_fill,
@@ -194,7 +213,12 @@ class IOMMU:
             if request.measured:
                 stats = self.system.stats_for(request.pid)
                 stats.inc(f"served_{source}")
-                self.system.latency_for(request.pid).record(arrival - request.issue_time)
+                latency = arrival - request.issue_time
+                self.system.latency_for(request.pid).record(latency)
+                if hub is not None:
+                    hub.record_latency("l2_miss", latency)
+                    hub.record_latency(source, latency)
+                    hub.record_app_latency(request.pid, latency)
         self.stats.inc(f"responses_{source}", len(waiters))
 
     # -- spill receiver selection ---------------------------------------------------

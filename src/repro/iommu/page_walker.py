@@ -33,6 +33,7 @@ from repro.structures.page_table import PageTableManager, WalkResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
+    from repro.telemetry.hub import TelemetryHub
 
 WalkCallback = Callable[[WalkResult], None]
 
@@ -75,6 +76,7 @@ class WalkerPool:
         config: IOMMUConfig,
         num_gpus: int,
         injector: "FaultInjector | None" = None,
+        telemetry: "TelemetryHub | None" = None,
     ) -> None:
         self.queue = queue
         self.page_tables = page_tables
@@ -83,6 +85,7 @@ class WalkerPool:
         self.capacity = config.num_walkers * config.walker_threads
         self.scheduler = config.walker_scheduler
         self.injector = injector
+        self.telemetry = telemetry
         self._busy_total = 0
         self.stats = CounterSet()
         self.queue_wait = LatencyAccumulator()
@@ -196,6 +199,11 @@ class WalkerPool:
 
     def _complete(self, ticket: WalkTicket, result: WalkResult) -> None:
         ticket.state = _DONE
+        if self.telemetry is not None:
+            # Service time = queue wait + walk latency, per ticket.
+            self.telemetry.record_latency(
+                "walk_service", self.queue.now - ticket.enqueue_time
+            )
         self._busy_total -= 1
         if self.scheduler == "dws":
             self._busy_per_gpu[ticket.gpu_id] -= 1

@@ -32,6 +32,13 @@ class PendingEntry:
     created_at: int = 0
     """Cycle the entry was opened (surfaced in stall diagnostics)."""
 
+    serial: int = 0
+    """Table-unique incarnation number.  The walk/remote generation
+    counters below restart at 0 whenever a key's entry is reaped and
+    re-created, so a hardening timeout armed against a dead incarnation
+    could alias its successor's generation.  Callbacks therefore check
+    the serial too: same key, different incarnation → stale."""
+
     walk_attempts: int = 0
     """Walks issued for this key, including hardening retries."""
 
@@ -65,12 +72,13 @@ class PendingEntry:
 class PendingTable:
     """Key → :class:`PendingEntry` with explicit lifecycle management."""
 
-    __slots__ = ("_entries", "merges", "peak")
+    __slots__ = ("_entries", "merges", "peak", "_created")
 
     def __init__(self) -> None:
         self._entries: dict[tuple[int, int], PendingEntry] = {}
         self.merges = 0
         self.peak = 0
+        self._created = 0
 
     def get(self, key: tuple[int, int]) -> PendingEntry | None:
         """The in-flight entry for ``key``, or ``None``."""
@@ -81,7 +89,11 @@ class PendingTable:
         key = request.key
         if key in self._entries:
             raise KeyError(f"pending entry already exists for {key}")
-        entry = PendingEntry(key=key, waiters=[request], created_at=request.issue_time)
+        entry = PendingEntry(
+            key=key, waiters=[request], created_at=request.issue_time,
+            serial=self._created,
+        )
+        self._created += 1
         self._entries[key] = entry
         if len(self._entries) > self.peak:
             self.peak = len(self._entries)

@@ -27,6 +27,7 @@ from repro.structures.page_table import PageTableManager
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import HardeningConfig
+    from repro.telemetry.hub import TelemetryHub
 
 FaultCallback = Callable[[int], None]
 """Invoked with the newly mapped PPN once the fault is serviced."""
@@ -44,12 +45,14 @@ class PRIQueue:
         config: IOMMUConfig,
         injector: "FaultInjector | None" = None,
         hardening: "HardeningConfig | None" = None,
+        telemetry: "TelemetryHub | None" = None,
     ) -> None:
         self.queue = queue
         self.page_tables = page_tables
         self.config = config
         self.injector = injector
         self.hardening = hardening
+        self.telemetry = telemetry
         self._pending: _Batch = []
         self._timer_generation = 0
         self._batch_seq = 0
@@ -109,6 +112,8 @@ class PRIQueue:
             ppn = self.page_tables.map_page(pid, vpn)
             self.stats.inc("faults_serviced")
             self.service_time.record(now - reported_at)
+            if self.telemetry is not None:
+                self.telemetry.record_latency("pri", now - reported_at)
             callback(ppn)
 
     def _batch_check(self, batch_id: int) -> None:

@@ -73,7 +73,10 @@ class TranslationPolicy(ABC):
 
         Default: emit the ATS packet to the IOMMU over the host link.
         """
-        arrival = self.topology.gpu_to_iommu(gpu.gpu_id, self.queue.now)
+        now = self.queue.now
+        arrival = self.topology.gpu_to_iommu(gpu.gpu_id, now)
+        if request.trace is not None:
+            request.trace.add_complete("host_link", now, arrival, outcome="ok")
         self.queue.schedule(arrival, self.iommu.receive, request)
 
     def on_l2_fill(self, gpu: "GPUDevice", entry: TLBEntry) -> None:
@@ -115,6 +118,8 @@ class TranslationPolicy(ABC):
             assert pending.result_ppn is not None
             self.iommu.respond([request], pending.result_ppn, source="pending")
         else:
+            if request.trace is not None:
+                request.trace.begin("pending_wait", self.queue.now)
             self.iommu.pending.attach(pending, request)
         return pending
 
@@ -124,6 +129,10 @@ class TranslationPolicy(ABC):
         pending.walk_pending = True
         pending.walk_attempts += 1
         pending.walk_generation += 1
+        if request.trace is not None:
+            request.trace.begin(
+                "page_walk", self.queue.now, attempt=pending.walk_attempts
+            )
         pending.walk_ticket = self.iommu.start_walk(request, self._walk_complete)
         hardening = self.system.hardening
         if hardening is not None:
@@ -134,6 +143,7 @@ class TranslationPolicy(ABC):
                 hardening.walk_timeout,
                 self._walk_timed_out,
                 request,
+                pending.serial,
                 pending.walk_generation,
             )
 
@@ -144,9 +154,13 @@ class TranslationPolicy(ABC):
             # already served and reaped the entry, and this is the
             # original, slower response straggling in.
             self.iommu.stats.inc("stale_walk_responses")
+            if request.trace is not None:
+                request.trace.end("page_walk", self.queue.now, outcome="stale")
             return
         pending.walk_pending = False
         if result.faulted:
+            if request.trace is not None:
+                request.trace.end("page_walk", self.queue.now, outcome="fault")
             if pending.served:
                 # The remote probe won the race; no need to fault.
                 self.iommu.pending.maybe_remove(pending)
@@ -155,24 +169,33 @@ class TranslationPolicy(ABC):
                 # A concurrent (retried) walk already reported the fault.
                 return
             pending.fault_pending = True
+            if request.trace is not None:
+                request.trace.begin("pri_fault", self.queue.now)
             self.iommu.report_fault(
                 request, lambda ppn: self._fault_serviced(request, ppn)
             )
             return
+        if request.trace is not None:
+            request.trace.end("page_walk", self.queue.now, outcome="ok")
         self._deliver_walk_result(request, result.ppn)
 
-    def _walk_timed_out(self, request: ATSRequest, generation: int) -> None:
+    def _walk_timed_out(
+        self, request: ATSRequest, serial: int, generation: int
+    ) -> None:
         """Hardening: the walk issued as ``generation`` never answered."""
         pending = self.iommu.pending.get(request.key)
         if (
             pending is None
+            or pending.serial != serial
             or not pending.walk_pending
             or pending.walk_generation != generation
         ):
-            return  # the walk answered, or a newer attempt owns the key
+            return  # the walk answered, or a newer attempt/entry owns the key
         hardening = self.system.hardening
         assert hardening is not None
         self.iommu.stats.inc("walk_timeouts")
+        if request.trace is not None:
+            request.trace.end("page_walk", self.queue.now, outcome="timeout")
         if pending.walk_ticket is not None:
             # Squash the lost walk if it is still queued so a retry does
             # not double-book walker throughput.
@@ -190,6 +213,7 @@ class TranslationPolicy(ABC):
                 hardening.backoff(pending.walk_attempts),
                 self._retry_walk,
                 request,
+                pending.serial,
                 pending.walk_generation,
             )
             return
@@ -198,15 +222,20 @@ class TranslationPolicy(ABC):
         self.iommu.stats.inc("walk_retries_exhausted")
         if not pending.fault_pending:
             pending.fault_pending = True
+            if request.trace is not None:
+                request.trace.begin("pri_fault", self.queue.now)
             self.iommu.report_fault(
                 request, lambda ppn: self._fault_serviced(request, ppn)
             )
 
-    def _retry_walk(self, request: ATSRequest, generation: int) -> None:
+    def _retry_walk(
+        self, request: ATSRequest, serial: int, generation: int
+    ) -> None:
         """Hardening: re-issue a lost walk after its backoff delay."""
         pending = self.iommu.pending.get(request.key)
         if (
             pending is None
+            or pending.serial != serial
             or pending.served
             or pending.walk_pending
             or pending.fault_pending
@@ -216,6 +245,8 @@ class TranslationPolicy(ABC):
         self._start_walk(request)
 
     def _fault_serviced(self, request: ATSRequest, ppn: int) -> None:
+        if request.trace is not None:
+            request.trace.end("pri_fault", self.queue.now, outcome="ok")
         pending = self.iommu.pending.get(request.key)
         if pending is None:
             # Hardened protocol only: a PRI batch retry double-serviced

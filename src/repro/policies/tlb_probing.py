@@ -46,6 +46,8 @@ class TLBProbingPolicy(MostlyInclusivePolicy):
         state = _ProbeState(remaining=len(targets))
         lookup_latency = self.system.config.gpu.l2_tlb.lookup_latency
         self.iommu.stats.inc("ring_probes", len(targets))
+        if request.trace is not None:
+            request.trace.begin("ring_probe", now, targets=len(targets))
         for neighbor in targets:
             arrival = self.topology.gpu_to_gpu(gpu.gpu_id, neighbor, now)
             self.queue.schedule(
@@ -64,9 +66,14 @@ class TLBProbingPolicy(MostlyInclusivePolicy):
         if entry is not None:
             state.found = True
             self.iommu.stats.inc("ring_probe_hits")
+            now = self.queue.now
             if request.measured:
                 self.system.stats_for(request.pid).inc("remote_hit")
-            arrival = self.topology.gpu_to_gpu(neighbor, gpu.gpu_id, self.queue.now)
+            arrival = self.topology.gpu_to_gpu(neighbor, gpu.gpu_id, now)
+            if request.trace is not None:
+                request.trace.end("ring_probe", now, outcome="hit")
+                request.trace.add_complete("response", now, arrival,
+                                           outcome="ring")
             self.queue.schedule(
                 arrival,
                 gpu.receive_fill,
@@ -76,11 +83,17 @@ class TLBProbingPolicy(MostlyInclusivePolicy):
                 self.system.config.spill_budget,
             )
             if request.measured:
-                self.system.latency_for(request.pid).record(
-                    arrival - request.issue_time
-                )
+                latency = arrival - request.issue_time
+                self.system.latency_for(request.pid).record(latency)
+                hub = self.system.telemetry
+                if hub is not None:
+                    hub.record_latency("l2_miss", latency)
+                    hub.record_latency("ring_probe", latency)
+                    hub.record_app_latency(request.pid, latency)
             return
         if state.remaining == 0:
             # Both neighbours missed: fall back to the normal IOMMU path,
             # having paid the probing delay.
+            if request.trace is not None:
+                request.trace.end("ring_probe", self.queue.now, outcome="miss")
             super().on_l2_miss(gpu, request)

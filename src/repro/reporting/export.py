@@ -68,6 +68,10 @@ def result_to_dict(result: SimulationResult, *, include_stream: bool = False) ->
         "snapshots": [snapshot_to_dict(s) for s in result.snapshots],
         "metadata": dict(result.metadata),
     }
+    if result.telemetry is not None:
+        # Only embedded when the run collected telemetry: the golden
+        # files pin the exact key set of a telemetry-free export.
+        data["telemetry"] = result.telemetry
     if include_stream and result.iommu_stream is not None:
         data["iommu_stream"] = [list(entry) for entry in result.iommu_stream]
     return data
@@ -136,4 +140,5 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         iommu_stream=[tuple(entry) for entry in stream] if stream is not None else None,
         events_executed=data.get("events_executed", 0),
         metadata=dict(data.get("metadata", {})),
+        telemetry=data.get("telemetry"),
     )

@@ -117,6 +117,11 @@ class SimulationResult:
     iommu_stream: list[tuple[int, int]] | None = None
     events_executed: int = 0
     metadata: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] | None = None
+    """The :meth:`~repro.telemetry.hub.TelemetryHub.summary` block
+    (sampling stats, latency histograms, timeline) — ``None`` for a run
+    without telemetry, and then absent from the exported JSON so the
+    zero-perturbation goldens compare unchanged."""
 
     # -- aggregate views -----------------------------------------------------
 

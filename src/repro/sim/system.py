@@ -35,6 +35,7 @@ from repro.interconnect.topology import Topology
 from repro.policies import make_policy
 from repro.sim.results import AppResult, SimulationResult, Snapshot
 from repro.structures.page_table import PageTableManager
+from repro.telemetry import TelemetryConfig, TelemetryHub, capture_tlb_snapshot
 from repro.workloads.trace import Workload
 
 
@@ -56,6 +57,7 @@ class MultiGPUSystem:
         hardening: HardeningConfig | None = None,
         check_invariants: bool = False,
         watchdog: bool | None = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> None:
         if not workload.placements:
             raise ValueError("workload has no placements")
@@ -89,6 +91,16 @@ class MultiGPUSystem:
             watchdog = self.faults is not None
         self.watchdog = Watchdog(self) if watchdog else None
         self.invariants = InvariantChecker(self) if check_invariants else None
+
+        # Telemetry follows the same pattern as fault injection: the
+        # default ``self.telemetry is None`` is the zero-perturbation
+        # path, and the hub must exist before the IOMMU is built so the
+        # walker pool and PRI queue can wire themselves to it.
+        self.telemetry = (
+            TelemetryHub(telemetry, config.num_gpus)
+            if telemetry is not None
+            else None
+        )
 
         self._pid_stats: dict[int, CounterSet] = {
             pid: CounterSet() for pid in workload.pids
@@ -181,26 +193,19 @@ class MultiGPUSystem:
     def _take_snapshot(self) -> None:
         if self.halted:
             return
-        key_counts: Counter = Counter()
-        for gpu in self.gpus:
-            for key in gpu.l2_tlb.resident_keys():
-                key_counts[key] += 1
-        iommu_keys = self.iommu.tlb.resident_keys()
-        owner_counts = [0] * self.config.num_gpus
-        for entry in self.iommu.tlb.iter_entries():
-            if entry.owner_gpu >= 0:
-                owner_counts[entry.owner_gpu] += 1
-        self.snapshots.append(
-            Snapshot(
-                cycle=self.queue.now,
-                l2_resident=len(key_counts),
-                l2_duplicated=sum(1 for c in key_counts.values() if c >= 2),
-                l2_also_in_iommu=len(set(key_counts) & iommu_keys),
-                iommu_resident=len(iommu_keys),
-                iommu_owner_counts=tuple(owner_counts),
-            )
-        )
+        self.snapshots.append(capture_tlb_snapshot(self))
         self.queue.schedule_after(self.snapshot_interval, self._take_snapshot)
+
+    def _timeline_tick(self) -> None:
+        """Recurring interval-timeline epoch (telemetry with a non-zero
+        ``timeline_interval`` only — the one telemetry feature that, like
+        ``--snapshot-interval``, schedules events of its own)."""
+        if self.halted or self.telemetry is None:
+            return
+        self.telemetry.capture_epoch(self)
+        self.queue.schedule_after(
+            self.telemetry.config.timeline_interval, self._timeline_tick
+        )
 
     def _periodic_shootdown(self) -> None:
         """Recurring full TLB shootdown (modelling page-migration epochs or
@@ -230,6 +235,13 @@ class MultiGPUSystem:
             gpu.start()
         if self.snapshot_interval > 0:
             self.queue.schedule_after(self.snapshot_interval, self._take_snapshot)
+        if (
+            self.telemetry is not None
+            and self.telemetry.config.timeline_interval > 0
+        ):
+            self.queue.schedule_after(
+                self.telemetry.config.timeline_interval, self._timeline_tick
+            )
         if self.shootdown_interval > 0:
             self.queue.schedule_after(self.shootdown_interval, self._periodic_shootdown)
         if self.faults is not None:
@@ -315,6 +327,10 @@ class MultiGPUSystem:
                 counters=self._pid_stats[pid].as_dict(),
                 mean_translation_latency=self._pid_latency[pid].mean,
             )
+        telemetry_summary = None
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.queue.now)
+            telemetry_summary = self.telemetry.summary()
         tracker_stats = None
         tracker = getattr(self.policy, "tracker", None)
         if tracker is not None:
@@ -342,6 +358,7 @@ class MultiGPUSystem:
             iommu_stream=self._stream_recorder,
             events_executed=self.queue.events_executed,
             metadata=self._result_metadata(),
+            telemetry=telemetry_summary,
         )
 
     def _result_metadata(self) -> dict[str, Any]:

@@ -1,0 +1,48 @@
+"""Request-level telemetry: span tracing, latency histograms, timelines.
+
+The simulator's default instruments are aggregate counters and a
+mean/max latency accumulator — enough for end-of-run tables, useless for
+the paper's *distributional* claims (reuse-distance tails, remote-probe
+vs. page-walk latency races, multi-app interference).  This package adds
+three observability layers, all opt-in and all zero-perturbation when
+disabled:
+
+* :mod:`repro.telemetry.spans` — sampled end-to-end traces of individual
+  translation requests as balanced span trees (CU issue → L1 → L2 →
+  IOMMU → remote probe ∥ page walk → response);
+* :mod:`repro.telemetry.histogram` — mergeable log-bucketed latency
+  histograms (p50/p90/p99/max) for every latency site;
+* :mod:`repro.telemetry.timeline` — per-epoch interval timelines of hit
+  rates, occupancy, eviction-counter and spill activity.
+
+:class:`~repro.telemetry.hub.TelemetryHub` owns all three;
+:mod:`repro.telemetry.chrome_trace` exports collected spans as Chrome
+``trace_event`` JSON (loadable in ``chrome://tracing`` / Perfetto) and
+renders a text flame summary.  See ``docs/observability.md``.
+"""
+
+from repro.telemetry.chrome_trace import (
+    chrome_trace_events,
+    export_chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+)
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.spans import RequestTrace, Span
+from repro.telemetry.timeline import TimelineRecorder, capture_tlb_snapshot
+
+__all__ = [
+    "TelemetryConfig",
+    "TelemetryHub",
+    "LogHistogram",
+    "RequestTrace",
+    "Span",
+    "TimelineRecorder",
+    "capture_tlb_snapshot",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "flame_summary",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,179 @@
+"""Chrome ``trace_event`` export and the text flame summary.
+
+Collected :class:`~repro.telemetry.spans.RequestTrace` trees serialise
+into the Trace Event Format consumed by ``chrome://tracing`` and
+Perfetto: one *process* row per GPU, one *thread* lane per sampled
+request, one complete (``"ph": "X"``) event per span with the outcome
+and translation key in ``args``.  Timestamps are simulation cycles (the
+viewer's time unit is nominally microseconds; relative scale is what
+matters for inspection).
+
+:func:`validate_chrome_trace` is the schema check CI runs against every
+emitted file; :func:`flame_summary` renders the same spans as an
+aggregate text profile — where a translation's cycles go, per span
+name — without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.telemetry.spans import ROOT_SPAN, RequestTrace
+
+TRACE_CATEGORY = "translation"
+
+
+def chrome_trace_events(traces: Iterable[RequestTrace]) -> list[dict[str, Any]]:
+    """Flatten traces into Trace Event Format event dictionaries."""
+    events: list[dict[str, Any]] = []
+    named_processes: set[int] = set()
+    for trace in traces:
+        if trace.gpu_id not in named_processes:
+            named_processes.add(trace.gpu_id)
+            events.append({
+                "ph": "M", "name": "process_name",
+                "pid": trace.gpu_id, "tid": 0,
+                "args": {"name": f"GPU {trace.gpu_id}"},
+            })
+        events.append({
+            "ph": "M", "name": "thread_name",
+            "pid": trace.gpu_id, "tid": trace.trace_id,
+            "args": {
+                "name": (
+                    f"req#{trace.trace_id} cu{trace.cu_id} "
+                    f"pid{trace.pid} vpn={trace.vpn:#x}"
+                )
+            },
+        })
+        for span in trace.spans:
+            if span.end is None:
+                continue  # defensive: finalized traces have no open spans
+            args: dict[str, Any] = {"outcome": span.outcome}
+            if span.tags:
+                args.update(span.tags)
+            events.append({
+                "ph": "X",
+                "name": span.name,
+                "cat": TRACE_CATEGORY,
+                "ts": span.begin,
+                "dur": span.end - span.begin,
+                "pid": trace.gpu_id,
+                "tid": trace.trace_id,
+                "args": args,
+            })
+    return events
+
+
+def export_chrome_trace(
+    traces: Iterable[RequestTrace],
+    path: str | Path,
+    *,
+    run_info: dict[str, Any] | None = None,
+) -> Path:
+    """Write traces to ``path`` as a Chrome trace file.  Returns the path."""
+    payload = {
+        "traceEvents": chrome_trace_events(traces),
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.telemetry", **(run_info or {})},
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, separators=(",", ":")) + "\n")
+    return path
+
+
+# -- validation (the CI schema check) -----------------------------------------
+
+_REQUIRED_X_FIELDS = ("name", "ts", "dur", "pid", "tid")
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Schema-check a parsed trace file; returns problems (empty = valid).
+
+    Checks the JSON-object container format, per-event required fields,
+    non-negative timestamps/durations, and that at least one duration
+    event is present (an empty trace usually means sampling never fired).
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    duration_events = 0
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "X":
+            duration_events += 1
+            for field in _REQUIRED_X_FIELDS:
+                if field not in event:
+                    problems.append(f"{where}: 'X' event missing {field!r}")
+            ts, dur = event.get("ts"), event.get("dur")
+            if isinstance(ts, (int, float)) and ts < 0:
+                problems.append(f"{where}: negative ts {ts}")
+            if isinstance(dur, (int, float)) and dur < 0:
+                problems.append(f"{where}: negative dur {dur}")
+            if not isinstance(event.get("args", {}), dict):
+                problems.append(f"{where}: 'args' must be an object")
+        elif phase == "M":
+            if "name" not in event or not isinstance(event.get("args"), dict):
+                problems.append(f"{where}: metadata event needs 'name' and 'args'")
+        elif phase is None:
+            problems.append(f"{where}: missing 'ph'")
+        # Other phases (B/E/I/C/...) are legal Trace Event Format; we
+        # only emit X and M but do not reject files that carry more.
+    if duration_events == 0:
+        problems.append("trace contains no duration ('X') events")
+    return problems
+
+
+# -- text flame summary -------------------------------------------------------
+
+def flame_summary(traces: Iterable[RequestTrace], *, width: int = 40) -> str:
+    """An aggregate text profile: per span name, how many requests touched
+    it and where their cycles went, scaled against total traced cycles."""
+    totals: dict[str, int] = {}
+    counts: dict[str, int] = {}
+    maxima: dict[str, int] = {}
+    outcomes: dict[str, dict[str, int]] = {}
+    trace_count = 0
+    for trace in traces:
+        trace_count += 1
+        for span in trace.spans:
+            if span.end is None:
+                continue
+            duration = span.end - span.begin
+            totals[span.name] = totals.get(span.name, 0) + duration
+            counts[span.name] = counts.get(span.name, 0) + 1
+            if duration > maxima.get(span.name, -1):
+                maxima[span.name] = duration
+            per_outcome = outcomes.setdefault(span.name, {})
+            key = span.outcome or "?"
+            per_outcome[key] = per_outcome.get(key, 0) + 1
+    if not trace_count:
+        return "no traces collected (is --trace enabled and the rate > 0?)"
+    root_total = totals.get(ROOT_SPAN, 0) or 1
+    lines = [
+        f"flame summary over {trace_count} traced requests "
+        f"({root_total:,} traced cycles)",
+        f"{'span':<14} {'count':>7} {'cycles':>10} {'mean':>8} {'max':>7}  share",
+    ]
+    for name in sorted(totals, key=lambda n: (n != ROOT_SPAN, -totals[n])):
+        total = totals[name]
+        count = counts[name]
+        share = total / root_total
+        bar = "#" * max(1 if total else 0, round(share * width))
+        outcome_note = ",".join(
+            f"{k}:{v}" for k, v in sorted(outcomes[name].items(), key=lambda kv: -kv[1])
+        )
+        lines.append(
+            f"{name:<14} {count:>7} {total:>10,} {total / count:>8.1f} "
+            f"{maxima[name]:>7} {share:>6.1%} {bar}"
+        )
+        lines.append(f"{'':<14} {'':>7} {outcome_note}")
+    return "\n".join(lines)

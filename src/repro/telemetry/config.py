@@ -1,0 +1,59 @@
+"""Telemetry configuration.
+
+A system built without a :class:`TelemetryConfig` carries **no**
+telemetry state at all (``system.telemetry is None``): no sampling
+counter, no histograms, no extra scheduled events.  The zero-perturbation
+goldens in ``tests/golden/`` pin that property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What the telemetry hub records.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of *measured* CU issues whose translation is traced
+        end-to-end as a span tree.  Sampling is deterministic (every
+        ``round(1/rate)``-th issue), so a traced run is reproducible for
+        a given workload and seed.  ``0.0`` disables span tracing while
+        keeping histograms/timeline.
+    timeline_interval:
+        Cycles between interval-timeline epochs (hit-rate deltas,
+        occupancy, eviction-counter and spill activity).  ``0`` disables
+        the timeline.  Unlike tracing and histograms — which piggyback
+        on existing events — a non-zero interval schedules one recurring
+        event, exactly like ``--snapshot-interval`` always has.
+    max_traces:
+        Hard cap on retained traces, protecting long runs traced at high
+        rates from unbounded memory growth.  Sampling stops once reached
+        (histograms keep recording).
+    """
+
+    sample_rate: float = 0.0
+    timeline_interval: int = 0
+    max_traces: int = 100_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1]: {self.sample_rate}")
+        if self.timeline_interval < 0:
+            raise ValueError(
+                f"timeline_interval must be >= 0: {self.timeline_interval}"
+            )
+        if self.max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1: {self.max_traces}")
+
+    @property
+    def stride(self) -> int:
+        """Every N-th measured issue is sampled (0 = tracing off)."""
+        if self.sample_rate <= 0.0:
+            return 0
+        if self.sample_rate >= 1.0:
+            return 1
+        return max(1, round(1.0 / self.sample_rate))

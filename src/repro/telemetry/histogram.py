@@ -1,0 +1,143 @@
+"""Mergeable log-bucketed latency histograms.
+
+The seed's :class:`~repro.engine.stats.LatencyAccumulator` keeps only
+``count``/``total``/``max`` — it cannot answer "what is the p99
+translation latency?", which is the question behind the paper's
+latency-race and interference figures.  :class:`LogHistogram` stores a
+full distribution in O(log(max latency)) integers: power-of-two buckets
+(bucket *i* covers ``[2^(i-1), 2^i - 1]``, bucket 0 holds exact zeros),
+exact ``min``/``max``/``total``, and percentile estimates clamped to the
+observed range.  Histograms merge losslessly, so per-GPU or per-app
+distributions combine into system-wide ones without re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class LogHistogram:
+    """A latency distribution in power-of-two buckets."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    # -- recording ----------------------------------------------------------
+
+    @staticmethod
+    def bucket_index(value: int) -> int:
+        """The bucket holding ``value``: 0 for 0, else ``value.bit_length()``."""
+        return value.bit_length()
+
+    @staticmethod
+    def bucket_upper_bound(index: int) -> int:
+        """Largest value bucket ``index`` can hold."""
+        if index <= 0:
+            return 0
+        return (1 << index) - 1
+
+    def record(self, value: int) -> None:
+        """Add one sample (cycles)."""
+        if value < 0:
+            raise ValueError(f"negative latency: {value}")
+        index = value.bit_length()
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s samples into this histogram, losslessly."""
+        if other.count == 0:
+            return
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        if self.count == 0:
+            self.min = other.min
+            self.max = other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Mean recorded latency, or 0.0 with no samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        """The ``fraction``-quantile, as the upper bound of the bucket the
+        target rank falls into, clamped to the observed ``[min, max]``.
+
+        The estimate therefore never exceeds the true maximum and is at
+        most one power of two above the true quantile.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+        if self.count == 0:
+            return 0
+        target = fraction * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                bound = self.bucket_upper_bound(index)
+                return max(self.min, min(bound, self.max))
+        return self.max
+
+    @property
+    def p50(self) -> int:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> int:
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> int:
+        return self.percentile(0.99)
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form, with headline percentiles precomputed."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LogHistogram":
+        """Rebuild from :meth:`to_dict` output (percentiles recomputed)."""
+        hist = cls()
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        hist.buckets = {int(i): n for i, n in data["buckets"].items()}
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(count={self.count}, min={self.min}, max={self.max}, "
+            f"p50={self.p50 if self.count else 0})"
+        )

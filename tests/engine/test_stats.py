@@ -82,3 +82,43 @@ class TestLatencyAccumulator:
         acc = LatencyAccumulator()
         with pytest.raises(ValueError):
             acc.record(-1)
+
+    def test_min_tracking(self):
+        acc = LatencyAccumulator()
+        for value in (30, 10, 20):
+            acc.record(value)
+        assert acc.min == 10
+        acc.record(5)
+        assert acc.min == 5
+
+    def test_min_of_empty_is_zero(self):
+        assert LatencyAccumulator().min == 0
+
+    def test_zero_sample_sets_min(self):
+        acc = LatencyAccumulator()
+        acc.record(7)
+        acc.record(0)
+        assert acc.min == 0
+
+    def test_merge_is_lossless(self):
+        a, b, combined = (
+            LatencyAccumulator(), LatencyAccumulator(), LatencyAccumulator()
+        )
+        for v in (10, 50):
+            a.record(v)
+            combined.record(v)
+        for v in (5, 500):
+            b.record(v)
+            combined.record(v)
+        a.merge(b)
+        for attr in ("count", "total", "min", "max"):
+            assert getattr(a, attr) == getattr(combined, attr)
+        assert a.mean == pytest.approx(combined.mean)
+
+    def test_merge_empty_is_noop_both_ways(self):
+        a, empty = LatencyAccumulator(), LatencyAccumulator()
+        a.record(42)
+        a.merge(empty)
+        assert a.count == 1 and a.min == 42
+        empty.merge(a)
+        assert empty.count == 1 and empty.min == 42 and empty.max == 42

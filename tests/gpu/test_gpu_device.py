@@ -94,10 +94,10 @@ class TestIssueAndCompletion:
         peak = 0
         original = gpu._l2_lookup
 
-        def spy(cu, pid, vpn, measured):
+        def spy(cu, pid, vpn, measured, trace=None):
             nonlocal peak
             peak = max(peak, cu.outstanding)
-            original(cu, pid, vpn, measured)
+            original(cu, pid, vpn, measured, trace)
 
         gpu._l2_lookup = spy
         system.run()

@@ -129,11 +129,12 @@ def _event_set(system: MultiGPUSystem, request: ATSRequest, *, walk_faulted: boo
         if walk_faulted
         else WalkResult(ppn=PPN, levels_touched=4, faulted=False)
     )
+    serial = system.iommu.pending.get((PID, VPN)).serial
     return {
         "walk-response": lambda: policy._walk_complete(request, result),
-        "walk-timeout": lambda: policy._walk_timed_out(request, 1),
-        "probe-response": lambda: policy._remote_probe(request, 1),
-        "probe-timeout": lambda: policy._probe_timed_out(request, 1),
+        "walk-timeout": lambda: policy._walk_timed_out(request, serial, 1),
+        "probe-response": lambda: policy._remote_probe(request, 1, serial),
+        "probe-timeout": lambda: policy._probe_timed_out(request, serial, 1),
     }
 
 
@@ -178,8 +179,8 @@ class TestEveryInterleaving:
         pending.walk_generation = 2
         pending.remote_generation = 2
         before = pending.walk_pending, pending.remote_pending
-        system.policy._walk_timed_out(request, 1)
-        system.policy._probe_timed_out(request, 1)
+        system.policy._walk_timed_out(request, pending.serial, 1)
+        system.policy._probe_timed_out(request, pending.serial, 1)
         assert (pending.walk_pending, pending.remote_pending) == before
         assert system.iommu.stats["walk_timeouts"] == 0
         assert system.iommu.stats["probe_timeouts"] == 0
@@ -187,8 +188,42 @@ class TestEveryInterleaving:
         system.policy._walk_complete(
             request, WalkResult(ppn=PPN, levels_touched=4, faulted=False)
         )
-        system.policy._probe_timed_out(request, 2)
+        system.policy._probe_timed_out(request, pending.serial, 2)
         _assert_exactly_once(system)
+
+    def test_stale_serial_timeouts_ignore_reincarnated_entry(self):
+        """A timeout armed against a dead incarnation of the key must not
+        cancel the live one — generations restart at 0 on re-creation, so
+        the serial is the only thing separating them (this exact aliasing
+        once cancelled a live walk and leaked its telemetry span)."""
+        system, request = _make_system(remote_entry=False)
+        old = system.iommu.pending.get((PID, VPN))
+        old_serial = old.serial
+        # First incarnation resolves and is reaped.
+        old.remote_pending = False
+        system.policy._walk_complete(
+            request, WalkResult(ppn=PPN, levels_touched=4, faulted=False)
+        )
+        assert (PID, VPN) not in system.iommu.pending
+        # Same key misses again: new incarnation, same generation numbers.
+        retry = ATSRequest(gpu_id=0, pid=PID, vpn=VPN, issue_time=50, measured=True)
+        fresh = system.iommu.pending.create(retry)
+        fresh.walk_pending = True
+        fresh.walk_attempts = 1
+        fresh.walk_generation = 1
+        fresh.remote_pending = True
+        fresh.remote_generation = 1
+        assert fresh.serial != old_serial
+        # The dead incarnation's timeouts fire: they must be no-ops.
+        system.policy._walk_timed_out(request, old_serial, 1)
+        system.policy._probe_timed_out(request, old_serial, 1)
+        assert fresh.walk_pending and fresh.remote_pending
+        assert system.iommu.stats["walk_timeouts"] == 0
+        assert system.iommu.stats["probe_timeouts"] == 0
+        # And its late probe response is stale, not a serve.
+        system.policy._remote_probe(request, 1, old_serial)
+        assert system.iommu.stats["stale_probe_responses"] == 1
+        assert not fresh.served
 
     def test_stale_responses_after_reap_are_counted_not_fatal(self):
         system, request = _make_system(remote_entry=False)
@@ -202,7 +237,7 @@ class TestEveryInterleaving:
         system.policy._walk_complete(
             request, WalkResult(ppn=PPN, levels_touched=4, faulted=False)
         )
-        system.policy._remote_probe(request, 1)
+        system.policy._remote_probe(request, 1, 0)
         system.policy._fault_serviced(request, PPN)
         assert system.iommu.stats["stale_walk_responses"] == 1
         assert system.iommu.stats["stale_probe_responses"] == 1

@@ -146,3 +146,81 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "reuse distances" in out
         assert "IOMMU TLB capacity" in out
+
+
+class TestTelemetryCommands:
+    def test_run_trace_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main([
+            "run", "FIR", "--scale", "0.05", "--policy", "least-tlb",
+            "--trace", "--trace-out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "latency sites (cycles):" in stdout
+        assert "wrote Chrome trace" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["workload"] == "FIR"
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_run_trace_json_carries_percentiles(self, tmp_path):
+        result_path = tmp_path / "result.json"
+        assert main([
+            "run", "MM", "--scale", "0.05", "--policy", "least-tlb",
+            "--trace=0.2", "--trace-out", str(tmp_path / "t.json"),
+            "--json", str(result_path),
+        ]) == 0
+        telemetry = json.loads(result_path.read_text())["telemetry"]
+        for site in ("l2_miss", "iommu", "walk", "remote_probe"):
+            hist = telemetry["histograms"][site]
+            assert hist["count"] > 0
+            assert hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"]
+
+    def test_run_without_trace_has_no_telemetry_key(self, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(["run", "FIR", "--scale", "0.05", "--json", str(path)]) == 0
+        assert "telemetry" not in json.loads(path.read_text())
+
+    def test_run_rejects_bad_trace_rate(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "FIR", "--scale", "0.05", "--trace=1.5"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "FIR", "--scale", "0.05", "--rate", "0.2",
+            "--out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "traced requests" in stdout
+        assert "perfetto" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["policy"] == "least-tlb"
+
+    def test_trace_rejects_zero_rate(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "FIR", "--rate", "0"])
+        assert excinfo.value.code == 2
+
+    def test_compare_json_export(self, tmp_path, capsys):
+        path = tmp_path / "cmp.json"
+        assert main([
+            "compare", "FIR", "--scale", "0.05",
+            "--policies", "baseline,least-tlb", "--json", str(path),
+        ]) == 0
+        data = json.loads(path.read_text())
+        assert data["reference"] == "baseline"
+        assert set(data["policies"]) == {"baseline", "least-tlb"}
+        assert data["policies"]["baseline"]["speedup"] == 1.0
+        assert data["policies"]["least-tlb"]["exec_cycles"] > 0
+
+    def test_characterize_json_export(self, tmp_path):
+        path = tmp_path / "char.json"
+        assert main([
+            "characterize", "FIR", "--scale", "0.05", "--json", str(path),
+        ]) == 0
+        data = json.loads(path.read_text())
+        assert data["iommu_requests"] > 0
+        assert 0.0 <= data["capturable_fraction"] <= 1.0
+        assert data["apps"]["1"]["app_name"] == "FIR"

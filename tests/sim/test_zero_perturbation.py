@@ -92,3 +92,40 @@ class TestDisabledSubsystemState:
     def test_determinism_across_repeat_runs(self):
         name, policy, builder = CASES["mm_least_tlb_scale005.json"]
         assert run_case(name, policy, builder) == run_case(name, policy, builder)
+
+
+class TestTelemetryZeroPerturbation:
+    """The telemetry subsystem honours the same contract as fault
+    injection: no hub by default, and even an *enabled* span tracer is
+    invisible to the simulation — it only annotates existing events."""
+
+    def test_default_system_holds_no_telemetry_state(self):
+        config = baseline_config()
+        workload = build_single_app_workload("MM", config, scale=0.05)
+        system = MultiGPUSystem(config, workload, "least-tlb")
+        assert system.telemetry is None
+        assert system.iommu.walkers.telemetry is None
+        assert system.iommu.pri.telemetry is None
+
+    @pytest.mark.parametrize("golden", sorted(CASES))
+    def test_disabled_telemetry_matches_golden(self, golden):
+        name, policy, builder = CASES[golden]
+        expected = json.loads((GOLDEN_DIR / golden).read_text())
+        assert run_case(name, policy, builder) == expected
+
+    @pytest.mark.parametrize("golden", sorted(CASES))
+    def test_span_tracing_is_event_identical(self, golden):
+        """With tracing enabled (but no timeline), the simulation result —
+        including ``events_executed`` — is bit-identical; only the
+        ``telemetry`` block is added."""
+        from repro.telemetry import TelemetryConfig
+
+        name, policy, builder = CASES[golden]
+        expected = json.loads((GOLDEN_DIR / golden).read_text())
+        traced = run_case(
+            name, policy, builder,
+            telemetry=TelemetryConfig(sample_rate=0.1),
+        )
+        telemetry = traced.pop("telemetry")
+        assert traced == expected
+        assert telemetry["traces"] > 0

@@ -1,0 +1,106 @@
+"""Chrome trace_event export, schema validation, and the flame summary."""
+
+import json
+
+from repro.config.presets import baseline_config
+from repro.sim.system import MultiGPUSystem
+from repro.telemetry import (
+    TelemetryConfig,
+    chrome_trace_events,
+    export_chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+)
+from repro.telemetry.spans import RequestTrace
+from repro.workloads.multi_app import build_single_app_workload
+
+
+def sample_trace(trace_id=0, gpu_id=1):
+    trace = RequestTrace(trace_id, gpu_id, cu_id=2, pid=3, vpn=0x40, cycle=100)
+    trace.add_complete("l1_lookup", 100, 101, outcome="miss")
+    trace.begin("page_walk", 140, attempt=1)
+    trace.end("page_walk", 640, outcome="ok")
+    trace.close_root(700, outcome="filled")
+    return trace
+
+
+class TestEventGeneration:
+    def test_events_carry_required_fields_and_metadata(self):
+        events = chrome_trace_events([sample_trace()])
+        phases = [e["ph"] for e in events]
+        assert phases.count("M") == 2  # process_name + thread_name
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 3  # root + l1_lookup + page_walk
+        for event in xs:
+            assert {"name", "cat", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert event["pid"] == 1
+            assert event["tid"] == 0
+            assert event["dur"] >= 0
+        walk = [e for e in xs if e["name"] == "page_walk"][0]
+        assert walk["args"] == {"outcome": "ok", "attempt": 1}
+
+    def test_process_metadata_emitted_once_per_gpu(self):
+        traces = [sample_trace(0, gpu_id=1), sample_trace(1, gpu_id=1),
+                  sample_trace(2, gpu_id=2)]
+        events = chrome_trace_events(traces)
+        process_names = [e for e in events
+                         if e["ph"] == "M" and e["name"] == "process_name"]
+        assert len(process_names) == 2
+
+    def test_open_spans_are_skipped_defensively(self):
+        trace = RequestTrace(0, 0, 0, 0, 0, cycle=10)
+        trace.begin("page_walk", 20)  # never closed, never finalized
+        events = chrome_trace_events([trace])
+        assert not [e for e in events if e["ph"] == "X"]
+
+
+class TestValidation:
+    def test_valid_payload_passes(self):
+        payload = {"traceEvents": chrome_trace_events([sample_trace()])}
+        assert validate_chrome_trace(payload) == []
+
+    def test_rejects_non_object_and_missing_events(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+    def test_rejects_malformed_x_events(self):
+        payload = {"traceEvents": [{"ph": "X", "name": "a", "ts": -5,
+                                    "dur": 1, "pid": 0, "tid": 0}]}
+        problems = validate_chrome_trace(payload)
+        assert any("negative ts" in p for p in problems)
+
+    def test_rejects_empty_trace(self):
+        problems = validate_chrome_trace({"traceEvents": []})
+        assert any("no duration" in p for p in problems)
+
+
+class TestExportEndToEnd:
+    def test_simulated_run_exports_valid_file(self, tmp_path):
+        config = baseline_config()
+        workload = build_single_app_workload("MM", config, scale=0.05)
+        system = MultiGPUSystem(
+            config, workload, "least-tlb",
+            telemetry=TelemetryConfig(sample_rate=0.1),
+        )
+        system.run()
+        out = tmp_path / "trace.json"
+        export_chrome_trace(system.telemetry.traces, out,
+                            run_info={"workload": "MM"})
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["workload"] == "MM"
+        # Cycle counts survive into ts/dur untouched.
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert all(isinstance(e["ts"], int) for e in xs)
+
+
+class TestFlameSummary:
+    def test_summary_aggregates_spans(self):
+        text = flame_summary([sample_trace(i) for i in range(3)])
+        assert "3 traced requests" in text
+        assert "page_walk" in text
+        assert "ok:3" in text
+
+    def test_empty_summary_is_helpful(self):
+        assert "no traces" in flame_summary([])

@@ -1,0 +1,124 @@
+"""LogHistogram: bucketing, percentiles, lossless merge, round-trip."""
+
+import pytest
+
+from repro.telemetry.histogram import LogHistogram
+
+
+class TestBucketing:
+    def test_zero_goes_to_bucket_zero(self):
+        hist = LogHistogram()
+        hist.record(0)
+        assert hist.buckets == {0: 1}
+        assert hist.min == 0 and hist.max == 0
+
+    @pytest.mark.parametrize(
+        "value,index",
+        [(1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (1023, 10), (1024, 11)],
+    )
+    def test_power_of_two_buckets(self, value, index):
+        assert LogHistogram.bucket_index(value) == index
+        assert value <= LogHistogram.bucket_upper_bound(index)
+        # ...and the value does not fit in the bucket below.
+        if index > 1:
+            assert value > LogHistogram.bucket_upper_bound(index - 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram().record(-1)
+
+
+class TestStatistics:
+    def test_min_max_mean_exact(self):
+        hist = LogHistogram()
+        for v in (10, 500, 3, 77):
+            hist.record(v)
+        assert hist.min == 3
+        assert hist.max == 500
+        assert hist.count == 4
+        assert hist.mean == pytest.approx((10 + 500 + 3 + 77) / 4)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = LogHistogram()
+        hist.record(100)
+        # A single sample: every percentile is that sample's value (the
+        # bucket bound 127 must be clamped down to the max).
+        assert hist.p50 == 100
+        assert hist.p99 == 100
+
+    def test_percentile_never_exceeds_max_nor_undershoots_min(self):
+        hist = LogHistogram()
+        for v in range(1, 1000, 7):
+            hist.record(v)
+        for frac in (0.01, 0.5, 0.9, 0.99, 1.0):
+            p = hist.percentile(frac)
+            assert hist.min <= p <= hist.max
+
+    def test_percentile_ordering(self):
+        hist = LogHistogram()
+        for v in (1, 2, 4, 8, 16, 1000, 2000, 4000):
+            hist.record(v)
+        assert hist.p50 <= hist.p90 <= hist.p99 <= hist.max
+
+    def test_percentile_accuracy_within_one_bucket(self):
+        hist = LogHistogram()
+        for v in range(1, 101):
+            hist.record(v)
+        # True p50 is 50; the estimate is the bound of its bucket, so it
+        # may be at most one power of two above.
+        assert 50 <= hist.p50 <= 127
+
+    def test_empty_histogram(self):
+        hist = LogHistogram()
+        assert hist.count == 0
+        assert hist.p50 == 0 and hist.p99 == 0 and hist.mean == 0.0
+
+    def test_bad_fraction_rejected(self):
+        hist = LogHistogram()
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+
+class TestMerge:
+    def test_merge_is_lossless(self):
+        a, b, combined = LogHistogram(), LogHistogram(), LogHistogram()
+        for v in (1, 10, 100):
+            a.record(v)
+            combined.record(v)
+        for v in (5, 50, 5000):
+            b.record(v)
+            combined.record(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.total == combined.total
+        assert a.min == combined.min
+        assert a.max == combined.max
+        assert a.buckets == combined.buckets
+
+    def test_merge_into_empty_and_from_empty(self):
+        a, b = LogHistogram(), LogHistogram()
+        b.record(42)
+        a.merge(b)
+        assert a.min == 42 and a.max == 42 and a.count == 1
+        a.merge(LogHistogram())  # no-op
+        assert a.count == 1
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        hist = LogHistogram()
+        for v in (0, 1, 17, 900):
+            hist.record(v)
+        data = hist.to_dict()
+        back = LogHistogram.from_dict(data)
+        assert back.to_dict() == data
+
+    def test_dict_carries_headline_percentiles(self):
+        hist = LogHistogram()
+        hist.record(64)
+        data = hist.to_dict()
+        assert {"count", "min", "max", "mean", "p50", "p90", "p99"} <= set(data)
+        assert data["p50"] == 64

@@ -1,0 +1,123 @@
+"""RequestTrace span-tree lifecycle invariants (unit level)."""
+
+import pytest
+
+from repro.telemetry.spans import ROOT_SPAN, RequestTrace
+
+
+def make_trace(cycle=100):
+    return RequestTrace(0, gpu_id=1, cu_id=2, pid=3, vpn=0x40, cycle=cycle)
+
+
+class TestLifecycle:
+    def test_root_opens_at_construction(self):
+        trace = make_trace(cycle=100)
+        assert trace.root.name == ROOT_SPAN
+        assert trace.root.begin == 100
+        assert not trace.complete
+
+    def test_begin_end_balanced(self):
+        trace = make_trace()
+        trace.begin("page_walk", 110)
+        assert trace.is_open("page_walk")
+        assert trace.end("page_walk", 160, outcome="ok")
+        assert not trace.is_open("page_walk")
+        trace.close_root(170, outcome="filled")
+        assert trace.check_invariants() == []
+
+    def test_double_begin_rejected(self):
+        trace = make_trace()
+        trace.begin("page_walk", 110)
+        with pytest.raises(ValueError):
+            trace.begin("page_walk", 120)
+
+    def test_end_is_idempotent(self):
+        """The loser of a timeout-vs-response race must no-op."""
+        trace = make_trace()
+        trace.begin("remote_probe", 110)
+        assert trace.end("remote_probe", 150, outcome="hit")
+        assert not trace.end("remote_probe", 200, outcome="timeout")
+        span = [s for s in trace.spans if s.name == "remote_probe"][0]
+        assert span.outcome == "hit"
+        assert span.end == 150
+
+    def test_retry_reopens_after_close(self):
+        trace = make_trace()
+        trace.begin("page_walk", 110, attempt=1)
+        trace.end("page_walk", 200, outcome="timeout")
+        trace.begin("page_walk", 210, attempt=2)
+        trace.end("page_walk", 300, outcome="ok")
+        walks = [s for s in trace.spans if s.name == "page_walk"]
+        assert [s.outcome for s in walks] == ["timeout", "ok"]
+        trace.close_root(310, outcome="filled")
+        assert trace.check_invariants() == []
+
+    def test_straggler_child_extends_root(self):
+        """A racing walk that loses to the remote probe closes *after*
+        the CU was served; the root stretches so the child stays nested."""
+        trace = make_trace(cycle=100)
+        trace.begin("page_walk", 110)
+        trace.close_root(150, outcome="filled")
+        trace.end("page_walk", 600, outcome="stale")
+        assert trace.root.end == 600
+        assert trace.check_invariants() == []
+
+    def test_add_complete_also_extends_root(self):
+        trace = make_trace(cycle=100)
+        trace.close_root(150, outcome="l1_hit")
+        trace.add_complete("response", 140, 180, outcome="ok")
+        assert trace.root.end == 180
+        assert trace.check_invariants() == []
+
+    def test_exactly_one_terminal_outcome(self):
+        trace = make_trace()
+        assert trace.close_root(150, outcome="filled")
+        # A second close is rejected (idempotent end on the root).
+        assert not trace.close_root(200, outcome="fault")
+        assert trace.root.outcome == "filled"
+
+
+class TestFinalize:
+    def test_finalize_closes_children_then_root_as_fault(self):
+        trace = make_trace(cycle=100)
+        trace.begin("remote_probe", 110)
+        trace.begin("page_walk", 110)
+        closed = trace.finalize(500)
+        assert closed == 3  # both children plus the root
+        assert trace.check_invariants() == []
+        assert trace.root.outcome == "fault"
+        assert all(s.outcome == "fault" for s in trace.children())
+
+    def test_finalize_on_complete_trace_is_noop(self):
+        trace = make_trace()
+        trace.close_root(150, outcome="filled")
+        assert trace.finalize(500) == 0
+        assert trace.root.outcome == "filled"
+
+
+class TestInvariantChecker:
+    def test_detects_open_span(self):
+        trace = make_trace()
+        trace.begin("page_walk", 110)
+        trace.close_root(150, outcome="filled")
+        problems = trace.check_invariants()
+        assert any("leaked" in p for p in problems)
+
+    def test_detects_unclosed_root(self):
+        trace = make_trace()
+        problems = trace.check_invariants()
+        assert any("never closed" in p for p in problems)
+
+    def test_detects_child_escaping_root(self):
+        trace = make_trace(cycle=100)
+        trace.add_complete("l1_lookup", 50, 90, outcome="miss")  # before root
+        trace.close_root(150, outcome="filled")
+        problems = trace.check_invariants()
+        assert any("escapes" in p for p in problems)
+
+    def test_detects_end_before_begin(self):
+        trace = make_trace(cycle=100)
+        trace.add_complete("response", 200, 150, outcome="ok")
+        trace.close_root(250, outcome="filled")
+        problems = trace.check_invariants()
+        assert any("ends before it begins" in p for p in problems)

@@ -1,0 +1,72 @@
+"""Interval timelines and the unified TLB-snapshot capture."""
+
+from repro.config.presets import baseline_config
+from repro.sim.system import MultiGPUSystem
+from repro.telemetry import TelemetryConfig, capture_tlb_snapshot
+from repro.workloads.multi_app import build_single_app_workload
+
+
+def run_with_timeline(interval=5000, **kwargs):
+    config = baseline_config()
+    workload = build_single_app_workload("MM", config, scale=0.05)
+    system = MultiGPUSystem(
+        config, workload, "least-tlb",
+        telemetry=TelemetryConfig(timeline_interval=interval),
+        **kwargs,
+    )
+    result = system.run()
+    return system, result
+
+
+class TestTimeline:
+    def test_epochs_recorded_at_interval(self):
+        system, result = run_with_timeline(interval=5000)
+        epochs = system.telemetry.timeline.epochs
+        assert epochs, "no epochs recorded"
+        cycles = [e["cycle"] for e in epochs]
+        assert cycles == sorted(cycles)
+        assert cycles[0] == 5000
+        assert all(c % 5000 == 0 for c in cycles)
+
+    def test_epoch_deltas_sum_to_final_counters(self):
+        system, result = run_with_timeline(interval=2000)
+        epochs = system.telemetry.timeline.epochs
+        # Delta decomposition: epoch sums never exceed the run totals and
+        # account for everything up to the last epoch boundary.
+        total_requests = system.iommu.stats["requests"]
+        epoch_requests = sum(e["iommu_requests"] for e in epochs)
+        assert 0 < epoch_requests <= total_requests
+
+    def test_epochs_carry_occupancy_and_counters(self):
+        system, _ = run_with_timeline()
+        epoch = system.telemetry.timeline.epochs[-1]
+        assert {"l2_hit_rate", "iommu_hit_rate", "l2_occupancy",
+                "iommu_occupancy", "eviction_counters", "pending_entries",
+                "walkers_busy"} <= set(epoch)
+        assert len(epoch["eviction_counters"]) == system.config.num_gpus
+        assert 0.0 <= epoch["l2_hit_rate"] <= 1.0
+
+    def test_timeline_lands_in_result_json(self):
+        system, result = run_with_timeline()
+        assert result.telemetry is not None
+        assert result.telemetry["timeline"] == system.telemetry.timeline.epochs
+
+
+class TestSnapshotUnification:
+    def test_capture_tlb_snapshot_matches_system_snapshot_path(self):
+        """``--snapshot-interval`` now routes through the telemetry
+        module's :func:`capture_tlb_snapshot`; the two must agree."""
+        config = baseline_config()
+        workload = build_single_app_workload("MM", config, scale=0.05)
+        system = MultiGPUSystem(
+            config, workload, "least-tlb", snapshot_interval=5000
+        )
+        result = system.run()
+        assert result.snapshots, "no snapshots taken"
+        final = capture_tlb_snapshot(system)
+        # The helper observes the same structures the periodic snapshot
+        # does: at end-of-run both see identical residency.
+        assert final.iommu_resident == len(system.iommu.tlb)
+        assert final.iommu_owner_counts is not None
+        last = result.snapshots[-1]
+        assert last.l2_resident >= 0 and last.cycle % 5000 == 0
