@@ -4,7 +4,7 @@ Paper: 5.6% to 2.4x speedup, average +42.3%; the improvement is largest
 for the high-MPKI applications (MT, ST).
 """
 
-from common import SINGLE_APP_NAMES, geometric_mean, save_table
+from common import SINGLE_APP_NAMES, save_table
 from repro.config.presets import infinite_iommu_config
 
 

@@ -6,7 +6,7 @@ share nothing; MT and BS sit around half shared.
 """
 
 from common import SINGLE_APP_NAMES, baseline_config, save_table
-from repro.metrics.sharing import shared_fraction, sharing_degrees
+from repro.metrics.sharing import sharing_degrees
 from repro.workloads.multi_app import build_single_app_workload
 
 

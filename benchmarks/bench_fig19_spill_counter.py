@@ -5,7 +5,7 @@ Paper: N=2 still improves over the baseline (+12.7% on average) but is
 "chain effect" between the L2 TLBs and the IOMMU TLB.
 """
 
-from common import MULTI_APP_WORKLOADS, save_table
+from common import save_table
 from repro.config.presets import spill_budget_config
 
 WORKLOADS = ("W2", "W4", "W5", "W8", "W9", "W10")

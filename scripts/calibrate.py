@@ -1,7 +1,8 @@
 """Calibration dashboard: run key experiments at moderate scale and print
 paper-target comparisons. Not part of the library; used during development."""
-import sys, time
-from repro import run_single_app, run_multi_app, run_alone, infinite_iommu_config, baseline_config
+import sys
+import time
+from repro import run_single_app, run_multi_app, run_alone, infinite_iommu_config
 from repro.workloads import SINGLE_APP_NAMES, MULTI_APP_WORKLOADS
 from repro.metrics import weighted_speedup
 

@@ -9,6 +9,8 @@
     repro characterize ST --scale 0.3            # MPKI, hit rates, reuse CDF
     repro bench --list                           # the experiment matrix
     repro bench --only 'fig1*' --jobs 4          # parallel, cached bench run
+    repro lint src/                              # determinism static analysis
+    repro lint src/ --format json --output lint.json
 
 Workload names resolve in order: a Table 3 application abbreviation
 (single-application-multi-GPU), a Table 4/5 ``W``-name (one app per GPU),
@@ -100,7 +102,7 @@ def resolve_workload(
         return load_workload(path)
     raise _cli_error(
         f"unknown workload {name!r}: not an application, a workload name, "
-        f"or an existing .npz file"
+        "or an existing .npz file"
     )
 
 
@@ -290,7 +292,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         },
     )
     print(f"\nwrote Chrome trace {path} — open in chrome://tracing or "
-          f"https://ui.perfetto.dev")
+          "https://ui.perfetto.dev")
     return 0
 
 
@@ -486,6 +488,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: the determinism/protocol static analysis pass.
+
+    Exit codes follow the repo convention: 0 clean, 1 violations found,
+    2 usage error (unknown path, rule, or format).
+    """
+    # Imported here so simulation commands never pay for the analyzer.
+    from repro.staticcheck import all_rules, check_paths, get_rule
+    from repro.staticcheck.runner import (
+        iter_python_files,
+        render_json_text,
+        render_text,
+    )
+
+    if args.list_rules:
+        rows = [[rule.id, rule.name, rule.description] for rule in all_rules()]
+        print(comparison_table(rows, ["id", "name", "description"]))
+        return 0
+    if not args.paths:
+        raise _cli_error("no paths given (try `repro lint src/`)")
+
+    rules = None
+    if args.rules is not None:
+        ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+        if not ids:
+            raise _cli_error("--rules given but no rule ids parsed")
+        rules = []
+        for rule_id in ids:
+            try:
+                rules.append(get_rule(rule_id))
+            except KeyError:
+                known = ", ".join(rule.id for rule in all_rules())
+                raise _cli_error(
+                    f"unknown rule {rule_id!r}; choose from {known}"
+                ) from None
+
+    try:
+        files = iter_python_files(args.paths)
+    except FileNotFoundError as exc:
+        raise _cli_error(f"no such file or directory: {exc}") from None
+    violations = check_paths(files, rules)
+
+    if args.format == "json":
+        report = render_json_text(violations, len(files), rules)
+    else:
+        report = render_text(violations, len(files)) + "\n"
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    print(report, end="")
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -587,6 +642,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--verbose", action="store_true",
                        help="stream per-job progress to stderr")
     bench.set_defaults(func=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism- and protocol-aware static analysis "
+             "(see docs/static-analysis.md)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to analyse (e.g. src/)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text)")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the rule catalog and exit")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="also write the report to this file (CI artifact)")
+    lint.set_defaults(func=cmd_lint)
 
     compare = sub.add_parser("compare", help="run several policies and compare")
     add_common(compare)

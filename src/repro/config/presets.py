@@ -15,11 +15,8 @@ from dataclasses import replace
 
 from repro.config.system import (
     PAGE_2MB,
-    IOMMUConfig,
-    InterconnectConfig,
     SystemConfig,
     TLBLevelConfig,
-    TrackerConfig,
 )
 
 

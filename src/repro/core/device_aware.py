@@ -23,12 +23,13 @@ tests).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.least_tlb import LeastTLBPolicy
 from repro.structures.tlb import TLBEntry
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.gpu_device import GPUDevice
     from repro.sim.system import MultiGPUSystem
 
 
@@ -49,7 +50,7 @@ class DeviceAwareLeastTLBPolicy(LeastTLBPolicy):
         system: "MultiGPUSystem",
         *,
         qos_weights: list[float] | None = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(system, **kwargs)
         num = system.config.num_gpus
@@ -98,7 +99,7 @@ class DeviceAwareLeastTLBPolicy(LeastTLBPolicy):
         # A device twice as critical as average earns one extra trip.
         return max(base, round(base * weight / mean))
 
-    def on_l2_eviction(self, gpu, victim: TLBEntry) -> None:
+    def on_l2_eviction(self, gpu: "GPUDevice", victim: TLBEntry) -> None:
         # Fresh victims (never spilled) get their owner's QoS budget the
         # first time they head to the IOMMU TLB.
         if (

@@ -41,9 +41,9 @@ class OverheadReport:
             f"tracker: {self.tracker_bytes / 1024:.2f} KB, "
             f"eviction counters: {self.eviction_counter_bits} b, "
             f"spill bits: {self.spill_bit_bits} b, "
-            f"storage overhead vs IOMMU TLB: "
+            "storage overhead vs IOMMU TLB: "
             f"{self.storage_overhead_fraction * 100:.2f}%, "
-            f"area overhead (first-order): "
+            "area overhead (first-order): "
             f"{self.area_overhead_fraction * 100:.2f}%"
         )
 

@@ -77,7 +77,9 @@ class LocalTLBTracker:
         self._filters = [self._make_filter(per_gpu, seed + g) for g in range(num_gpus)]
         self.stats = TrackerStats()
 
-    def _make_filter(self, entries: int, seed: int):
+    def _make_filter(
+        self, entries: int, seed: int
+    ) -> CuckooFilter | CountingBloomFilter | _PerfectFilter:
         if self.config.kind == "cuckoo":
             return CuckooFilter(
                 num_entries=entries,

@@ -103,7 +103,7 @@ class Watchdog:
                 stalled_for = self._stalled_ticks * self.interval
                 raise SimulationStalledError(
                     f"no translation retired for {stalled_for} cycles "
-                    f"with applications still outstanding",
+                    "with applications still outstanding",
                     system.stall_diagnostics(
                         f"watchdog: no forward progress for {stalled_for} cycles"
                     ),

@@ -135,7 +135,7 @@ class InvariantChecker:
                 self._fail(
                     "pending-consistency",
                     f"unserved entry {key} has no waiters — the response "
-                    f"would be delivered to nobody",
+                    "would be delivered to nobody",
                     key=key,
                 )
 
@@ -216,7 +216,7 @@ class InvariantChecker:
             self._fail(
                 "completion-empty",
                 f"pending table holds {len(system.iommu.pending)} entries "
-                f"after completion",
+                "after completion",
                 pending=sorted(system.iommu.pending.keys()),
             )
         for gpu in system.gpus:
@@ -224,7 +224,7 @@ class InvariantChecker:
                 self._fail(
                     "completion-empty",
                     f"gpu{gpu.gpu_id} MSHR holds {len(gpu.mshr)} entries "
-                    f"after completion",
+                    "after completion",
                     gpu=gpu.gpu_id,
                     keys=sorted(gpu.mshr),
                 )

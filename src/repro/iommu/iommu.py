@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.config.system import SystemConfig
 from repro.engine.stats import CounterSet
 from repro.gpu.ats import ATSRequest
-from repro.iommu.page_walker import WalkerPool
+from repro.iommu.page_walker import WalkerPool, WalkTicket
 from repro.iommu.pending_table import PendingTable
 from repro.iommu.pri import PRIQueue
 from repro.structures.page_table import WalkResult
@@ -133,7 +133,7 @@ class IOMMU:
 
     def start_walk(
         self, request: ATSRequest, callback: Callable[[ATSRequest, WalkResult], None]
-    ):
+    ) -> WalkTicket:
         """Dispatch a page-table walk for ``request``'s key.  Returns the
         walker ticket (cancellable while the walk is queued)."""
         if request.measured:

@@ -10,6 +10,7 @@ requesters (the IOMMU-level MSHR behaviour every policy needs).
 
 from __future__ import annotations
 
+from collections.abc import ItemsView, KeysView
 from dataclasses import dataclass, field
 
 from repro.gpu.ats import ATSRequest
@@ -121,11 +122,11 @@ class PendingTable:
     def __contains__(self, key: tuple[int, int]) -> bool:
         return key in self._entries
 
-    def keys(self):
+    def keys(self) -> KeysView[tuple[int, int]]:
         """All in-flight translation keys."""
         return self._entries.keys()
 
-    def items(self):
+    def items(self) -> ItemsView[tuple[int, int], PendingEntry]:
         """All in-flight ``(key, entry)`` pairs."""
         return self._entries.items()
 

@@ -36,7 +36,8 @@ def sharing_degrees(workload: Workload, pid: int | None = None) -> dict[int, flo
         if placement.pid != pid:
             continue
         for stream in placement.streams:
-            for vpn in set(stream.vpns.tolist()):
+            # sorted() pins page_gpus construction order (staticcheck D1).
+            for vpn in sorted(set(stream.vpns.tolist())):
                 page_gpus.setdefault(vpn, set()).add(placement.gpu_id)
     if not page_gpus:
         return {}

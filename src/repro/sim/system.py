@@ -258,7 +258,7 @@ class MultiGPUSystem:
             if max_events is not None and len(self.queue):
                 raise SimulationStalledError(
                     f"event cap of {max_events} events exhausted with "
-                    f"applications still outstanding",
+                    "applications still outstanding",
                     self.stall_diagnostics(f"max_events={max_events} exhausted"),
                 )
             if not len(self.queue):

@@ -1,0 +1,49 @@
+"""Determinism- and protocol-aware static analysis for the simulator.
+
+The simulator's headline guarantees — bit-identical goldens, the
+zero-perturbation telemetry fast path, seeded randomness everywhere, and
+the pending-table serial protocol — are invariants that runtime testing
+can only catch after the fact.  ``repro.staticcheck`` enforces them at
+authoring time: an AST-level pass with simulator-specific rules (see
+:mod:`repro.staticcheck.rules`), run as ``repro lint`` and in CI next to
+ruff and mypy.
+
+Public surface:
+
+* :class:`~repro.staticcheck.violations.Violation` — one finding.
+* :class:`~repro.staticcheck.registry.Rule` — base class for rules;
+  register new ones with :func:`~repro.staticcheck.registry.register`.
+* :func:`~repro.staticcheck.runner.check_source`,
+  :func:`~repro.staticcheck.runner.check_file`,
+  :func:`~repro.staticcheck.runner.check_paths` — the analysis drivers.
+* :func:`~repro.staticcheck.runner.render_text`,
+  :func:`~repro.staticcheck.runner.render_json` — report formatting.
+
+See ``docs/static-analysis.md`` for the rule catalog and the suppression
+syntax (``# staticcheck: ignore[D1]``).
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.registry import Rule, all_rules, get_rule, register
+from repro.staticcheck.runner import (
+    check_file,
+    check_paths,
+    check_source,
+    render_json,
+    render_text,
+)
+from repro.staticcheck.violations import Violation
+
+__all__ = [
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "get_rule",
+    "register",
+    "render_json",
+    "render_text",
+]

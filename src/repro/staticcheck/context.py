@@ -1,0 +1,183 @@
+"""Per-file analysis state shared by every rule during one pass.
+
+The context owns the parent map, the suppression table, and the helper
+queries rules keep needing: dotted receiver names, enclosing functions,
+and the ``is not None`` guard analysis behind the zero-perturbation
+telemetry rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.staticcheck.suppressions import is_suppressed, scan_suppressions
+from repro.staticcheck.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.staticcheck.registry import Rule
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``self.iommu.stats`` for a Name/Attribute chain, else ``None``.
+
+    Chains through calls or subscripts (``self.gpus[0].stats``) have no
+    stable textual identity and return ``None``.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last component of a Name/Attribute chain (``stats`` for
+    ``self.iommu.stats``), or ``None`` for other expressions."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _compare_operand(test: ast.Compare, op_type: type[ast.cmpop]) -> str | None:
+    """The dotted name compared against ``None`` with ``op_type``."""
+    if len(test.ops) != 1 or not isinstance(test.ops[0], op_type):
+        return None
+    left, right = test.left, test.comparators[0]
+    if isinstance(right, ast.Constant) and right.value is None:
+        return dotted_name(left)
+    if isinstance(left, ast.Constant) and left.value is None:
+        return dotted_name(right)
+    return None
+
+
+def _names_tested(test: ast.expr, op_type: type[ast.cmpop]) -> set[str]:
+    """Dotted names compared against ``None`` anywhere inside ``test``.
+
+    Conservative on purpose: a name buried in ``x is not None and flag``
+    counts, because whichever way the other conjunct goes, the guarded
+    body only runs when the ``None`` test passed.
+    """
+    names: set[str] = set()
+    if isinstance(test, ast.Compare):
+        name = _compare_operand(test, op_type)
+        if name is not None:
+            names.add(name)
+    elif isinstance(test, ast.BoolOp):
+        for value in test.values:
+            names |= _names_tested(value, op_type)
+    return names
+
+
+def _terminates(stmt: ast.stmt) -> bool:
+    """Does ``stmt`` unconditionally leave the enclosing block?"""
+    return isinstance(stmt, (ast.Return, ast.Continue, ast.Break, ast.Raise))
+
+
+class FileContext:
+    """One file's AST plus everything the rules need to query it."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.violations: list[Violation] = []
+        self._suppressions = scan_suppressions(source)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        """Record a violation at ``node`` unless suppressed on its line."""
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        if is_suppressed(self._suppressions, line, rule.id):
+            return
+        self.violations.append(
+            Violation(
+                rule_id=rule.id,
+                rule_name=rule.name,
+                path=self.path,
+                line=line,
+                col=col,
+                message=message,
+            )
+        )
+
+    # -- tree queries --------------------------------------------------------
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function/method ``node`` appears in."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The innermost class ``node`` appears in."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def guarded_not_none(self, node: ast.AST, name: str) -> bool:
+        """Is ``node`` only reachable when ``name`` is not ``None``?
+
+        Recognises the two idioms the codebase uses:
+
+        * an enclosing ``if <name> is not None:`` whose body contains
+          ``node`` (compound tests like ``hub is not None and measured``
+          count — see :func:`_names_tested`);
+        * an earlier early-exit ``if <name> is None: return`` (or
+          ``continue``/``break``/``raise``, possibly inside an ``or``)
+          in the same function, above ``node``'s line.
+        """
+        # Ancestor form: walk up, remembering which child we came from so
+        # only the if-body (not the else branch) counts as guarded.
+        child: ast.AST = node
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.If) and name in _names_tested(
+                current.test, ast.IsNot
+            ):
+                body_stmt = child
+                while (
+                    self.parents.get(body_stmt) is not current
+                    and self.parents.get(body_stmt) is not None
+                ):
+                    body_stmt = self.parents[body_stmt]
+                if any(body_stmt is stmt for stmt in current.body):
+                    return True
+            child = current
+            current = self.parents.get(current)
+
+        # Early-exit form: an `if name is None: <leave>` above the node.
+        function = self.enclosing_function(node)
+        if function is None:
+            return False
+        line = getattr(node, "lineno", 0)
+        for stmt in ast.walk(function):
+            if not isinstance(stmt, ast.If):
+                continue
+            if getattr(stmt, "lineno", line) >= line:
+                continue
+            if not stmt.body or not _terminates(stmt.body[-1]):
+                continue
+            if name in _names_tested(stmt.test, ast.Is):
+                return True
+        return False

@@ -1,0 +1,73 @@
+"""The rule registry: declare a rule once, every driver picks it up.
+
+A rule subclasses :class:`Rule`, names the AST node types it wants via
+:meth:`Rule.interests`, and implements :meth:`Rule.visit`.  Decorating
+the class with :func:`register` adds it to the global registry that
+``repro lint``, the test suite, and CI all share.  The runner makes a
+single pass over each file's AST and dispatches every node to the rules
+interested in its type, so adding rules does not add passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.staticcheck.context import FileContext
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Class attributes every concrete rule must define:
+
+    * ``id`` — short stable identifier (``"D1"``), used in reports and
+      suppression comments.
+    * ``name`` — kebab-case slug (``"unordered-iteration"``).
+    * ``description`` — one line for ``repro lint --list-rules`` and the
+      docs rule catalog.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def interests(self) -> Iterable[type[ast.AST]]:
+        """The AST node types this rule wants to see."""
+        raise NotImplementedError
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        """Inspect ``node``; report findings via ``ctx.report(self, ...)``."""
+        raise NotImplementedError
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the global rule registry."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in id order (stable report order)."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (case-insensitive); raises ``KeyError``."""
+    _ensure_loaded()
+    return _REGISTRY[rule_id.upper()]
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in rules exactly once (registration side effect)."""
+    if not _REGISTRY:
+        from repro.staticcheck import rules  # noqa: F401

@@ -1,0 +1,156 @@
+"""Analysis drivers: one AST pass per file, every rule dispatched.
+
+The runner walks each file's tree exactly once.  Rules declare the node
+types they care about (:meth:`Rule.interests`); the dispatcher indexes
+them by type so a pass costs O(nodes x interested-rules), not
+O(nodes x rules).  Files are visited in sorted order and violations are
+reported in (path, line, col, rule) order, so the output — like the
+simulator itself — is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.staticcheck.context import FileContext
+from repro.staticcheck.registry import Rule, all_rules
+from repro.staticcheck.violations import Violation
+
+#: Directory names never descended into when expanding a directory path.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def _dispatch_table(rules: Sequence[Rule]) -> dict[type[ast.AST], list[Rule]]:
+    table: dict[type[ast.AST], list[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.interests():
+            table.setdefault(node_type, []).append(rule)
+    return table
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Analyse ``source`` with ``rules`` (default: every registered rule).
+
+    A file that does not parse yields a single ``E0`` syntax-error
+    violation instead of raising — the linter must be able to report on
+    a broken tree without dying on it.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id="E0",
+                rule_name="syntax-error",
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    table = _dispatch_table(active)
+    for node in ast.walk(tree):
+        for rule in table.get(type(node), ()):
+            rule.visit(node, ctx)
+    ctx.violations.sort(key=Violation.sort_key)
+    return ctx.violations
+
+
+def check_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Violation]:
+    """Analyse one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return check_source(source, str(file_path), rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files.
+
+    Raises ``FileNotFoundError`` for a path that does not exist — the
+    CLI turns that into a usage error (exit 2).
+    """
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(str(path))
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate)
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def check_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> list[Violation]:
+    """Analyse every ``.py`` file under ``paths``; deterministic order."""
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        violations.extend(check_file(file_path, rules))
+    violations.sort(key=Violation.sort_key)
+    return violations
+
+
+# -- report rendering --------------------------------------------------------
+
+
+def render_text(violations: Sequence[Violation], files_checked: int) -> str:
+    """The human report: one line per violation plus a summary line."""
+    lines = [violation.render() for violation in violations]
+    if violations:
+        by_rule: dict[str, int] = {}
+        for violation in violations:
+            by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+        breakdown = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(
+            f"{len(violations)} violation(s) in {files_checked} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"{files_checked} file(s) checked: clean")
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation],
+    files_checked: int,
+    rules: Sequence[Rule] | None = None,
+) -> dict[str, Any]:
+    """The machine report (the CI artifact schema, stable + sorted)."""
+    active = list(rules) if rules is not None else all_rules()
+    by_rule = {rule.id: 0 for rule in active}
+    for violation in violations:
+        by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+    return {
+        "schema": "repro.staticcheck/1",
+        "files_checked": files_checked,
+        "total_violations": len(violations),
+        "by_rule": {rule_id: count for rule_id, count in sorted(by_rule.items())},
+        "rules": [
+            {"id": rule.id, "name": rule.name, "description": rule.description}
+            for rule in active
+        ],
+        "violations": [violation.to_dict() for violation in violations],
+    }
+
+
+def render_json_text(
+    violations: Sequence[Violation],
+    files_checked: int,
+    rules: Sequence[Rule] | None = None,
+) -> str:
+    """:func:`render_json`, serialised with a trailing newline."""
+    return json.dumps(render_json(violations, files_checked, rules), indent=2) + "\n"

@@ -1,0 +1,72 @@
+"""Per-line, per-rule suppression comments.
+
+A violation is suppressed by a comment on the same line::
+
+    self.queue.schedule(when, cb)      # staticcheck: ignore[D3]
+    for key in keys:                   # staticcheck: ignore[D1,D8]
+    risky()                            # staticcheck: ignore
+
+``ignore`` with no bracket suppresses every rule on that line; the
+bracketed form names the rule ids it silences.  Comments are found with
+:mod:`tokenize`, so the marker inside a string literal is never
+mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s-]*)\])?"
+)
+
+#: Sentinel rule-set meaning "every rule is suppressed on this line".
+ALL_RULES = frozenset({"*"})
+
+
+def scan_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number → suppressed rule ids (``ALL_RULES`` for blanket).
+
+    Unreadable source (tokenize errors) yields no suppressions; the
+    caller will already have failed to parse it anyway.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                ids = ALL_RULES
+            else:
+                ids = frozenset(
+                    part.strip().upper()
+                    for part in rules.split(",")
+                    if part.strip()
+                )
+                if not ids:
+                    ids = ALL_RULES
+            line = token.start[0]
+            previous = suppressions.get(line)
+            if previous is not None:
+                ids = previous | ids
+            suppressions[line] = ids
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return {}
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], line: int, rule_id: str
+) -> bool:
+    """True when ``rule_id`` is silenced on ``line``."""
+    ids = suppressions.get(line)
+    if ids is None:
+        return False
+    return ids is ALL_RULES or "*" in ids or rule_id.upper() in ids

@@ -1,0 +1,51 @@
+"""The finding record every rule produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule_id: str
+    """Short rule identifier, e.g. ``"D1"``."""
+
+    rule_name: str
+    """Human-readable slug, e.g. ``"unordered-iteration"``."""
+
+    path: str
+    """File the violation was found in (as given to the checker)."""
+
+    line: int
+    """1-based source line."""
+
+    col: int
+    """0-based column offset (ast convention)."""
+
+    message: str
+    """What is wrong and how to fix it."""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable report ordering: path, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the CI artifact schema)."""
+        return {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line human form: ``path:line:col: D1 [name] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )

@@ -12,6 +12,7 @@ actually touched — the page-walker latency model consumes that number.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 
 @dataclass(slots=True)
@@ -155,7 +156,7 @@ class PageTableManager:
         table.map(vpn, ppn)
         return ppn
 
-    def prefault(self, pid: int, vpns) -> int:
+    def prefault(self, pid: int, vpns: Iterable[int]) -> int:
         """Map every VPN in ``vpns``; returns the number of new mappings."""
         table = self.table_for(pid)
         created = 0

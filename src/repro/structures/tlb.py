@@ -14,7 +14,7 @@ in :mod:`repro.gpu`, :mod:`repro.iommu` and :mod:`repro.policies`.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.structures.replacement import LRUPolicy, ReplacementPolicy, make_policy

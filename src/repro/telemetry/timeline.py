@@ -94,7 +94,9 @@ def capture_tlb_snapshot(system: "MultiGPUSystem") -> "Snapshot":
 
     key_counts: Counter = Counter()
     for gpu in system.gpus:
-        for key in gpu.l2_tlb.resident_keys():
+        # sorted() so snapshot construction never depends on set order
+        # (staticcheck D1) — the counts are the same either way.
+        for key in sorted(gpu.l2_tlb.resident_keys()):
             key_counts[key] += 1
     iommu_keys = system.iommu.tlb.resident_keys()
     owner_counts = [0] * system.config.num_gpus

@@ -4,7 +4,6 @@ import pytest
 
 from repro.config.presets import baseline_config
 from repro.engine import SimulationStalledError, Watchdog
-from repro.faults import HardeningConfig
 from repro.sim.system import MultiGPUSystem
 from repro.workloads.multi_app import build_single_app_workload
 

@@ -10,7 +10,6 @@ in the benchmark harness.
 import pytest
 
 from repro.config.presets import (
-    baseline_config,
     dws_config,
     infinite_iommu_config,
     large_page_config,

@@ -1,7 +1,5 @@
 """Unit tests for the page-walker pool and its schedulers."""
 
-import pytest
-
 from repro.config.system import IOMMUConfig
 from repro.engine.event_queue import EventQueue
 from repro.iommu.page_walker import WalkerPool

@@ -1,7 +1,6 @@
 """Unit tests for IOMMU response routing and fault handling in context."""
 
 import numpy as np
-import pytest
 
 from repro.sim.system import MultiGPUSystem
 from repro.workloads.trace import CUStream, Placement, Workload

@@ -97,7 +97,7 @@ class TestProbingWithSharedFootprint:
             workload({g: [90 + g] * (g + 1) + pages for g in range(4)}),
             "tlb-probing",
         )
-        result = system.run()
+        system.run()
         walks = system.iommu.walkers.stats["walks_dispatched"]
         assert walks < 4 * len(pages) + 4
         assert system.iommu.stats.as_dict().get("ring_probe_hits", 0) > 0

@@ -85,7 +85,6 @@ def test_every_run_completes_and_translations_are_correct(policy, gpu_vpns):
     system = MultiGPUSystem(tiny_config(), workload, policy)
     result = system.run(max_cycles=5_000_000)
     # Liveness: everything issued also completed.
-    total_runs = sum(len(v) for v in gpu_vpns)
     measured = workload.measured_runs_for(1)
     assert result.apps[1].counters.get("runs", 0) == measured
     assert system.halted

@@ -1,6 +1,7 @@
 """Unit tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -224,3 +225,83 @@ class TestTelemetryCommands:
         assert data["iommu_requests"] > 0
         assert 0.0 <= data["capturable_fraction"] <= 1.0
         assert data["apps"]["1"]["app_name"] == "FIR"
+
+
+class TestLint:
+    """The `repro lint` subcommand: exit codes, formats, filters."""
+
+    BAD = "import time\nt = time.time()\n"
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("x = 1\n")
+        assert main(["lint", str(path)]) == 0
+        assert "1 file(s) checked: clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(self.BAD)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "D2" in out
+        assert f"{path}:2:" in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", str(tmp_path / "nope.py")])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_paths_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint"])
+        assert excinfo.value.code == 2
+        assert "error: no paths given" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("x = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--rules", "D99", str(path)])
+        assert excinfo.value.code == 2
+        assert "error: unknown rule 'D99'" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("D1", "D4", "D8", "G1", "G2"):
+            assert rule_id in out
+
+    def test_rules_filter_restricts_reporting(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\nt = time.time()\ntry:\n    t()\nexcept:\n    pass\n")
+        assert main(["lint", "--rules", "G1", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "G1" in out
+        assert "D2" not in out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(self.BAD)
+        assert main(["lint", "--format", "json", str(path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.staticcheck/1"
+        assert report["total_violations"] == 1
+        assert report["by_rule"]["D2"] == 1
+        assert report["violations"][0]["rule"] == "D2"
+
+    def test_output_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        out = tmp_path / "report.json"
+        assert main(["lint", "--format", "json", "--output", str(out), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert f"wrote {out}" in captured.err
+        assert json.loads(out.read_text())["total_violations"] == 1
+
+    def test_lint_src_tree_clean(self, capsys):
+        import repro
+
+        src = Path(repro.__file__).resolve().parents[1]
+        assert main(["lint", str(src)]) == 0
+        assert "clean" in capsys.readouterr().out

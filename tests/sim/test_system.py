@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config.presets import baseline_config
-from repro.sim.driver import run_single_app, simulate
+from repro.sim.driver import run_single_app
 from repro.sim.system import MultiGPUSystem
 from repro.workloads.multi_app import (
     build_multi_app_workload,

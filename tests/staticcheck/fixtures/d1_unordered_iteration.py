@@ -1,0 +1,24 @@
+"""Fixture for D1 (unordered-iteration).  Never imported or executed.
+
+Lines tagged ``# fires`` must be reported; everything else must not.
+"""
+
+
+def schedule_all(queue, pending, tlb, keys):
+    for key in {k for k in keys}:  # fires
+        queue.schedule(10, key)
+    for key in set(keys) | {0}:  # fires
+        queue.schedule(10, key)
+    for key in tlb.resident_keys():  # fires
+        queue.schedule(10, key)
+    for key in pending.keys():  # fires
+        queue.schedule(10, key)
+    doubled = [k * 2 for k in set(keys)]  # fires
+    for key in sorted(set(keys)):
+        queue.schedule(10, key)
+    for key in pending.keys():
+        doubled.append(key)
+    for key in sorted(tlb.resident_keys()):
+        doubled.append(key)
+    unordered_is_fine_here = {k * 2 for k in set(keys)}
+    return doubled, unordered_is_fine_here

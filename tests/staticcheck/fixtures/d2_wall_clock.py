@@ -1,0 +1,24 @@
+"""Fixture for D2 (wall-clock-or-unseeded-random).  Never executed."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    started = time.time()  # fires
+    nanos = time.time_ns()  # fires
+    when = datetime.now()  # fires
+    host_side = time.perf_counter()
+    return started, nanos, when, host_side
+
+
+def jitter():
+    a = random.random()  # fires
+    b = random.randint(0, 7)  # fires
+    c = np.random.rand()  # fires
+    rng = np.random.default_rng(7)
+    seeded = random.Random(7)
+    return a, b, c, rng.random() + seeded.random()

@@ -1,0 +1,11 @@
+"""Fixture for D3 (schedule-in-past).  Never executed."""
+
+
+def rearm(queue, now, callback, delay):
+    queue.schedule(-5, callback)  # fires
+    queue.schedule_after(-1, callback)  # fires
+    queue.schedule_at(now - 10, callback)  # fires
+    queue.schedule(now - delay, callback)  # fires
+    queue.schedule_after(5, callback)
+    queue.schedule(now + 10, callback)
+    queue.schedule_at(now, callback)

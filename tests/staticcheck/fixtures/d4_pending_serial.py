@@ -1,0 +1,24 @@
+"""Fixture for D4 (pending-serial-not-threaded).  Never executed."""
+
+
+class FakeIOMMU:
+    def arm(self, queue, pending, timeout):
+        queue.schedule_after(timeout, self._walk_timed_out, pending.key)  # fires
+        queue.schedule_after(timeout, self._retry_walk)  # fires
+        queue.schedule_after(timeout, self._remote_probe, pending.key)  # fires
+        queue.schedule_after(timeout, self._walk_timed_out, pending.key, pending.serial)
+        queue.schedule_after(timeout, self._retry_walk, pending.serial)
+        queue.schedule_after(timeout, self._unrelated_callback, pending.key)
+
+    def _walk_timed_out(self, key, serial):
+        queue = self.queue
+        queue.schedule_after(1, self._remote_probe, key, serial)
+
+    def _retry_walk(self, serial=None):
+        pass
+
+    def _remote_probe(self, key, serial):
+        pass
+
+    def _unrelated_callback(self, key):
+        pass

@@ -1,0 +1,14 @@
+"""Fixture for D5 (float-cycle-arithmetic).  Never executed."""
+
+
+def pace(queue, total, count, tick, deadline):
+    delay = total / count  # fires
+    queue.schedule_after(total / count, tick)  # fires
+    arrival_cycle = total / count  # fires
+    deadline /= 2  # fires
+    cycles = total // count
+    queue.schedule_after(round(total / count), tick)
+    queue.schedule_after(int(total / count), tick)
+    ratio = total / count
+    deadline //= 2
+    return delay, arrival_cycle, cycles, ratio, deadline

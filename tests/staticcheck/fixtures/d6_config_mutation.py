@@ -1,0 +1,11 @@
+"""Fixture for D6 (config-mutation).  Never executed."""
+
+
+def tweak(config, run_config, options):
+    config.num_gpus = 8  # fires
+    run_config.seed += 1  # fires
+    options.depth = 3
+    derived = config.derive(num_gpus=8)
+    local_config = {"num_gpus": 8}
+    local_config["seed"] = 1
+    return derived, local_config

@@ -1,0 +1,12 @@
+"""Fixture for D7 (stats-ownership).  Never executed."""
+
+
+class FakePolicy:
+    def account(self, gpu, system, pid):
+        self.stats.inc("hits")
+        self.iommu.stats.inc("spills")
+        gpu.stats.inc("hits")  # fires
+        system.iommu.stats.inc("walks")  # fires
+        system.stats_for(pid).inc("walks")
+        gpu.stats["hits"] = 3  # fires
+        self.stats["hits"] = 3

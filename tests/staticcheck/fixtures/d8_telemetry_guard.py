@@ -1,0 +1,26 @@
+"""Fixture for D8 (unguarded-telemetry).  Never executed."""
+
+
+class FakeDevice:
+    def finish_unguarded(self, latency):
+        hub = self.system.telemetry
+        hub.record_latency("walk", latency)  # fires
+
+    def finish_guarded(self, latency):
+        hub = self.system.telemetry
+        if hub is not None:
+            hub.record_latency("walk", latency)
+
+    def finish_guarded_compound(self, latency, measured):
+        hub = self.system.telemetry
+        if hub is not None and measured:
+            hub.record_app_latency("walk", latency)
+
+    def finish_early_return(self, latency):
+        hub = self.system.telemetry
+        if hub is None:
+            return
+        hub.record_latency("walk", latency)
+
+    def sample(self):
+        self.system.telemetry.maybe_sample()  # fires

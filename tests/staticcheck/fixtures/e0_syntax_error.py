@@ -1,0 +1,4 @@
+"""Fixture for E0: this file intentionally does not parse."""
+
+def broken(:
+    pass

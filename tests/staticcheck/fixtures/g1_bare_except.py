@@ -1,0 +1,16 @@
+"""Fixture for G1 (bare-except).  Never executed."""
+
+
+def swallow(queue):
+    try:
+        queue.pop()
+    except:  # fires
+        pass
+    try:
+        queue.pop()
+    except ValueError:
+        pass
+    try:
+        queue.pop()
+    except (KeyError, IndexError):
+        pass

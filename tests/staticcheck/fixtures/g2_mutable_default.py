@@ -1,0 +1,19 @@
+"""Fixture for G2 (mutable-default-argument).  Never executed."""
+
+from collections import Counter
+
+
+def collect(items=[]):  # fires
+    return items
+
+
+def merge(*, seen=set()):  # fires
+    return seen
+
+
+def tally(counts=Counter()):  # fires
+    return counts
+
+
+def fine(items=None, count=0, name="x"):
+    return items or [], count, name

@@ -1,0 +1,22 @@
+"""The repository's own source tree must lint clean.
+
+This is the gate the CI lint job enforces; keeping it in the test suite
+means a violation fails `pytest` locally before it ever reaches CI.
+"""
+
+from pathlib import Path
+
+from repro.staticcheck import check_paths
+from repro.staticcheck.runner import iter_python_files
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_is_clean():
+    violations = check_paths([SRC])
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_src_tree_is_nonempty():
+    # Guard the guard: an empty expansion would make the clean check vacuous.
+    assert len(iter_python_files([SRC])) > 50

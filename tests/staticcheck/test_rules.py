@@ -1,0 +1,83 @@
+"""Every staticcheck rule against its known-bad/known-good fixture.
+
+Each fixture file marks the lines that must be reported with a trailing
+``# fires`` comment; every unmarked line must stay silent.  The checks
+run with the *full* rule set, so a fixture that accidentally trips a
+second rule fails loudly instead of hiding cross-fire.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import all_rules, check_source, get_rule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> the fixture exercising it.
+RULE_FIXTURES = {
+    "D1": "d1_unordered_iteration.py",
+    "D2": "d2_wall_clock.py",
+    "D3": "d3_schedule_in_past.py",
+    "D4": "d4_pending_serial.py",
+    "D5": "d5_float_cycle.py",
+    "D6": "d6_config_mutation.py",
+    "D7": "d7_stats_ownership.py",
+    "D8": "d8_telemetry_guard.py",
+    "G1": "g1_bare_except.py",
+    "G2": "g2_mutable_default.py",
+}
+
+
+_MARKER = re.compile(r"#\s*fires\s*$")
+
+
+def marked_lines(source: str) -> list[int]:
+    return [
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if _MARKER.search(line)
+    ]
+
+
+@pytest.mark.parametrize("rule_id,filename", sorted(RULE_FIXTURES.items()))
+def test_rule_fires_exactly_on_marked_lines(rule_id, filename):
+    source = (FIXTURES / filename).read_text()
+    expected = marked_lines(source)
+    assert expected, f"fixture {filename} has no `# fires` markers"
+
+    violations = check_source(source, filename)
+    assert sorted(v.line for v in violations) == expected
+    # No cross-fire: the fixture trips its own rule and nothing else.
+    assert {v.rule_id for v in violations} == {rule_id}
+    for violation in violations:
+        assert violation.path == filename
+        assert violation.rule_name == get_rule(rule_id).name
+        assert violation.message
+
+
+@pytest.mark.parametrize("rule_id,filename", sorted(RULE_FIXTURES.items()))
+def test_rule_fires_when_run_alone(rule_id, filename):
+    source = (FIXTURES / filename).read_text()
+    violations = check_source(source, filename, rules=[get_rule(rule_id)])
+    assert sorted(v.line for v in violations) == marked_lines(source)
+
+
+def test_every_registered_rule_has_a_fixture():
+    assert {rule.id for rule in all_rules()} == set(RULE_FIXTURES)
+
+
+def test_registry_is_sorted_and_described():
+    rules = all_rules()
+    assert [r.id for r in rules] == sorted(r.id for r in rules)
+    assert len({r.id for r in rules}) == len(rules)
+    for rule in rules:
+        assert rule.name and rule.description
+        assert get_rule(rule.id) is rule
+        assert get_rule(rule.id.lower()) is rule
+
+
+def test_get_rule_unknown_raises():
+    with pytest.raises(KeyError):
+        get_rule("D99")

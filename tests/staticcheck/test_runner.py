@@ -1,0 +1,98 @@
+"""Runner behaviour: file expansion, broken files, report rendering."""
+
+import json
+
+import pytest
+
+from repro.staticcheck import check_paths, check_source, render_json, render_text
+from repro.staticcheck.runner import iter_python_files, render_json_text
+
+
+class TestCheckSource:
+    def test_syntax_error_yields_e0(self):
+        violations = check_source("def broken(:\n    pass\n", "broken.py")
+        assert len(violations) == 1
+        assert violations[0].rule_id == "E0"
+        assert violations[0].rule_name == "syntax-error"
+        assert violations[0].line == 1
+        assert "does not parse" in violations[0].message
+
+    def test_violations_sorted_by_position(self):
+        source = (
+            "import time\n"
+            "def f(xs=[]):\n"
+            "    t = time.time()\n"
+            "    for k in set(xs):\n"
+            "        consume(k)\n"
+        )
+        violations = check_source(source)
+        assert [v.sort_key() for v in violations] == sorted(
+            v.sort_key() for v in violations
+        )
+        assert [v.rule_id for v in violations] == ["G2", "D2", "D1"]
+
+    def test_render_includes_position_and_rule(self):
+        violation = check_source("try:\n    x()\nexcept:\n    pass\n", "f.py")[0]
+        rendered = violation.render()
+        assert rendered.startswith("f.py:3:")
+        assert "G1" in rendered and "bare-except" in rendered
+
+
+class TestIterPythonFiles:
+    def test_expands_directories_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_skips_cache_directories(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        assert [f.name for f in iter_python_files([tmp_path])] == ["real.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([tmp_path / "nope"])
+
+    def test_explicit_file_and_duplicate_collapse(self, tmp_path):
+        path = tmp_path / "one.py"
+        path.write_text("x = 1\n")
+        assert iter_python_files([path, path, tmp_path]) == [path]
+
+
+class TestRendering:
+    def test_text_clean_summary(self):
+        assert render_text([], 3) == "3 file(s) checked: clean"
+
+    def test_text_breakdown(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\nt = time.time()\n")
+        violations = check_paths([path])
+        text = render_text(violations, 1)
+        assert "1 violation(s) in 1 file(s)" in text
+        assert "D2: 1" in text
+
+    def test_json_schema(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\nt = time.time()\n")
+        violations = check_paths([path])
+        report = render_json(violations, 1)
+        assert report["schema"] == "repro.staticcheck/1"
+        assert report["files_checked"] == 1
+        assert report["total_violations"] == 1
+        assert report["by_rule"]["D2"] == 1
+        assert report["by_rule"]["D1"] == 0
+        assert {r["id"] for r in report["rules"]} >= {"D1", "D8", "G2"}
+        entry = report["violations"][0]
+        assert entry["rule"] == "D2"
+        assert entry["line"] == 2
+
+    def test_json_text_round_trips(self):
+        parsed = json.loads(render_json_text([], 0))
+        assert parsed["total_violations"] == 0

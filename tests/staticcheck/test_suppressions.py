@@ -1,0 +1,59 @@
+"""Suppression comments: the per-line escape hatch for every rule."""
+
+from repro.staticcheck import check_source
+from repro.staticcheck.suppressions import is_suppressed, scan_suppressions
+
+BAD_SET_LOOP = "for k in set(xs):\n    consume(k)\n"
+
+
+def test_bare_ignore_suppresses_any_rule():
+    source = "for k in set(xs):  # staticcheck: ignore\n    consume(k)\n"
+    assert check_source(source) == []
+
+
+def test_scoped_ignore_suppresses_named_rule():
+    source = "for k in set(xs):  # staticcheck: ignore[D1]\n    consume(k)\n"
+    assert check_source(source) == []
+
+
+def test_scoped_ignore_leaves_other_rules_firing():
+    source = "for k in set(xs):  # staticcheck: ignore[D2]\n    consume(k)\n"
+    assert [v.rule_id for v in check_source(source)] == ["D1"]
+
+
+def test_multi_rule_ignore():
+    source = (
+        "import time\n"
+        "t = time.time()  # staticcheck: ignore[D1, D2]\n"
+    )
+    assert check_source(source) == []
+
+
+def test_suppression_only_affects_its_line():
+    source = (
+        "for k in set(xs):  # staticcheck: ignore[D1]\n"
+        "    consume(k)\n"
+        "for k in set(ys):\n"
+        "    consume(k)\n"
+    )
+    violations = check_source(source)
+    assert [(v.rule_id, v.line) for v in violations] == [("D1", 3)]
+
+
+def test_unsuppressed_baseline_fires():
+    assert [v.rule_id for v in check_source(BAD_SET_LOOP)] == ["D1"]
+
+
+def test_scan_suppressions_map():
+    source = (
+        "x = 1  # staticcheck: ignore[D1,D2]\n"
+        "y = 2  # staticcheck: ignore\n"
+        "z = 3  # a normal comment\n"
+    )
+    suppressions = scan_suppressions(source)
+    assert set(suppressions) == {1, 2}
+    assert is_suppressed(suppressions, 1, "D1")
+    assert is_suppressed(suppressions, 1, "D2")
+    assert not is_suppressed(suppressions, 1, "G1")
+    assert is_suppressed(suppressions, 2, "G1")
+    assert not is_suppressed(suppressions, 3, "D1")

@@ -10,7 +10,8 @@ from repro.workloads.patterns import (
     partition_bounds,
 )
 
-RNG = lambda seed=0: np.random.default_rng(seed)
+def RNG(seed=0):
+    return np.random.default_rng(seed)
 
 
 def params(pattern="random", footprint=1024, p_reuse=0.0, window=16, seq=0.0, **kw):
