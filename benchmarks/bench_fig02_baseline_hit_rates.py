@@ -10,7 +10,7 @@ from common import SINGLE_APP_NAMES, save_table
 
 def test_fig02_baseline_hit_rates(lab, benchmark):
     results = benchmark.pedantic(
-        lambda: {app: lab.single(app, "baseline") for app in SINGLE_APP_NAMES},
+        lambda: {app: lab.single(app, "baseline", fast=True) for app in SINGLE_APP_NAMES},
         rounds=1, iterations=1,
     )
 

@@ -13,7 +13,10 @@ HIGH_SHARING = ("ST", "MT", "MM", "KM", "PR")
 def test_fig15_single_app_hit_rates(lab, benchmark):
     def run():
         return {
-            app: (lab.single(app, "baseline"), lab.single(app, "least-tlb"))
+            app: (
+                lab.single(app, "baseline", fast=True),
+                lab.single(app, "least-tlb", fast=True),
+            )
             for app in SINGLE_APP_NAMES
         }
 

@@ -18,7 +18,10 @@ def mean_rate(result, attr):
 def test_fig17_multi_app_hit_rates(lab, benchmark):
     def run():
         return {
-            wl: (lab.multi(wl, "baseline"), lab.multi(wl, "least-tlb"))
+            wl: (
+                lab.multi(wl, "baseline", fast=True),
+                lab.multi(wl, "least-tlb", fast=True),
+            )
             for wl in WORKLOADS
         }
 

@@ -13,7 +13,10 @@ WORKLOADS = tuple(MULTI_APP_WORKLOADS)
 def test_fig18_l2_hit_rates(lab, benchmark):
     def run():
         return {
-            wl: (lab.multi(wl, "baseline"), lab.multi(wl, "least-tlb"))
+            wl: (
+                lab.multi(wl, "baseline", fast=True),
+                lab.multi(wl, "least-tlb", fast=True),
+            )
             for wl in WORKLOADS
         }
 

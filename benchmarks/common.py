@@ -18,6 +18,7 @@ from typing import Any, Callable
 
 from repro.config.presets import baseline_config
 from repro.config.system import SystemConfig
+from repro.sim.backends import BackendUnsupported
 from repro.sim.cache import ResultCache, run_fingerprint
 from repro.sim.driver import run_alone, run_mix, run_multi_app, run_single_app
 from repro.sim.results import AppResult, SimulationResult
@@ -26,6 +27,11 @@ from repro.workloads.multi_app import MULTI_APP_WORKLOADS, SINGLE_APP_NAMES
 RESULTS_DIR = Path(__file__).parent / "results"
 
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
+
+#: Lab-wide backend selection: ``auto`` routes statistics-only calls
+#: (``fast=True``) to the functional fast path and everything else to the
+#: event engine; ``event``/``functional`` force one backend for all calls.
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "auto")
 
 
 class ResultLab:
@@ -44,9 +50,11 @@ class ResultLab:
         scale: float = DEFAULT_SCALE,
         seed: int | None = None,
         cache: ResultCache | None = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.scale = scale
         self.seed = seed
+        self.backend = backend
         self.cache = ResultCache.from_env() if cache is None else cache
         self._session: dict[tuple, SimulationResult] = {}
 
@@ -58,24 +66,42 @@ class ResultLab:
         config: SystemConfig | None,
         tag: str,
         kwargs: dict[str, Any],
-        factory: Callable[[], SimulationResult],
+        factory: Callable[[str], SimulationResult],
+        fast: bool = False,
     ) -> SimulationResult:
         resolved = config if config is not None else baseline_config()
         seed = self.seed if self.seed is not None else resolved.seed
-        key = (kind, workload, policy, tag, self.scale, seed)
-        result = self._session.get(key)
-        if result is not None:
+        backend = self.backend
+        if backend == "auto":
+            backend = "functional" if fast else "event"
+        # Backends are cross-validated bit-identical, so a result already
+        # simulated this session on either backend serves both.
+        base_key = (kind, workload, policy, tag, self.scale, seed)
+        for b in ("event", "functional"):
+            result = self._session.get((*base_key, b))
+            if result is not None:
+                return result
+
+        def attempt(b: str) -> SimulationResult:
+            fingerprint = run_fingerprint(
+                kind=kind, workload=workload, policy=policy, config=resolved,
+                scale=self.scale, seed=self.seed, options=kwargs, backend=b,
+            )
+            result = self.cache.get(fingerprint)
+            if result is None:
+                result = factory(b)
+                self.cache.put(fingerprint, result)
+            self._session[(*base_key, b)] = result
             return result
-        fingerprint = run_fingerprint(
-            kind=kind, workload=workload, policy=policy, config=resolved,
-            scale=self.scale, seed=self.seed, options=kwargs,
-        )
-        result = self.cache.get(fingerprint)
-        if result is None:
-            result = factory()
-            self.cache.put(fingerprint, result)
-        self._session[key] = result
-        return result
+
+        if backend == "functional":
+            try:
+                return attempt("functional")
+            except BackendUnsupported:
+                if self.backend == "functional":
+                    raise  # explicitly requested: surface the limitation
+                # ``auto``: run outside the fast path's scope on the engine.
+        return attempt("event")
 
     def single(
         self,
@@ -83,13 +109,16 @@ class ResultLab:
         policy: str = "baseline",
         config: SystemConfig | None = None,
         tag: str = "base",
+        fast: bool = False,
         **kwargs: Any,
     ) -> SimulationResult:
         return self._run(
             "single", app, policy, config, tag, kwargs,
-            lambda: run_single_app(
-                app, config, policy, scale=self.scale, seed=self.seed, **kwargs
+            lambda backend: run_single_app(
+                app, config, policy, scale=self.scale, seed=self.seed,
+                backend=backend, **kwargs
             ),
+            fast=fast,
         )
 
     def multi(
@@ -98,13 +127,16 @@ class ResultLab:
         policy: str = "baseline",
         config: SystemConfig | None = None,
         tag: str = "base",
+        fast: bool = False,
         **kwargs: Any,
     ) -> SimulationResult:
         return self._run(
             "multi", workload, policy, config, tag, kwargs,
-            lambda: run_multi_app(
-                workload, config, policy, scale=self.scale, seed=self.seed, **kwargs
+            lambda backend: run_multi_app(
+                workload, config, policy, scale=self.scale, seed=self.seed,
+                backend=backend, **kwargs
             ),
+            fast=fast,
         )
 
     def mix(
@@ -113,21 +145,32 @@ class ResultLab:
         policy: str = "baseline",
         config: SystemConfig | None = None,
         tag: str = "base",
+        fast: bool = False,
         **kwargs: Any,
     ) -> SimulationResult:
         return self._run(
             "mix", workload, policy, config, tag, kwargs,
-            lambda: run_mix(
-                workload, config, policy, scale=self.scale, seed=self.seed, **kwargs
+            lambda backend: run_mix(
+                workload, config, policy, scale=self.scale, seed=self.seed,
+                backend=backend, **kwargs
             ),
+            fast=fast,
         )
 
-    def alone(self, app: str, tag: str = "base", config: SystemConfig | None = None) -> SimulationResult:
+    def alone(
+        self,
+        app: str,
+        tag: str = "base",
+        config: SystemConfig | None = None,
+        fast: bool = False,
+    ) -> SimulationResult:
         return self._run(
             "alone", app, "baseline", config, tag, {},
-            lambda: run_alone(
-                app, config, "baseline", scale=self.scale, seed=self.seed
+            lambda backend: run_alone(
+                app, config, "baseline", scale=self.scale, seed=self.seed,
+                backend=backend,
             ),
+            fast=fast,
         )
 
     def alone_refs(self, apps) -> dict[str, AppResult]:
@@ -180,4 +223,5 @@ __all__ = [
     "geometric_mean",
     "save_table",
     "DEFAULT_SCALE",
+    "DEFAULT_BACKEND",
 ]

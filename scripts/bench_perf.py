@@ -9,7 +9,10 @@ writes them to ``BENCH_kernel.json``:
   TLB lookup/insert, CU trace advancement);
 * **matrix speedup** — wall-clock of a warm-cache experiment-matrix run
   versus a cold serial one (the parallel runner + persistent cache
-  layers).
+  layers);
+* **fastpath throughput** — events/second of the functional backend
+  (``repro.sim.backends``) replaying the same kernel cases, plus its
+  speedup over the event engine (see ``docs/backends.md``).
 
 Usage::
 
@@ -18,9 +21,9 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py \
         --baseline BENCH_kernel.json --max-regression 0.30       # gate
 
-With ``--baseline``, the harness exits non-zero if measured kernel
-throughput falls more than ``--max-regression`` below the baseline file's
-(used by the CI perf-smoke job).  Numbers are machine-relative: compare
+With ``--baseline``, the harness exits non-zero if measured kernel or
+fastpath throughput falls more than ``--max-regression`` below the
+baseline file's (used by the CI perf-smoke job).  Numbers are machine-relative: compare
 trajectories on one machine, not across machines — the ``machine`` stamp
 records where a baseline came from.
 """
@@ -40,6 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.config.presets import baseline_config  # noqa: E402
+from repro.sim.backends import run_functional  # noqa: E402
 from repro.sim.cache import ResultCache, code_version_hash  # noqa: E402
 from repro.sim.parallel import expand_matrix, matrix_summary, run_matrix, select_benches  # noqa: E402
 from repro.sim.system import MultiGPUSystem  # noqa: E402
@@ -83,6 +87,49 @@ def measure_kernel(scale: float, repeats: int) -> list[dict]:
         print(
             f"kernel {label:<14} {events:>9,} events  {best:.3f}s  "
             f"{events / best:>10,.0f} events/s"
+        )
+    return rows
+
+
+def measure_fastpath(scale: float, repeats: int, kernel_rows: list[dict]) -> list[dict]:
+    """Best-of-N functional-backend throughput on the same kernel cases.
+
+    ``speedup_vs_event`` relates each case to the event-engine row just
+    measured, so both sides of the ratio come from the same machine state.
+    """
+    event_rows = {row["name"]: row for row in kernel_rows}
+    rows = []
+    for label, name, policy, builder in KERNEL_CASES:
+        config = baseline_config()
+        workload = builder(name, config, scale=scale)
+        best = None
+        events = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_functional(config, workload, policy)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+            events = result.events_executed
+        event = event_rows.get(label)
+        speedup = (
+            round((events / best) / event["events_per_sec"], 3)
+            if event and event["events_per_sec"] > 0
+            else None
+        )
+        rows.append(
+            {
+                "name": label,
+                "scale": scale,
+                "wall_seconds": round(best, 6),
+                "events": events,
+                "events_per_sec": round(events / best, 1),
+                "speedup_vs_event": speedup,
+            }
+        )
+        print(
+            f"fastpath {label:<14} {events:>9,} events  {best:.3f}s  "
+            f"{events / best:>10,.0f} events/s"
+            + (f"  ({speedup:.2f}x event)" if speedup is not None else "")
         )
     return rows
 
@@ -132,23 +179,24 @@ def check_regression(report: dict, baseline_path: Path, max_regression: float) -
         print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
         return 2
     failures = 0
-    base_rows = {row["name"]: row for row in baseline.get("kernel", [])}
-    for row in report["kernel"]:
-        base = base_rows.get(row["name"])
-        if base is None:
-            continue
-        floor = base["events_per_sec"] * (1.0 - max_regression)
-        status = "ok" if row["events_per_sec"] >= floor else "REGRESSION"
-        print(
-            f"regression-check {row['name']:<14} "
-            f"{row['events_per_sec']:>10,.0f} vs baseline "
-            f"{base['events_per_sec']:>10,.0f} (floor {floor:,.0f}) {status}"
-        )
-        if status != "ok":
-            failures += 1
+    for section in ("kernel", "fastpath"):
+        base_rows = {row["name"]: row for row in baseline.get(section, [])}
+        for row in report.get(section, []):
+            base = base_rows.get(row["name"])
+            if base is None:
+                continue
+            floor = base["events_per_sec"] * (1.0 - max_regression)
+            status = "ok" if row["events_per_sec"] >= floor else "REGRESSION"
+            print(
+                f"regression-check {section} {row['name']:<14} "
+                f"{row['events_per_sec']:>10,.0f} vs baseline "
+                f"{base['events_per_sec']:>10,.0f} (floor {floor:,.0f}) {status}"
+            )
+            if status != "ok":
+                failures += 1
     if failures:
         print(
-            f"error: {failures} kernel case(s) regressed more than "
+            f"error: {failures} case(s) regressed more than "
             f"{max_regression:.0%} below {baseline_path}",
             file=sys.stderr,
         )
@@ -185,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
         "machine": machine_stamp(),
         "kernel": measure_kernel(args.scale, args.repeats),
     }
+    report["fastpath"] = measure_fastpath(
+        args.scale, args.repeats, report["kernel"]
+    )
     if not args.skip_matrix:
         report["matrix"] = measure_matrix(
             args.matrix_benches,

@@ -67,6 +67,17 @@ def _cli_error(message: str) -> SystemExit:
     return SystemExit(2)
 
 
+def _write_output(write, path: str) -> None:
+    """Run ``write()`` (which writes ``path``); a missing directory or an
+    unwritable path is a usage error (exit 2, ``error:`` prefix — the
+    docs/robustness.md convention), not a traceback."""
+    try:
+        write()
+    except OSError as exc:
+        detail = exc.strerror or str(exc)
+        raise _cli_error(f"cannot write {path!r}: {detail}") from None
+
+
 def resolve_config(name: str) -> SystemConfig:
     """Build the named config preset or exit with the valid choices."""
     try:
@@ -211,19 +222,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     telemetry = _telemetry_config(args.trace, args.timeline)
     workload = resolve_workload(args.workload, config, args.scale, args.seed)
 
-    # Built as a system (not via ``simulate``) so the telemetry hub stays
-    # reachable for the Chrome-trace export after the run.
-    system = MultiGPUSystem(
-        config, workload, policy,
-        record_iommu_stream=args.record_stream,
-        snapshot_interval=args.snapshot_interval,
-        faults=faults,
-        check_invariants=args.check_invariants,
-        telemetry=telemetry,
-    )
+    system: MultiGPUSystem | None = None
+    if args.backend == "functional":
+        from repro.sim.backends import BackendUnsupported, run_functional
 
-    def execute() -> SimulationResult:
-        return system.run(args.max_cycles, max_events=args.max_events)
+        def execute() -> SimulationResult:
+            try:
+                return run_functional(
+                    config, workload, policy,
+                    max_cycles=args.max_cycles,
+                    max_events=args.max_events,
+                    record_iommu_stream=args.record_stream,
+                    snapshot_interval=args.snapshot_interval,
+                    faults=faults,
+                    check_invariants=args.check_invariants,
+                    telemetry=telemetry,
+                )
+            except BackendUnsupported as exc:
+                raise _cli_error(f"--backend functional: {exc}") from None
+    else:
+        # Built as a system (not via ``simulate``) so the telemetry hub
+        # stays reachable for the Chrome-trace export after the run.
+        system = MultiGPUSystem(
+            config, workload, policy,
+            record_iommu_stream=args.record_stream,
+            snapshot_interval=args.snapshot_interval,
+            faults=faults,
+            check_invariants=args.check_invariants,
+            telemetry=telemetry,
+        )
+
+        def execute() -> SimulationResult:
+            return system.run(args.max_cycles, max_events=args.max_events)
 
     try:
         if args.profile:
@@ -241,9 +271,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     _print_result(result)
     if args.check_invariants:
         print(f"invariants OK ({result.metadata.get('invariant_checks', 0)} checks)")
-    if system.telemetry is not None:
+    if system is not None and system.telemetry is not None:
         _print_telemetry(system.telemetry)
-    if args.trace is not None:
+    if system is not None and args.trace is not None:
         out = args.trace_out or DEFAULT_TRACE_OUT
         path = export_chrome_trace(
             system.telemetry.traces, out,
@@ -283,15 +313,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print()
     print(flame_summary(hub.traces))
     _print_telemetry(hub)
-    path = export_chrome_trace(
-        hub.traces, args.out,
-        run_info={
-            "workload": result.workload_name,
-            "policy": result.policy_name,
-            "sample_rate": args.rate,
-        },
+    _write_output(
+        lambda: export_chrome_trace(
+            hub.traces, args.out,
+            run_info={
+                "workload": result.workload_name,
+                "policy": result.policy_name,
+                "sample_rate": args.rate,
+            },
+        ),
+        args.out,
     )
-    print(f"\nwrote Chrome trace {path} — open in chrome://tracing or "
+    print(f"\nwrote Chrome trace {args.out} — open in chrome://tracing or "
           "https://ui.perfetto.dev")
     return 0
 
@@ -420,7 +453,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cache entries from {cache.cache_dir}")
 
-    pairs = expand_matrix(benches, scale=args.scale, seed=args.seed)
+    pairs = expand_matrix(
+        benches, scale=args.scale, seed=args.seed, backend=args.backend
+    )
     workers = args.jobs if args.jobs is not None else default_workers()
     if args.profile:
         workers = 1  # keep the whole run in-process so the profile sees it
@@ -434,10 +469,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     def execute():
         return run_matrix(pairs, workers=workers, cache=cache, progress=note)
 
-    if args.profile:
-        outcomes = _profiled(execute, dump=args.profile_dump)
-    else:
-        outcomes = execute()
+    from repro.sim.backends import BackendUnsupported
+
+    try:
+        if args.profile:
+            outcomes = _profiled(execute, dump=args.profile_dump)
+        else:
+            outcomes = execute()
+    except BackendUnsupported as exc:
+        raise _cli_error(f"--backend {args.backend}: {exc}") from None
     wall = time.perf_counter() - start
 
     summary = matrix_summary(outcomes)
@@ -483,7 +523,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 for o in outcomes
             ],
         }
-        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        _write_output(
+            lambda: Path(args.json).write_text(json.dumps(payload, indent=2) + "\n"),
+            args.json,
+        )
         print(f"wrote {args.json}")
     return 0
 
@@ -567,6 +610,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run)
     run.add_argument("--policy", default="baseline",
                      help=f"translation policy ({', '.join(policy_names())})")
+    run.add_argument("--backend", choices=("event", "functional"), default="event",
+                     help="simulation backend: the discrete-event engine or the "
+                          "bit-exact functional fast path (see docs/backends.md)")
     run.add_argument("--json", help="write the result to this JSON file")
     run.add_argument("--record-stream", action="store_true",
                      help="record the IOMMU request stream")
@@ -624,6 +670,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace-length scale for every job (default 0.3)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the workload/config random seed")
+    bench.add_argument("--backend", choices=("event", "functional"), default="event",
+                       help="simulation backend for every job (functional = the "
+                            "bit-exact fast path, see docs/backends.md)")
     bench.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes (default: one per core)")
     bench.add_argument("--no-cache", action="store_true",

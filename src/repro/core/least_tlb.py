@@ -31,6 +31,12 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING
 
+from repro.core.protocol import (
+    choose_probe_target,
+    probe_removes_entry,
+    should_reenter_iommu,
+    should_spill_victim,
+)
 from repro.core.tracker import LocalTLBTracker
 from repro.gpu.ats import ATSRequest
 from repro.policies.base import TranslationPolicy
@@ -120,8 +126,9 @@ class LeastTLBPolicy(TranslationPolicy):
         if probing:
             pending.remote_pending = True
             pending.remote_generation += 1
-            target = targets[self._probe_rotor % len(targets)]
-            self._probe_rotor += 1
+            target, self._probe_rotor = choose_probe_target(
+                targets, self._probe_rotor
+            )
             if request.measured:
                 self.system.stats_for(request.pid).inc("tracker_positive")
             if request.trace is not None:
@@ -194,7 +201,7 @@ class LeastTLBPolicy(TranslationPolicy):
             return
         pending.remote_pending = False
         entry = self.gpus[target].probe_l2(
-            request.pid, request.vpn, remove_on_hit=self.mode == "multi"
+            request.pid, request.vpn, remove_on_hit=probe_removes_entry(self.mode)
         )
         if request.trace is not None:
             request.trace.end(
@@ -302,7 +309,7 @@ class LeastTLBPolicy(TranslationPolicy):
 
     def on_l2_eviction(self, gpu: "GPUDevice", victim: TLBEntry) -> None:
         self.tracker.unregister(gpu.gpu_id, victim.pid, victim.vpn)
-        if self.spilling and victim.spill_budget <= 0:
+        if not should_reenter_iommu(self.spilling, victim.spill_budget):
             # A spilled entry out of budget is abandoned (Algorithm 2,
             # lines 27-29): re-inserting it would ping-pong forever.
             self.iommu.stats.inc("spilled_discarded")
@@ -328,7 +335,7 @@ class LeastTLBPolicy(TranslationPolicy):
         return self._receiver_rng.randrange(self.system.config.num_gpus)
 
     def on_iommu_tlb_evicted(self, victim: TLBEntry) -> None:
-        if not self.spilling or victim.spill_budget <= 0:
+        if not should_spill_victim(self.spilling, victim.spill_budget):
             # Single-application least-TLB simply drops the LRU victim
             # (Algorithm 1, lines 27-28).
             return

@@ -1,0 +1,88 @@
+"""Pure transition functions of the least-TLB protocol.
+
+The event-driven engine (:mod:`repro.gpu`, :mod:`repro.iommu`,
+:mod:`repro.core.least_tlb`) and the functional fast-path backend
+(:mod:`repro.sim.backends`) must make *identical* protocol decisions —
+which GPU receives a spill, which peer a tracker probe targets, how many
+cycles a partial walk costs, whether an evicted entry re-enters the IOMMU
+TLB.  Those decisions are factored out here as pure functions of explicit
+state so there is exactly one implementation to maintain and the two
+backends cannot drift.
+
+Every function is side-effect free: mutable protocol state (rotors,
+pointers) is passed in and the successor state is returned.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def select_spill_receiver(
+    eviction_counters: Sequence[int], pointer: int
+) -> tuple[int, int]:
+    """The GPU whose Eviction Counter is smallest (Section 4.2).
+
+    Ties break by a rotating-priority arbiter: scanning starts just after
+    the previously selected GPU (``pointer``), which reproduces the
+    alternating receiver choices in the Figure 13 walk-through and avoids
+    always dumping spills on GPU 0.
+
+    Returns ``(receiver, next_pointer)``.
+    """
+    num_gpus = len(eviction_counters)
+    best_gpu = -1
+    best_value: int | None = None
+    for offset in range(num_gpus):
+        gpu = (pointer + offset) % num_gpus
+        value = eviction_counters[gpu]
+        if best_value is None or value < best_value:
+            best_gpu = gpu
+            best_value = value
+    return best_gpu, (best_gpu + 1) % num_gpus
+
+
+def choose_probe_target(targets: Sequence[int], rotor: int) -> tuple[int, int]:
+    """Pick which positive-tracker GPU a remote probe visits.
+
+    The tracker may report several candidate L2s; the protocol probes one
+    per miss, rotating over misses so repeated aliasing cannot pin all
+    probe traffic on a single peer.  Returns ``(target, next_rotor)``.
+    """
+    return targets[rotor % len(targets)], rotor + 1
+
+
+def walk_cycles(walk_latency: int, levels_touched: int, full_levels: int) -> int:
+    """Cycles charged for a page-table walk touching ``levels_touched`` of
+    ``full_levels`` radix levels (partial walks — faults — are charged
+    proportionally; never less than one cycle)."""
+    return max(1, walk_latency * levels_touched // full_levels)
+
+
+def probe_removes_entry(mode: str) -> bool:
+    """Whether a remote-probe hit removes the entry from the peer L2.
+
+    Multi-application mode has no inter-application sharing: the spilled
+    entry migrates back to its owner (remove).  Single-application GPUs
+    genuinely share pages, so the entry stays in both L2s.
+    """
+    return mode == "multi"
+
+
+def should_reenter_iommu(spilling: bool, spill_budget: int) -> bool:
+    """Whether an L2 victim re-enters the IOMMU TLB (Algorithm 2).
+
+    Under spilling, an entry whose budget is exhausted is abandoned on
+    eviction rather than re-entering the IOMMU TLB — re-inserting it would
+    ping-pong forever (the Section 4.2 "chain effect" bound).
+    """
+    return not spilling or spill_budget > 0
+
+
+def should_spill_victim(spilling: bool, spill_budget: int) -> bool:
+    """Whether an IOMMU TLB victim spills into a GPU L2 (Algorithm 2).
+
+    Identical predicate to :func:`should_reenter_iommu` — the budget gates
+    both edges of the spill cycle — but named separately because the two
+    call sites implement different transitions (drop vs. spill)."""
+    return spilling and spill_budget > 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.config.system import SystemConfig
+from repro.core.protocol import select_spill_receiver
 from repro.engine.stats import CounterSet
 from repro.gpu.ats import ATSRequest
 from repro.iommu.page_walker import WalkerPool, WalkTicket
@@ -231,16 +232,9 @@ class IOMMU:
         receiver choices in the Figure 13 walk-through and avoids always
         dumping spills on GPU 0.
         """
-        num_gpus = self.config.num_gpus
-        best_gpu = -1
-        best_value: int | None = None
-        for offset in range(num_gpus):
-            gpu = (self._spill_pointer + offset) % num_gpus
-            value = self.eviction_counters[gpu]
-            if best_value is None or value < best_value:
-                best_gpu = gpu
-                best_value = value
-        self._spill_pointer = (best_gpu + 1) % num_gpus
+        best_gpu, self._spill_pointer = select_spill_receiver(
+            self.eviction_counters, self._spill_pointer
+        )
         return best_gpu
 
     # -- shootdown (Section 4.4) -------------------------------------------------------

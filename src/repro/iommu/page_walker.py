@@ -27,6 +27,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.config.system import IOMMUConfig
+from repro.core.protocol import walk_cycles
 from repro.engine.event_queue import EventQueue
 from repro.engine.stats import CounterSet, LatencyAccumulator
 from repro.structures.page_table import PageTableManager, WalkResult
@@ -174,8 +175,9 @@ class WalkerPool:
     # -- internals ------------------------------------------------------------
 
     def _walk_latency(self, result: WalkResult) -> int:
-        full_levels = self.page_tables.levels
-        return max(1, self.config.walk_latency * result.levels_touched // full_levels)
+        return walk_cycles(
+            self.config.walk_latency, result.levels_touched, self.page_tables.levels
+        )
 
     def _dispatch(self, ticket: WalkTicket) -> None:
         ticket.state = _RUNNING

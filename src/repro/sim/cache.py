@@ -108,12 +108,19 @@ def run_fingerprint(
     scale: float,
     seed: int | None,
     options: dict[str, Any] | None = None,
+    backend: str = "event",
 ) -> dict[str, Any]:
     """The complete identity of one simulation as a plain dictionary.
 
     ``seed=None`` resolves to the config seed (what the drivers do), so a
     run keyed with an explicit seed equal to the config's and one keyed
     with ``None`` share an entry — they are the same simulation.
+
+    ``backend`` is part of the key even though the functional backend is
+    cross-validated to produce bit-identical results: keeping the entries
+    separate means a fidelity regression can never poison (or be masked
+    by) the event engine's cache, and ``scripts/check_fidelity.py`` always
+    measures a real run per backend.
     """
     resolved_seed = seed
     if resolved_seed is None:
@@ -122,6 +129,7 @@ def run_fingerprint(
         "format": CACHE_FORMAT,
         "code": code_version_hash(),
         "kind": kind,
+        "backend": backend,
         "workload": canonicalize(workload),
         "policy": policy,
         "scale": scale,

@@ -11,6 +11,12 @@ Every experiment in the paper reduces to one of three runs:
 ``scale`` shortens traces proportionally without changing footprints; the
 ``REPRO_SCALE`` environment variable sets the default so the benchmark
 suite can trade fidelity for wall-clock time uniformly.
+
+Every driver accepts ``backend=`` (forwarded through ``simulate``): the
+default ``"event"`` runs the full discrete-event engine, ``"functional"``
+runs the exact-schedule replay of :mod:`repro.sim.backends` — bit-identical
+results, a fraction of the wall-clock, but only within its supported scope
+(it raises :class:`~repro.sim.backends.BackendUnsupported` elsewhere).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Any
 
 from repro.config.presets import baseline_config
 from repro.config.system import SystemConfig
+from repro.sim.backends import run_functional, validate_backend
 from repro.sim.results import SimulationResult
 from repro.sim.system import MultiGPUSystem
 from repro.workloads.multi_app import (
@@ -49,11 +56,17 @@ def simulate(
     workload: Workload,
     policy: str = "baseline",
     *,
+    backend: str = "event",
     max_cycles: int | None = None,
     max_events: int | None = None,
     **system_kwargs: Any,
 ) -> SimulationResult:
     """Build a system around ``workload`` and run it to completion."""
+    if validate_backend(backend) == "functional":
+        return run_functional(
+            config, workload, policy,
+            max_cycles=max_cycles, max_events=max_events, **system_kwargs,
+        )
     system = MultiGPUSystem(config, workload, policy, **system_kwargs)
     return system.run(max_cycles, max_events=max_events)
 

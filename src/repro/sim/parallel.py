@@ -26,7 +26,7 @@ import fnmatch
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable
 
 from repro.config.presets import (
@@ -39,6 +39,7 @@ from repro.config.presets import (
     small_iommu_config,
 )
 from repro.config.system import SystemConfig
+from repro.sim.backends import validate_backend
 from repro.sim.cache import ResultCache, fingerprint_digest, run_fingerprint
 from repro.sim.driver import run_alone, run_mix, run_multi_app, run_single_app
 from repro.sim.results import SimulationResult
@@ -71,12 +72,15 @@ class JobSpec:
     seed: int | None = None
     options: tuple[tuple[str, Any], ...] = ()
     """Extra ``simulate`` keyword arguments, sorted ``(name, value)``."""
+    backend: str = "event"
+    """Simulation backend (``event`` or ``functional``)."""
 
     def __post_init__(self) -> None:
         if self.kind not in _RUNNERS:
             raise ValueError(
                 f"unknown job kind {self.kind!r}; choose from {sorted(_RUNNERS)}"
             )
+        validate_backend(self.backend)
 
     def resolved_config(self) -> SystemConfig:
         """The spec's config, with ``None`` resolved to the baseline."""
@@ -85,7 +89,8 @@ class JobSpec:
     @property
     def label(self) -> str:
         """Compact human-readable identity for progress output."""
-        return f"{self.kind}:{self.workload}/{self.policy}@{self.scale:g}"
+        suffix = "" if self.backend == "event" else f"+{self.backend}"
+        return f"{self.kind}:{self.workload}/{self.policy}@{self.scale:g}{suffix}"
 
     def fingerprint(self) -> dict[str, Any]:
         """The spec's persistent-cache fingerprint."""
@@ -97,12 +102,15 @@ class JobSpec:
             scale=self.scale,
             seed=self.seed,
             options=dict(self.options),
+            backend=self.backend,
         )
 
     def execute(self) -> SimulationResult:
         """Run the simulation in the current process."""
         runner = _RUNNERS[self.kind]
         kwargs = dict(self.options)
+        if self.backend != "event":
+            kwargs["backend"] = self.backend
         if self.kind == "alone":
             return run_alone(
                 self.workload, self.resolved_config(), self.policy,
@@ -247,12 +255,23 @@ def select_benches(pattern: str | None) -> list[str]:
 
 
 def expand_matrix(
-    benches: Iterable[str], *, scale: float, seed: int | None = None
+    benches: Iterable[str],
+    *,
+    scale: float,
+    seed: int | None = None,
+    backend: str = "event",
 ) -> list[tuple[str, JobSpec]]:
-    """Expand bench families into their ``(bench, spec)`` pairs."""
+    """Expand bench families into their ``(bench, spec)`` pairs.
+
+    ``backend`` rewrites every expanded spec to run on that backend (the
+    matrix builders declare jobs backend-agnostically).
+    """
+    validate_backend(backend)
     pairs: list[tuple[str, JobSpec]] = []
     for bench in benches:
         for spec in BENCH_MATRIX[bench](scale, seed):
+            if backend != spec.backend:
+                spec = replace(spec, backend=backend)
             pairs.append((bench, spec))
     return pairs
 

@@ -1,0 +1,79 @@
+"""Differential equivalence of the flat cuckoo tracker mirror.
+
+``_FlatCuckooTracker`` replays the Local TLB Tracker's cuckoo filters
+over flat fingerprint lists, memoised hash geometry, and direct
+``getrandbits`` draws in place of ``Random.choice``/``Random.randrange``.
+That last substitution leans on CPython's ``_randbelow_with_getrandbits``
+rejection loop, so these tests pin the full equivalence — bucket-for-
+bucket contents, query results, and stats counters — against the object
+model under randomized operation streams.  An interpreter that changed
+``_randbelow`` would fail here rather than silently diverge.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import TrackerConfig
+from repro.core.tracker import LocalTLBTracker
+from repro.sim.backends.functional import _FlatCuckooTracker
+
+#: Deliberately tiny filters so register streams overflow buckets and
+#: exercise the cuckoo relocation (RNG) path, not just direct inserts.
+SMALL = TrackerConfig(total_entries=16, bucket_size=2, fingerprint_bits=4,
+                      kind="cuckoo")
+
+ops_st = st.lists(
+    st.tuples(
+        st.sampled_from(["register", "unregister", "query"]),
+        st.integers(0, 1),      # gpu_id
+        st.integers(1, 2),      # pid
+        st.integers(0, 40),     # vpn
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def reference_buckets(tracker: LocalTLBTracker, gpu_id: int):
+    filt = tracker._filters[gpu_id]
+    return [list(bucket) for bucket in filt._buckets]
+
+
+@given(ops=ops_st, seed=st.integers(0, 7))
+@settings(max_examples=60, deadline=None)
+def test_flat_tracker_matches_object_model(ops, seed):
+    ref = LocalTLBTracker(SMALL, num_gpus=2, seed=seed)
+    flat = _FlatCuckooTracker(SMALL, num_gpus=2, seed=seed)
+    for op, gpu_id, pid, vpn in ops:
+        if op == "register":
+            ref.register(gpu_id, pid, vpn)
+            flat.register(gpu_id, pid, vpn)
+        elif op == "unregister":
+            ref.unregister(gpu_id, pid, vpn)
+            flat.unregister(gpu_id, pid, vpn)
+        else:
+            assert flat.query(pid, vpn) == ref.query(pid, vpn)
+    # Final state: bucket contents (order included — it decides future
+    # kicks and deletes) and every stats counter.
+    for gpu_id in range(2):
+        assert flat.buckets[gpu_id] == reference_buckets(ref, gpu_id)
+    assert flat.registrations == ref.stats.registrations
+    assert flat.unregistrations == ref.stats.unregistrations
+    assert flat.queries == ref.stats.queries
+    assert flat.positives == ref.stats.positives
+    assert flat.multi_positives == ref.stats.multi_positives
+    # Post-state queries agree across the whole key domain.
+    for pid in (1, 2):
+        for vpn in range(41):
+            assert flat.query(pid, vpn) == ref.query(pid, vpn)
+
+
+def test_partition_sizing_matches_tracker():
+    # 100 entries over 3 GPUs with bucket size 4 → 32 per partition
+    # (rounded down to a bucket multiple), identically on both sides.
+    config = TrackerConfig(total_entries=100, bucket_size=4,
+                           fingerprint_bits=6, kind="cuckoo")
+    ref = LocalTLBTracker(config, num_gpus=3, seed=0)
+    flat = _FlatCuckooTracker(config, num_gpus=3, seed=0)
+    assert flat.num_buckets == len(ref._filters[0]._buckets)
+    assert flat.bucket_size == config.bucket_size
