@@ -219,6 +219,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         faults = FaultPlan.parse(args.faults) if args.faults is not None else None
     except FaultPlanError as exc:
         raise _cli_error(str(exc)) from None
+    if faults is not None and faults.runner_specs():
+        sites = ", ".join(s.site for s in faults.runner_specs())
+        raise _cli_error(
+            f"--faults: {sites} are runner-level chaos sites; use "
+            "`repro bench --chaos` instead"
+        )
     telemetry = _telemetry_config(args.trace, args.timeline)
     workload = resolve_workload(args.workload, config, args.scale, args.seed)
 
@@ -418,17 +424,26 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """``repro bench``: the parallel, cached experiment-matrix runner."""
+    """``repro bench``: the parallel, cached, resilient matrix runner.
+
+    Exit codes: 0 on success (including degraded runs with partial
+    failures), 2 on usage errors, 3 when a bench family ends with zero
+    usable results, 130 on Ctrl-C (workers killed, journal flushed —
+    rerun with ``--resume``).
+    """
     # Imported here so plain ``repro run`` never pays for the runner.
+    from repro.faults.plan import FaultPlan, FaultPlanError
     from repro.sim.cache import ResultCache
     from repro.sim.parallel import (
         BENCH_MATRIX,
         default_workers,
         expand_matrix,
+        families_without_results,
         matrix_summary,
         run_matrix,
         select_benches,
     )
+    from repro.sim.resilience import ChaosState, ResiliencePolicy, SweepJournal
 
     try:
         benches = select_benches(args.only)
@@ -446,6 +461,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(comparison_table(rows, ["bench", "jobs"]))
         return 0
 
+    if args.jobs is not None and args.jobs < 1:
+        raise _cli_error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        raise _cli_error(f"--retries must be >= 0, got {args.retries}")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        raise _cli_error(f"--job-timeout must be positive, got {args.job_timeout:g}")
+    if args.resume and args.no_cache:
+        raise _cli_error("--resume needs the result cache (drop --no-cache)")
+    try:
+        chaos = ChaosState.from_plan(FaultPlan.parse(args.chaos)) if args.chaos else None
+    except FaultPlanError as exc:
+        raise _cli_error(f"--chaos: {exc}") from None
+    if args.profile and chaos is not None and chaos.needs_subprocess():
+        raise _cli_error(
+            "--profile runs in-process; kill-worker/slow-worker chaos needs "
+            "worker processes"
+        )
+
     cache = ResultCache.from_env(args.cache_dir)
     if args.no_cache:
         cache.enabled = False
@@ -460,6 +493,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.profile:
         workers = 1  # keep the whole run in-process so the profile sees it
 
+    policy = ResiliencePolicy(
+        retries=args.retries,
+        hard_timeout=args.job_timeout,
+        backoff_seed=args.seed if args.seed is not None else 0,
+    )
+    journal = SweepJournal.for_cache(cache) if cache.enabled else None
+
     def note(message: str) -> None:
         if args.verbose:
             print(message, file=sys.stderr)
@@ -467,7 +507,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     start = time.perf_counter()
 
     def execute():
-        return run_matrix(pairs, workers=workers, cache=cache, progress=note)
+        return run_matrix(
+            pairs, workers=workers, cache=cache, progress=note,
+            policy=policy, chaos=chaos, journal=journal, resume=args.resume,
+        )
 
     from repro.sim.backends import BackendUnsupported
 
@@ -478,15 +521,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
             outcomes = execute()
     except BackendUnsupported as exc:
         raise _cli_error(f"--backend {args.backend}: {exc}") from None
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted: workers stopped, journal flushed — rerun with "
+            "`repro bench --resume` to continue this sweep",
+            file=sys.stderr,
+        )
+        return 130
     wall = time.perf_counter() - start
 
     summary = matrix_summary(outcomes)
     rows = [
         [
             o.spec.label,
-            "hit" if o.cached else f"{o.seconds:.2f}s",
+            ("hit" if o.cached
+             else f"{o.seconds:.2f}s" if o.result is not None
+             else o.status),
             o.events,
-            f"{o.events_per_sec:,.0f}" if not o.cached else "-",
+            f"{o.events_per_sec:,.0f}" if not o.cached and o.result is not None else "-",
             ",".join(o.benches[:2]) + ("…" if len(o.benches) > 2 else ""),
         ]
         for o in sorted(outcomes, key=lambda o: o.spec.label)
@@ -494,14 +546,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(comparison_table(rows, ["job", "time", "events", "events/s", "benches"]))
     print(
         f"\nmatrix: {len(pairs)} jobs -> {summary['unique_jobs']} unique "
-        f"({summary['cache_hits']} cache hits, {summary['simulated']} simulated) "
-        f"in {wall:.2f}s wall"
+        f"({summary['cache_hits']} cache hits, {summary['simulated']} simulated, "
+        f"{summary['failed']} failed) in {wall:.2f}s wall"
     )
     if summary["simulated"]:
         print(
             f"simulated {summary['simulated_events']:,} events at "
             f"{summary['events_per_sec']:,.0f} events/s aggregate "
             f"({workers} workers)"
+        )
+    if summary["retries"] or summary["timed_out"] or summary["soft_timeouts"]:
+        print(
+            f"resilience: {summary['retries']} retries, "
+            f"{summary['worker_crashes']} worker crashes, "
+            f"{summary['timed_out']} timed out, "
+            f"{summary['soft_timeouts']} past soft deadline"
+        )
+    for failure in summary["failed_jobs"]:
+        print(
+            f"failed: {failure['label']} [{failure['status']}] "
+            f"{failure['error_class']}: {failure['error']} "
+            f"({failure['attempts']} attempts)",
+            file=sys.stderr,
         )
     print(f"cache: {cache.describe()}")
     if args.json:
@@ -510,11 +576,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "workers": workers,
             "jobs": len(pairs),
             **summary,
+            "chaos": {
+                "plan": chaos.plan.describe() if chaos is not None else None,
+                "injected": dict(chaos.injected) if chaos is not None else {},
+            },
             "outcomes": [
                 {
                     "label": o.spec.label,
                     "digest": o.digest,
                     "cached": o.cached,
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "soft_timed_out": o.soft_timed_out,
                     "seconds": o.seconds,
                     "events": o.events,
                     "total_cycles": o.total_cycles,
@@ -528,6 +601,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             args.json,
         )
         print(f"wrote {args.json}")
+    empty = families_without_results(pairs, outcomes)
+    if empty:
+        print(
+            f"error: no usable results for {len(empty)} bench "
+            f"famil{'y' if len(empty) == 1 else 'ies'}: {', '.join(sorted(empty))}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -675,6 +756,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "bit-exact fast path, see docs/backends.md)")
     bench.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes (default: one per core)")
+    bench.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="re-run a crashed/failed job up to N times with "
+                            "seeded exponential backoff (default 1)")
+    bench.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
+                       help="hard per-job deadline: kill the worker and mark the "
+                            "job timed_out (soft warning at half; default is "
+                            "derived from --scale and --backend)")
+    bench.add_argument("--resume", action="store_true",
+                       help="skip jobs already recorded in the sweep journal "
+                            "next to the result cache")
+    bench.add_argument("--chaos", default=None, metavar="PLAN",
+                       help="orchestration fault plan, e.g. "
+                            "'kill-worker:2,corrupt-cache:1' or "
+                            "'slow-worker:1:30000' (see docs/robustness.md)")
     bench.add_argument("--no-cache", action="store_true",
                        help="ignore the persistent result cache entirely")
     bench.add_argument("--clear-cache", action="store_true",

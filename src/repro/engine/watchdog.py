@@ -44,6 +44,8 @@ class SimulationStalledError(SimulationError):
             return base
         d = self.diagnostics
         parts = [base]
+        if "backend" in d:
+            parts.append(f"backend={d['backend']}")
         if "cycle" in d:
             parts.append(f"cycle={d['cycle']}")
         if "events_executed" in d:

@@ -12,6 +12,8 @@ from repro.faults.injector import FaultInjector, build_injector
 from repro.faults.invariants import InvariantChecker, InvariantViolation
 from repro.faults.plan import (
     ALL_SITES,
+    PROTOCOL_SITES,
+    RUNNER_SITES,
     FaultPlan,
     FaultPlanError,
     FaultSpec,
@@ -20,6 +22,8 @@ from repro.faults.plan import (
 
 __all__ = [
     "ALL_SITES",
+    "PROTOCOL_SITES",
+    "RUNNER_SITES",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",

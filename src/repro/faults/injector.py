@@ -19,7 +19,13 @@ from __future__ import annotations
 import random
 
 from repro.engine.stats import CounterSet
-from repro.faults.plan import KILL_SITE, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    KILL_SITE,
+    RUNNER_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
 
 
 class FaultInjector:
@@ -37,6 +43,12 @@ class FaultInjector:
         self.walker_kills: list[tuple[int, int]] = []
         """Scheduled ``(walker_index, cycle)`` kills from the plan."""
         for spec in plan:
+            if spec.site in RUNNER_SITES:
+                raise FaultPlanError(
+                    f"{spec.site!r} is a runner-level site; it belongs in a "
+                    "chaos plan (repro bench --chaos), not a simulation "
+                    "fault plan"
+                )
             if spec.site == KILL_SITE:
                 self.walker_kills.append((spec.param, spec.at_cycle))
                 continue

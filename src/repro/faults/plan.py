@@ -47,7 +47,27 @@ RATE_PARAM_SITES = ("delay-remote", "stall-walker")
 #: The one scheduled site: ``kill-walker:index@cycle``.
 KILL_SITE = "kill-walker"
 
-ALL_SITES = RATE_SITES + RATE_PARAM_SITES + (KILL_SITE,)
+#: Runner-level (orchestration) sites, ``name:count`` — the fault hits the
+#: first ``count`` jobs of a sweep, in deterministic submission order, on
+#: their first attempt (transient faults a retry recovers from).
+RUNNER_COUNT_SITES = (
+    "kill-worker",    # SIGKILL the worker process mid-job (an OOM kill)
+    "fail-job",       # transient exception raised before the job executes
+    "corrupt-cache",  # scribble over a persistent cache entry before read
+)
+
+#: Runner sites taking ``name:count:millis``.  ``slow-worker`` injects the
+#: delay on *every* attempt of its victim jobs — a genuinely slow or hung
+#: job stays slow across retries, so it exercises the deadline path.
+RUNNER_PARAM_SITES = ("slow-worker",)
+
+RUNNER_SITES = RUNNER_COUNT_SITES + RUNNER_PARAM_SITES
+
+#: Simulated-protocol sites (what :class:`~repro.faults.injector.FaultInjector`
+#: consumes); runner sites are consumed by :mod:`repro.sim.resilience`.
+PROTOCOL_SITES = RATE_SITES + RATE_PARAM_SITES + (KILL_SITE,)
+
+ALL_SITES = PROTOCOL_SITES + RUNNER_SITES
 
 
 @dataclass(frozen=True)
@@ -57,14 +77,21 @@ class FaultSpec:
     site: str
     rate: float = 0.0
     param: int = 0
-    """Extra cycles for delay/stall sites; the walker index for kills."""
+    """Extra cycles for delay/stall sites; the walker index for kills;
+    the injected delay in milliseconds for ``slow-worker``."""
     at_cycle: int = -1
     """Injection cycle for scheduled faults (``kill-walker``)."""
+    count: int = 0
+    """Victim-job count for runner-level sites."""
 
     def describe(self) -> str:
         """The spec back in CLI syntax."""
         if self.site == KILL_SITE:
             return f"{self.site}:{self.param}@{self.at_cycle}"
+        if self.site in RUNNER_PARAM_SITES:
+            return f"{self.site}:{self.count}:{self.param}"
+        if self.site in RUNNER_COUNT_SITES:
+            return f"{self.site}:{self.count}"
         if self.site in RATE_PARAM_SITES:
             return f"{self.site}:{self.rate:g}:{self.param}"
         return f"{self.site}:{self.rate:g}"
@@ -125,6 +152,19 @@ def _parse_item(item: str) -> FaultSpec:
             rate=_parse_rate(site, rate_text),
             param=_parse_int(site, param_text, "cycles"),
         )
+    if site in RUNNER_PARAM_SITES:
+        count_text, sep, param_text = rest.partition(":")
+        if not sep:
+            raise FaultPlanError(
+                f"{site}: expected {site}:<count>:<millis>, got {item!r}"
+            )
+        return FaultSpec(
+            site=site,
+            count=_parse_int(site, count_text, "count"),
+            param=_parse_int(site, param_text, "millis"),
+        )
+    if site in RUNNER_COUNT_SITES:
+        return FaultSpec(site=site, count=_parse_int(site, rest, "count"))
     return FaultSpec(site=site, rate=_parse_rate(site, rest))
 
 
@@ -151,8 +191,17 @@ class FaultPlan:
     def is_empty(self) -> bool:
         """True when the plan injects nothing at all."""
         return not any(
-            spec.rate > 0 or spec.site == KILL_SITE for spec in self.specs
+            spec.rate > 0 or spec.count > 0 or spec.site == KILL_SITE
+            for spec in self.specs
         )
+
+    def protocol_specs(self) -> tuple[FaultSpec, ...]:
+        """The simulated-protocol subset of the plan."""
+        return tuple(s for s in self.specs if s.site in PROTOCOL_SITES)
+
+    def runner_specs(self) -> tuple[FaultSpec, ...]:
+        """The orchestration-level (runner) subset of the plan."""
+        return tuple(s for s in self.specs if s.site in RUNNER_SITES)
 
     def describe(self) -> str:
         """The plan back in CLI syntax (stable, for result metadata)."""

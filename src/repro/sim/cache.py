@@ -23,7 +23,9 @@ Keying rules (see ``docs/performance.md``):
 
 Stores are atomic (write-to-temp + ``os.replace``) so a killed run never
 leaves a half-written entry, and loads tolerate corruption: an unreadable
-entry is dropped and treated as a miss.
+entry is *quarantined* (renamed to ``*.corrupt``, with a
+:class:`CacheCorruptionWarning`) and treated as a miss — disk bitrot is
+visible for forensics instead of silently recomputed away.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import asdict, is_dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -43,6 +46,10 @@ from repro.sim.results import SimulationResult
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A cache entry failed to load and was quarantined as ``*.corrupt``."""
 
 #: Bumped when the cache entry layout itself changes.
 CACHE_FORMAT = 1
@@ -154,6 +161,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corruptions = 0
 
     @classmethod
     def from_env(cls, cache_dir: str | Path | None = None) -> "ResultCache":
@@ -171,8 +179,10 @@ class ResultCache:
         """The cached result for ``fingerprint``, or ``None`` on a miss.
 
         A corrupt or unreadable entry (truncated write from a killed
-        process, stray file, hash collision) is deleted and reported as a
-        miss — the caller simply re-simulates.
+        process, stray file, disk bitrot, hash collision) is quarantined
+        — renamed to ``<digest>.json.corrupt`` and announced with a
+        :class:`CacheCorruptionWarning` — and reported as a miss, so the
+        caller re-simulates while the evidence survives on disk.
         """
         if not self.enabled:
             return None
@@ -185,15 +195,35 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a corrupt entry aside (``*.corrupt``) and warn, so bitrot
+        is visible instead of silently recomputed away."""
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            # Renaming failed (permissions, vanished file): fall back to
+            # removing the bad entry so the cache never serves it.
+            try:
+                path.unlink()
+            except OSError:
+                return
+            quarantine = None  # type: ignore[assignment]
+        self.corruptions += 1
+        where = f"quarantined as {quarantine}" if quarantine else "deleted"
+        warnings.warn(
+            f"corrupt result-cache entry {path.name} "
+            f"({type(reason).__name__}: {reason}); {where}, will re-simulate",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
 
     # -- store --------------------------------------------------------------
 
@@ -257,4 +287,5 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corruptions": self.corruptions,
         }

@@ -12,8 +12,9 @@ matrix declarative:
   family, each expanding to its job specs;
 * :func:`run_matrix` — deduplicate shared jobs by cache fingerprint, serve
   hits from the persistent :class:`~repro.sim.cache.ResultCache`, and fan
-  the misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-  sized to the machine.
+  the misses out over crash-isolated worker processes under the
+  resilience policy of :mod:`repro.sim.resilience` (per-job deadlines,
+  bounded retries, checkpoint journal).
 
 Each unique simulation executes exactly once per matrix regardless of how
 many benches request it, and exactly zero times when a previous run (of
@@ -24,8 +25,6 @@ from __future__ import annotations
 
 import fnmatch
 import os
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable
 
@@ -124,7 +123,13 @@ class JobSpec:
 
 @dataclass
 class JobOutcome:
-    """What happened to one unique job of a matrix run."""
+    """What happened to one unique job of a matrix run.
+
+    A failed job (worker crash, hard timeout, exhausted retries) is still
+    an outcome: ``result`` is ``None`` and ``status``/``error`` describe
+    the terminal failure, so one bad job degrades the matrix instead of
+    aborting it (see :mod:`repro.sim.resilience`).
+    """
 
     spec: JobSpec
     digest: str
@@ -134,11 +139,21 @@ class JobOutcome:
     events: int
     total_cycles: int
     result: SimulationResult = field(repr=False, default=None)  # type: ignore[assignment]
+    status: str = "ok"
+    """Terminal status: ``ok``, ``failed``, ``timed_out``, or ``crashed``."""
+    attempts: int = 1
+    """Execution attempts consumed (0 for cache hits)."""
+    error: dict[str, str] | None = None
+    """``{"class", "message"}`` of the terminal failure, if any."""
+    attempt_errors: tuple[str, ...] = ()
+    """Per-failed-attempt tags (exception class, ``crashed``, ``timed_out``)."""
+    soft_timed_out: bool = False
+    """True when any attempt ran past its soft deadline."""
 
     @property
     def events_per_sec(self) -> float:
         """Simulation throughput (0.0 for cache hits, which do no work)."""
-        if self.cached or self.seconds <= 0:
+        if self.cached or self.seconds <= 0 or self.result is None:
             return 0.0
         return self.events / self.seconds
 
@@ -284,15 +299,6 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _execute_for_pool(spec: JobSpec) -> tuple[float, dict[str, Any]]:
-    """Worker-side job execution (module-level, so it pickles)."""
-    from repro.reporting.export import result_to_dict
-
-    start = time.perf_counter()
-    result = spec.execute()
-    return time.perf_counter() - start, result_to_dict(result, include_stream=True)
-
-
 def dedupe_jobs(
     pairs: Iterable[tuple[str, JobSpec]]
 ) -> list[tuple[JobSpec, dict[str, Any], str, tuple[str, ...]]]:
@@ -322,90 +328,84 @@ def run_matrix(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: Callable[[str], None] | None = None,
+    **resilience_kwargs: Any,
 ) -> list[JobOutcome]:
     """Run a (bench, spec) matrix: dedupe, serve cache hits, fan out misses.
 
-    ``workers=1`` executes in-process (no pool), which keeps ``--profile``
-    meaningful and avoids fork overhead for tiny matrices.
+    Execution is delegated to :func:`repro.sim.resilience.run_matrix_resilient`
+    — every attempt runs in a crash-isolated worker process under per-job
+    deadlines and bounded retries, and failures degrade into
+    ``status``-carrying outcomes instead of aborting the matrix.
+    ``resilience_kwargs`` forwards ``policy``/``chaos``/``journal``/``resume``.
+
+    ``workers=1`` executes in-process (no worker processes), which keeps
+    ``--profile`` meaningful and avoids fork overhead for tiny matrices.
     """
-    workers = default_workers() if workers is None else max(1, workers)
-    cache = ResultCache.from_env() if cache is None else cache
-    note = progress or (lambda _msg: None)
+    # Imported here: resilience imports this module for the matrix types.
+    from repro.sim.resilience import run_matrix_resilient
 
-    unique = dedupe_jobs(pairs)
-    outcomes: list[JobOutcome] = []
-    misses: list[tuple[JobSpec, dict[str, Any], str, tuple[str, ...]]] = []
-    for spec, fingerprint, digest, benches in unique:
-        result = cache.get(fingerprint)
-        if result is not None:
-            note(f"cache hit  {spec.label}")
-            outcomes.append(
-                JobOutcome(
-                    spec=spec, digest=digest, benches=benches, cached=True,
-                    seconds=0.0, events=result.events_executed,
-                    total_cycles=result.total_cycles, result=result,
-                )
-            )
-        else:
-            misses.append((spec, fingerprint, digest, benches))
+    return run_matrix_resilient(
+        pairs, workers=workers, cache=cache, progress=progress,
+        **resilience_kwargs,
+    )
 
-    if not misses:
-        return outcomes
 
-    if workers == 1 or len(misses) == 1:
-        for spec, fingerprint, digest, benches in misses:
-            note(f"simulate   {spec.label}")
-            start = time.perf_counter()
-            result = spec.execute()
-            seconds = time.perf_counter() - start
-            cache.put(fingerprint, result)
-            outcomes.append(
-                JobOutcome(
-                    spec=spec, digest=digest, benches=benches, cached=False,
-                    seconds=seconds, events=result.events_executed,
-                    total_cycles=result.total_cycles, result=result,
-                )
-            )
-        return outcomes
+def failed_jobs_manifest(outcomes: list[JobOutcome]) -> list[dict[str, Any]]:
+    """The structured failure manifest of one matrix run."""
+    return [
+        {
+            "benches": list(o.benches),
+            "label": o.spec.label,
+            "digest": o.digest,
+            "status": o.status,
+            "error_class": (o.error or {}).get("class"),
+            "error": (o.error or {}).get("message"),
+            "attempts": o.attempts,
+        }
+        for o in outcomes
+        if o.result is None
+    ]
 
-    from repro.reporting.export import result_from_dict
 
-    with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-        futures = {}
-        for spec, fingerprint, digest, benches in misses:
-            note(f"submit     {spec.label}")
-            futures[pool.submit(_execute_for_pool, spec)] = (
-                spec, fingerprint, digest, benches,
-            )
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                spec, fingerprint, digest, benches = futures[future]
-                seconds, result_dict = future.result()
-                result = result_from_dict(result_dict)
-                cache.put(fingerprint, result)
-                note(f"finished   {spec.label} ({seconds:.1f}s)")
-                outcomes.append(
-                    JobOutcome(
-                        spec=spec, digest=digest, benches=benches, cached=False,
-                        seconds=seconds, events=result.events_executed,
-                        total_cycles=result.total_cycles, result=result,
-                    )
-                )
-    return outcomes
+def families_without_results(
+    pairs: Iterable[tuple[str, JobSpec]], outcomes: list[JobOutcome]
+) -> list[str]:
+    """Bench families whose every job failed (zero usable results)."""
+    wanted: dict[str, bool] = {}
+    for bench, _spec in pairs:
+        wanted.setdefault(bench, False)
+    for outcome in outcomes:
+        if outcome.result is None:
+            continue
+        for bench in outcome.benches:
+            wanted[bench] = True
+    return [bench for bench, usable in wanted.items() if not usable]
 
 
 def matrix_summary(outcomes: list[JobOutcome]) -> dict[str, Any]:
-    """Aggregate statistics of one matrix run, for reporting and JSON."""
-    simulated = [o for o in outcomes if not o.cached]
+    """Aggregate statistics of one matrix run, for reporting and JSON.
+
+    Besides the throughput numbers, the summary carries the resilience
+    telemetry — retry/timeout/crash counters and the ``failed_jobs``
+    manifest — so a degraded sweep is auditable from its JSON alone.
+    """
+    simulated = [o for o in outcomes if not o.cached and o.result is not None]
+    failed = [o for o in outcomes if o.result is None]
     sim_seconds = sum(o.seconds for o in simulated)
     sim_events = sum(o.events for o in simulated)
     return {
         "unique_jobs": len(outcomes),
         "cache_hits": sum(1 for o in outcomes if o.cached),
         "simulated": len(simulated),
+        "failed": len(failed),
+        "retries": sum(max(0, o.attempts - 1) for o in outcomes),
+        "timed_out": sum(1 for o in outcomes if o.status == "timed_out"),
+        "soft_timeouts": sum(1 for o in outcomes if o.soft_timed_out),
+        "worker_crashes": sum(
+            1 for o in outcomes for tag in o.attempt_errors if tag == "crashed"
+        ),
         "simulated_seconds": sim_seconds,
         "simulated_events": sim_events,
         "events_per_sec": (sim_events / sim_seconds) if sim_seconds > 0 else 0.0,
+        "failed_jobs": failed_jobs_manifest(outcomes),
     }

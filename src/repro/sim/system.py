@@ -282,6 +282,7 @@ class MultiGPUSystem:
             }
         return {
             "reason": reason,
+            "backend": "event",
             "cycle": self.queue.now,
             "events_executed": self.queue.events_executed,
             "queue_length": len(self.queue),

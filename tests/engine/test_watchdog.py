@@ -58,6 +58,32 @@ class TestWatchdogUnit:
         assert len(system.queue) == 0
 
 
+class TestStallDiagnosticsNameBackend:
+    """A stall report must say which backend wedged, so a functional-
+    backend hang is never chased through event-engine code."""
+
+    def test_event_system_diagnostics_carry_backend(self):
+        diagnostics = make_system().stall_diagnostics("test")
+        assert diagnostics["backend"] == "event"
+
+    def test_error_string_names_backend(self):
+        error = SimulationStalledError(
+            "no forward progress", {"backend": "functional", "cycle": 12}
+        )
+        assert "backend=functional" in str(error)
+        assert "cycle=12" in str(error)
+
+    def test_fired_watchdog_error_names_backend(self):
+        system = make_system(watchdog=True)
+        system.watchdog.arm()
+        with pytest.raises(SimulationStalledError) as excinfo:
+            system.queue.run(
+                until=system.watchdog.interval * (system.watchdog.patience + 1)
+            )
+        assert excinfo.value.diagnostics["backend"] == "event"
+        assert "backend=event" in str(excinfo.value)
+
+
 class TestStallDetectionEndToEnd:
     def test_watchdog_converts_lost_responses_into_error(self):
         system = make_system(faults="drop-response:1.0")

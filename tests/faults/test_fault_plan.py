@@ -141,6 +141,10 @@ class TestFaultInjector:
                 text = f"{site}:0@1"
             elif site in ("delay-remote", "stall-walker"):
                 text = f"{site}:0.5:100"
+            elif site == "slow-worker":
+                text = f"{site}:2:100"
+            elif site in ("kill-worker", "fail-job", "corrupt-cache"):
+                text = f"{site}:2"
             else:
                 text = f"{site}:0.5"
             assert not FaultPlan.parse(text).is_empty()

@@ -103,7 +103,7 @@ class TestRunMatrix:
         serial_cache = ResultCache(tmp_path / "serial")
         pool_cache = ResultCache(tmp_path / "pool")
         serial = run_matrix(pairs, workers=1, cache=serial_cache)
-        # workers=2 with >=2 misses exercises the ProcessPoolExecutor path.
+        # workers=2 with >=2 misses exercises the supervised-worker path.
         pooled = run_matrix(pairs, workers=2, cache=pool_cache)
         assert {o.digest for o in pooled} == {o.digest for o in serial}
         by_digest = {o.digest: o for o in serial}

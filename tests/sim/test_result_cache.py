@@ -15,6 +15,7 @@ from repro.config.presets import baseline_config
 from repro.faults.plan import FaultPlan
 from repro.reporting.export import result_from_dict, result_to_dict
 from repro.sim.cache import (
+    CacheCorruptionWarning,
     ResultCache,
     canonicalize,
     code_version_hash,
@@ -137,12 +138,20 @@ class TestResultCache:
             and cached.events_executed == result.events_executed
         )
 
-    def test_corrupt_entry_is_dropped_and_missed(self, cache, mm_result):
+    def test_corrupt_entry_is_quarantined_and_missed(self, cache, mm_result):
         fingerprint = _fingerprint()
         path = cache.put(fingerprint, mm_result)
         path.write_text("{ truncated")
-        assert cache.get(fingerprint) is None
-        assert not path.exists()  # corrupt entry deleted
+        with pytest.warns(CacheCorruptionWarning, match="quarantined"):
+            assert cache.get(fingerprint) is None
+        assert not path.exists()  # never served again...
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()  # ...but the evidence survives
+        assert quarantined.read_text() == "{ truncated"
+        assert cache.corruptions == 1
+        assert cache.describe()["corruptions"] == 1
+        # Quarantined entries are invisible to entry_count/clear globs.
+        assert cache.entry_count() == 0
         # Re-storing repairs the cache.
         cache.put(fingerprint, mm_result)
         assert cache.get(fingerprint) is not None
@@ -153,7 +162,8 @@ class TestResultCache:
         payload = json.loads(path.read_text())
         payload["fingerprint"]["seed"] = 4242  # forge a colliding entry
         path.write_text(json.dumps(payload))
-        assert cache.get(fingerprint) is None
+        with pytest.warns(CacheCorruptionWarning, match="collision"):
+            assert cache.get(fingerprint) is None
 
     def test_disabled_cache_never_stores_or_hits(self, tmp_path, mm_result):
         cache = ResultCache(tmp_path / "off", enabled=False)
