@@ -12,9 +12,10 @@ def test_fig03_infinite_iommu_tlb(lab, benchmark):
     def run():
         out = {}
         for app in SINGLE_APP_NAMES:
-            base = lab.single(app, "baseline")
+            base = lab.single(app, "baseline", fast=True)
             infinite = lab.single(
-                app, "baseline", config=infinite_iommu_config(), tag="infinite"
+                app, "baseline", config=infinite_iommu_config(), tag="infinite",
+                fast=True,
             )
             out[app] = infinite.speedup_vs(base)
         return out

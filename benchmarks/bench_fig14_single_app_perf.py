@@ -16,10 +16,11 @@ def test_fig14_single_app_performance(lab, benchmark):
     def run():
         out = {}
         for app in SINGLE_APP_NAMES:
-            base = lab.single(app, "baseline")
-            least = lab.single(app, "least-tlb")
+            base = lab.single(app, "baseline", fast=True)
+            least = lab.single(app, "least-tlb", fast=True)
             infinite = lab.single(
-                app, "baseline", config=infinite_iommu_config(), tag="infinite"
+                app, "baseline", config=infinite_iommu_config(), tag="infinite",
+                fast=True,
             )
             out[app] = (least.speedup_vs(base), infinite.speedup_vs(base))
         return out

@@ -18,7 +18,8 @@ def test_fig16_multi_app_performance(lab, benchmark):
             app for apps, _ in MULTI_APP_WORKLOADS.values() for app in apps
         )
         pairs = {
-            wl: (lab.multi(wl, "baseline"), lab.multi(wl, "least-tlb"))
+            wl: (lab.multi(wl, "baseline", fast=True),
+                 lab.multi(wl, "least-tlb", fast=True))
             for wl in WORKLOADS
         }
         return alone, pairs

@@ -15,9 +15,10 @@ def test_fig19_spill_counter_n2(lab, benchmark):
     def run():
         out = {}
         for wl in WORKLOADS:
-            base = lab.multi(wl, "baseline")
-            n1 = lab.multi(wl, "least-tlb")
-            n2 = lab.multi(wl, "least-tlb", config=spill_budget_config(2), tag="n2")
+            base = lab.multi(wl, "baseline", fast=True)
+            n1 = lab.multi(wl, "least-tlb", fast=True)
+            n2 = lab.multi(wl, "least-tlb", config=spill_budget_config(2), tag="n2",
+                           fast=True)
             out[wl] = (base, n1, n2)
         return out
 

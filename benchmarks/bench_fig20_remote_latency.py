@@ -35,16 +35,17 @@ def sweep_config(scale: float):
 
 def test_fig20_remote_latency_sweep(lab, benchmark):
     def run():
-        base = lab.single(APP, "baseline", config=sweep_config(1.0), tag="rl-base")
+        base = lab.single(APP, "baseline", config=sweep_config(1.0), tag="rl-base",
+                          fast=True)
         series = {}
         for scale in SCALES:
             config = sweep_config(scale)
             tag = f"rl{scale}"
             remote_only = lab.single(
                 APP, "least-tlb", config=config, tag=tag + "-serial",
-                policy_options={"race_ptw": False},
+                policy_options={"race_ptw": False}, fast=True,
             )
-            raced = lab.single(APP, "least-tlb", config=config, tag=tag)
+            raced = lab.single(APP, "least-tlb", config=config, tag=tag, fast=True)
             series[scale] = (
                 remote_only.speedup_vs(base),
                 raced.speedup_vs(base),

@@ -21,17 +21,19 @@ def test_fig21_gpu_scaling(lab, benchmark):
             config = scaled_config(num_gpus)
             tag = f"{num_gpus}gpu"
             for app in SINGLE_APPS:
-                base = lab.single(app, "baseline", config=config, tag=tag)
-                least = lab.single(app, "least-tlb", config=config, tag=tag)
+                base = lab.single(app, "baseline", config=config, tag=tag, fast=True)
+                least = lab.single(app, "least-tlb", config=config, tag=tag, fast=True)
                 out["single"][(num_gpus, app)] = least.speedup_vs(base)
         config8 = scaled_config(8)
         for wl in EIGHT_GPU_WORKLOADS:
-            base = lab.multi(wl, "baseline", config=config8, tag="8gpu")
-            least = lab.multi(wl, "least-tlb", config=config8, tag="8gpu")
+            base = lab.multi(wl, "baseline", config=config8, tag="8gpu", fast=True)
+            least = lab.multi(wl, "least-tlb", config=config8, tag="8gpu", fast=True)
             out["multi"][wl] = sum(least.per_app_speedup_vs(base).values()) / len(base.apps)
         config16 = scaled_config(16)
-        base = lab.multi(SIXTEEN_GPU_WORKLOAD, "baseline", config=config16, tag="16gpu")
-        least = lab.multi(SIXTEEN_GPU_WORKLOAD, "least-tlb", config=config16, tag="16gpu")
+        base = lab.multi(SIXTEEN_GPU_WORKLOAD, "baseline", config=config16,
+                         tag="16gpu", fast=True)
+        least = lab.multi(SIXTEEN_GPU_WORKLOAD, "least-tlb", config=config16,
+                          tag="16gpu", fast=True)
         out["multi"][SIXTEEN_GPU_WORKLOAD] = (
             sum(least.per_app_speedup_vs(base).values()) / len(base.apps)
         )

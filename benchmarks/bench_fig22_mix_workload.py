@@ -14,7 +14,8 @@ WORKLOADS = tuple(MIX_WORKLOADS)
 def test_fig22_mix_workloads(lab, benchmark):
     def run():
         return {
-            wl: (lab.mix(wl, "baseline"), lab.mix(wl, "least-tlb"))
+            wl: (lab.mix(wl, "baseline", fast=True),
+                 lab.mix(wl, "least-tlb", fast=True))
             for wl in WORKLOADS
         }
 

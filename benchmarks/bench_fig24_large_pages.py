@@ -17,13 +17,13 @@ def test_fig24_large_pages(lab, benchmark):
         config = large_page_config()
         single = {}
         for app in SINGLE_APPS:
-            base = lab.single(app, "baseline", config=config, tag="2mb")
-            least = lab.single(app, "least-tlb", config=config, tag="2mb")
+            base = lab.single(app, "baseline", config=config, tag="2mb", fast=True)
+            least = lab.single(app, "least-tlb", config=config, tag="2mb", fast=True)
             single[app] = (least.speedup_vs(base), base.apps[1])
         multi = {}
         for wl in WORKLOADS:
-            base = lab.multi(wl, "baseline", config=config, tag="2mb")
-            least = lab.multi(wl, "least-tlb", config=config, tag="2mb")
+            base = lab.multi(wl, "baseline", config=config, tag="2mb", fast=True)
+            least = lab.multi(wl, "least-tlb", config=config, tag="2mb", fast=True)
             multi[wl] = sum(least.per_app_speedup_vs(base).values()) / len(base.apps)
         return single, multi
 
@@ -51,5 +51,6 @@ def test_fig24_large_pages(lab, benchmark):
     speedups = [single[a][0] for a in SINGLE_APPS] + list(multi.values())
     assert all(0.97 < s < 1.15 for s in speedups)
     # Large-page gains are far below the 4 KB gains.
-    small_page_gain = lab.single("KM", "least-tlb").speedup_vs(lab.single("KM", "baseline"))
+    small_page_gain = lab.single("KM", "least-tlb", fast=True).speedup_vs(
+        lab.single("KM", "baseline", fast=True))
     assert single["KM"][0] < small_page_gain

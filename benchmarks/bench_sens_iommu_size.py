@@ -16,20 +16,25 @@ def test_sens_iommu_tlb_size(lab, benchmark):
     def run():
         single = {}
         for app in SINGLE_APPS:
-            base = lab.single(app, "baseline", config=small_iommu_config(), tag="small")
-            least = lab.single(app, "least-tlb", config=small_iommu_config(), tag="small")
+            base = lab.single(app, "baseline", config=small_iommu_config(), tag="small",
+                              fast=True)
+            least = lab.single(app, "least-tlb", config=small_iommu_config(), tag="small",
+                               fast=True)
             single[app] = least.speedup_vs(base)
         multi = {}
         for wl in WORKLOADS:
-            base = lab.multi(wl, "baseline", config=small_iommu_config(), tag="small")
-            least = lab.multi(wl, "least-tlb", config=small_iommu_config(), tag="small")
+            base = lab.multi(wl, "baseline", config=small_iommu_config(), tag="small",
+                             fast=True)
+            least = lab.multi(wl, "least-tlb", config=small_iommu_config(), tag="small",
+                              fast=True)
             multi[wl] = sum(least.per_app_speedup_vs(base).values()) / len(base.apps)
         return single, multi
 
     single, multi = benchmark.pedantic(run, rounds=1, iterations=1)
 
     def full_size(app):
-        return lab.single(app, "least-tlb").speedup_vs(lab.single(app, "baseline"))
+        return lab.single(app, "least-tlb", fast=True).speedup_vs(
+            lab.single(app, "baseline", fast=True))
 
     rows = [["single", app, single[app], full_size(app)] for app in SINGLE_APPS]
     rows += [["multi", wl, multi[wl], ""] for wl in WORKLOADS]

@@ -29,8 +29,9 @@ RESULTS_DIR = Path(__file__).parent / "results"
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 
 #: Lab-wide backend selection: ``auto`` routes statistics-only calls
-#: (``fast=True``) to the functional fast path and everything else to the
-#: event engine; ``event``/``functional`` force one backend for all calls.
+#: (``fast=True``) to the vectorized fast path and everything else to the
+#: event engine; ``event``/``functional``/``vectorized`` force one backend
+#: for all calls.
 DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "auto")
 
 
@@ -73,11 +74,11 @@ class ResultLab:
         seed = self.seed if self.seed is not None else resolved.seed
         backend = self.backend
         if backend == "auto":
-            backend = "functional" if fast else "event"
+            backend = "vectorized" if fast else "event"
         # Backends are cross-validated bit-identical, so a result already
-        # simulated this session on either backend serves both.
+        # simulated this session on any backend serves them all.
         base_key = (kind, workload, policy, tag, self.scale, seed)
-        for b in ("event", "functional"):
+        for b in ("event", "functional", "vectorized"):
             result = self._session.get((*base_key, b))
             if result is not None:
                 return result
@@ -94,11 +95,11 @@ class ResultLab:
             self._session[(*base_key, b)] = result
             return result
 
-        if backend == "functional":
+        if backend in ("functional", "vectorized"):
             try:
-                return attempt("functional")
+                return attempt(backend)
             except BackendUnsupported:
-                if self.backend == "functional":
+                if self.backend == backend:
                     raise  # explicitly requested: surface the limitation
                 # ``auto``: run outside the fast path's scope on the engine.
         return attempt("event")
@@ -174,8 +175,8 @@ class ResultLab:
         )
 
     def alone_refs(self, apps) -> dict[str, AppResult]:
-        """Alone-run references for weighted speedup."""
-        return {app: self.alone(app).apps[1] for app in set(apps)}
+        """Alone-run references for weighted speedup (fast-path eligible)."""
+        return {app: self.alone(app, fast=True).apps[1] for app in set(apps)}
 
     def multi_app_names(self, workload: str) -> tuple[str, ...]:
         return MULTI_APP_WORKLOADS[workload][0]

@@ -228,13 +228,44 @@ def cmd_run(args: argparse.Namespace) -> int:
     telemetry = _telemetry_config(args.trace, args.timeline)
     workload = resolve_workload(args.workload, config, args.scale, args.seed)
 
+    if args.shards < 1:
+        raise _cli_error(f"--shards must be >= 1, got {args.shards}")
+
     system: MultiGPUSystem | None = None
-    if args.backend == "functional":
-        from repro.sim.backends import BackendUnsupported, run_functional
+    if args.shards != 1:
+        from repro.sim.backends import BackendUnsupported
+        from repro.sim.sharding import run_sharded
 
         def execute() -> SimulationResult:
             try:
-                return run_functional(
+                return run_sharded(
+                    config, workload, policy,
+                    backend=args.backend,
+                    shards=args.shards,
+                    max_cycles=args.max_cycles,
+                    max_events=args.max_events,
+                    record_iommu_stream=args.record_stream,
+                    snapshot_interval=args.snapshot_interval,
+                    faults=faults,
+                    check_invariants=args.check_invariants,
+                    telemetry=telemetry,
+                )
+            except BackendUnsupported as exc:
+                raise _cli_error(f"--backend {args.backend}: {exc}") from None
+            except ValueError as exc:
+                raise _cli_error(f"--shards {args.shards}: {exc}") from None
+    elif args.backend in ("functional", "vectorized"):
+        from repro.sim.backends import (
+            BackendUnsupported,
+            run_functional,
+            run_vectorized,
+        )
+
+        runner = run_functional if args.backend == "functional" else run_vectorized
+
+        def execute() -> SimulationResult:
+            try:
+                return runner(
                     config, workload, policy,
                     max_cycles=args.max_cycles,
                     max_events=args.max_events,
@@ -245,7 +276,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                     telemetry=telemetry,
                 )
             except BackendUnsupported as exc:
-                raise _cli_error(f"--backend functional: {exc}") from None
+                raise _cli_error(f"--backend {args.backend}: {exc}") from None
     else:
         # Built as a system (not via ``simulate``) so the telemetry hub
         # stays reachable for the Chrome-trace export after the run.
@@ -486,8 +517,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cache entries from {cache.cache_dir}")
 
+    if args.shards < 1:
+        raise _cli_error(f"--shards must be >= 1, got {args.shards}")
     pairs = expand_matrix(
-        benches, scale=args.scale, seed=args.seed, backend=args.backend
+        benches, scale=args.scale, seed=args.seed, backend=args.backend,
+        shards=args.shards,
     )
     workers = args.jobs if args.jobs is not None else default_workers()
     if args.profile:
@@ -691,9 +725,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run)
     run.add_argument("--policy", default="baseline",
                      help=f"translation policy ({', '.join(policy_names())})")
-    run.add_argument("--backend", choices=("event", "functional"), default="event",
-                     help="simulation backend: the discrete-event engine or the "
-                          "bit-exact functional fast path (see docs/backends.md)")
+    run.add_argument("--backend", choices=("event", "functional", "vectorized"),
+                     default="event",
+                     help="simulation backend: the discrete-event engine or one "
+                          "of the bit-exact fast paths (see docs/backends.md)")
+    run.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="split the run into N GPU-block worker processes "
+                          "with a deterministic merge (see docs/backends.md; "
+                          "N>1 is a partitioned-system approximation)")
     run.add_argument("--json", help="write the result to this JSON file")
     run.add_argument("--record-stream", action="store_true",
                      help="record the IOMMU request stream")
@@ -751,9 +790,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace-length scale for every job (default 0.3)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the workload/config random seed")
-    bench.add_argument("--backend", choices=("event", "functional"), default="event",
-                       help="simulation backend for every job (functional = the "
-                            "bit-exact fast path, see docs/backends.md)")
+    bench.add_argument("--backend", choices=("event", "functional", "vectorized"),
+                       default="event",
+                       help="simulation backend for every job (functional/"
+                            "vectorized = the bit-exact fast paths, see "
+                            "docs/backends.md)")
+    bench.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="worker-process shards per job (N>1 is a "
+                            "deterministic partitioned-system approximation, "
+                            "see docs/backends.md)")
     bench.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes (default: one per core)")
     bench.add_argument("--retries", type=int, default=1, metavar="N",

@@ -40,6 +40,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from repro.faults.plan import FaultPlan
 from repro.reporting.export import result_from_dict, result_to_dict
 from repro.sim.results import SimulationResult
@@ -88,9 +90,22 @@ def canonicalize(value: Any) -> Any:
     syntax, containers recurse, and anything else falls back to ``repr``
     (stable for the value types that reach a simulation's keyword
     arguments).
+
+    numpy values are handled explicitly: scalars (``np.generic``) unwrap
+    via ``item()``, arrays serialise with dtype, shape *and* data.  The
+    generic ``hasattr(value, "item")`` probe alone would either raise on
+    a multi-element array or silently collapse a one-element array to its
+    scalar — two different option values fingerprinting identically.
     """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": {"dtype": str(value.dtype), "shape": list(value.shape)},
+            "data": value.tolist(),
+        }
     if isinstance(value, FaultPlan):
         return {"fault_plan": value.describe()}
     if is_dataclass(value) and not isinstance(value, type):
@@ -101,7 +116,7 @@ def canonicalize(value: Any) -> Any:
         return [canonicalize(v) for v in value]
     if isinstance(value, (set, frozenset)):
         return sorted(canonicalize(v) for v in value)
-    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+    if hasattr(value, "item") and callable(value.item):  # scalar-like wrappers
         return value.item()
     return repr(value)
 
@@ -116,6 +131,7 @@ def run_fingerprint(
     seed: int | None,
     options: dict[str, Any] | None = None,
     backend: str = "event",
+    shards: int = 1,
 ) -> dict[str, Any]:
     """The complete identity of one simulation as a plain dictionary.
 
@@ -128,6 +144,11 @@ def run_fingerprint(
     separate means a fidelity regression can never poison (or be masked
     by) the event engine's cache, and ``scripts/check_fidelity.py`` always
     measures a real run per backend.
+
+    ``shards`` is keyed for the same reason: ``shards>1`` is a documented
+    partitioned-system approximation (see :mod:`repro.sim.sharding`), so
+    a sharded result must never be served for an unsharded request or
+    vice versa.
     """
     resolved_seed = seed
     if resolved_seed is None:
@@ -137,6 +158,7 @@ def run_fingerprint(
         "code": code_version_hash(),
         "kind": kind,
         "backend": backend,
+        "shards": shards,
         "workload": canonicalize(workload),
         "policy": policy,
         "scale": scale,

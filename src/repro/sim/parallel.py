@@ -34,8 +34,10 @@ from repro.config.presets import (
     infinite_iommu_config,
     large_page_config,
     local_page_table_config,
+    remote_latency_config,
     scaled_config,
     small_iommu_config,
+    spill_budget_config,
 )
 from repro.config.system import SystemConfig
 from repro.sim.backends import validate_backend
@@ -72,7 +74,9 @@ class JobSpec:
     options: tuple[tuple[str, Any], ...] = ()
     """Extra ``simulate`` keyword arguments, sorted ``(name, value)``."""
     backend: str = "event"
-    """Simulation backend (``event`` or ``functional``)."""
+    """Simulation backend (``event``, ``functional``, or ``vectorized``)."""
+    shards: int = 1
+    """Worker-process shards (see :mod:`repro.sim.sharding`); 1 = unsharded."""
 
     def __post_init__(self) -> None:
         if self.kind not in _RUNNERS:
@@ -80,6 +84,8 @@ class JobSpec:
                 f"unknown job kind {self.kind!r}; choose from {sorted(_RUNNERS)}"
             )
         validate_backend(self.backend)
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
     def resolved_config(self) -> SystemConfig:
         """The spec's config, with ``None`` resolved to the baseline."""
@@ -89,6 +95,8 @@ class JobSpec:
     def label(self) -> str:
         """Compact human-readable identity for progress output."""
         suffix = "" if self.backend == "event" else f"+{self.backend}"
+        if self.shards != 1:
+            suffix += f"+s{self.shards}"
         return f"{self.kind}:{self.workload}/{self.policy}@{self.scale:g}{suffix}"
 
     def fingerprint(self) -> dict[str, Any]:
@@ -102,6 +110,7 @@ class JobSpec:
             seed=self.seed,
             options=dict(self.options),
             backend=self.backend,
+            shards=self.shards,
         )
 
     def execute(self) -> SimulationResult:
@@ -110,6 +119,8 @@ class JobSpec:
         kwargs = dict(self.options)
         if self.backend != "event":
             kwargs["backend"] = self.backend
+        if self.shards != 1:
+            kwargs["shards"] = self.shards
         if self.kind == "alone":
             return run_alone(
                 self.workload, self.resolved_config(), self.policy,
@@ -208,6 +219,41 @@ def _fig21_jobs(scale: float, seed: int | None) -> list[JobSpec]:
     return jobs
 
 
+#: Figure 19's workload set (multi-app spilling-sensitivity sweep).
+_FIG19_WORKLOADS = ("W2", "W4", "W5", "W8", "W9", "W10")
+
+
+def _fig19_jobs(scale: float, seed: int | None) -> list[JobSpec]:
+    return (
+        _multis(_FIG19_WORKLOADS, ("baseline", "least-tlb"), scale, seed)
+        + _multis(_FIG19_WORKLOADS, ("least-tlb",), scale, seed,
+                  spill_budget_config(2))
+    )
+
+
+#: Figure 20's remote-latency multipliers (relative to the DRAM walk).
+_FIG20_SCALES = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _fig20_config(latency_scale: float) -> SystemConfig:
+    """The bench's latency-bound sweep point: walker pool sized so
+    queueing does not mask the latency crossover."""
+    config = remote_latency_config(latency_scale)
+    return config.derive(iommu=replace(config.iommu, walker_threads=8))
+
+
+def _fig20_jobs(scale: float, seed: int | None) -> list[JobSpec]:
+    jobs = [JobSpec("single", "MM", "baseline", _fig20_config(1.0), scale, seed)]
+    for latency_scale in _FIG20_SCALES:
+        config = _fig20_config(latency_scale)
+        jobs.append(JobSpec(
+            "single", "MM", "least-tlb", config, scale, seed,
+            options=(("policy_options", {"race_ptw": False}),),
+        ))
+        jobs.append(JobSpec("single", "MM", "least-tlb", config, scale, seed))
+    return jobs
+
+
 def _fig22_jobs(scale: float, seed: int | None) -> list[JobSpec]:
     workloads = tuple(MIX_WORKLOADS)
     return [
@@ -227,6 +273,8 @@ BENCH_MATRIX: dict[str, Callable[[float, int | None], list[JobSpec]]] = {
     "fig15_single_app_hit_rates": lambda s, d: _singles(("baseline", "least-tlb"), s, d),
     "fig16_multi_app_perf": _fig16_jobs,
     "fig17_multi_app_hit_rates": _fig16_jobs,
+    "fig19_spill_counter": _fig19_jobs,
+    "fig20_remote_latency": _fig20_jobs,
     "fig21_gpu_scaling": _fig21_jobs,
     "fig22_mix_workload": _fig22_jobs,
     "fig23_local_page_tables": lambda s, d: _singles(
@@ -275,18 +323,22 @@ def expand_matrix(
     scale: float,
     seed: int | None = None,
     backend: str = "event",
+    shards: int = 1,
 ) -> list[tuple[str, JobSpec]]:
     """Expand bench families into their ``(bench, spec)`` pairs.
 
-    ``backend`` rewrites every expanded spec to run on that backend (the
-    matrix builders declare jobs backend-agnostically).
+    ``backend``/``shards`` rewrite every expanded spec to run on that
+    backend and shard count (the matrix builders declare jobs
+    backend-agnostically).
     """
     validate_backend(backend)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     pairs: list[tuple[str, JobSpec]] = []
     for bench in benches:
         for spec in BENCH_MATRIX[bench](scale, seed):
-            if backend != spec.backend:
-                spec = replace(spec, backend=backend)
+            if backend != spec.backend or shards != spec.shards:
+                spec = replace(spec, backend=backend, shards=shards)
             pairs.append((bench, spec))
     return pairs
 

@@ -1,0 +1,303 @@
+"""Deterministic sharded execution of one simulation run.
+
+``--shards N`` splits a run's GPUs into ``N`` contiguous blocks and
+simulates each block as an **independent subsystem** in its own supervised
+worker process (one ``Process`` + ``Pipe`` per shard, mirroring the
+crash-isolated worker pattern of :mod:`repro.sim.resilience`), then merges
+the per-shard :class:`~repro.sim.results.SimulationResult`\\ s with a
+seeded, order-independent reduction.
+
+Semantics — read this before comparing numbers:
+
+* ``shards=1`` is **exactly** the unsharded run: it delegates straight to
+  :func:`repro.sim.driver.simulate` and returns its result unchanged.
+* ``shards>1`` is a *partitioned-system approximation*: every shard gets
+  the full IOMMU configuration (TLB, walker pool, tracker), so
+  cross-block IOMMU contention and cross-block sharing are **not
+  modelled**.  The approximation is deterministic and backend-agnostic —
+  the merged result is a pure function of (config, workload, policy,
+  shards), bit-identical whether the shards run on the ``event``,
+  ``functional`` or ``vectorized`` backend and regardless of the order in
+  which worker processes finish.  ``scripts/check_fidelity.py`` pins the
+  cross-backend half of that contract; the shard-merge determinism test
+  in ``tests/sim/test_sharding.py`` pins the order half.
+* An application's placements never straddle a shard boundary unless the
+  application itself spans GPUs in different blocks (the single-app
+  workloads); its merged counters are key-union sums, its latency means
+  are re-weighted exactly (see :func:`merge_shard_results`).
+
+Features that need a single global event order — ``max_cycles`` /
+``max_events`` caps, snapshots, shootdowns, the IOMMU stream, telemetry,
+fault injection, invariant checking — are rejected at ``shards>1`` with a
+``ValueError`` rather than silently approximated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from multiprocessing import get_context
+from multiprocessing.connection import wait as connection_wait
+from typing import Any
+
+from repro.config.system import SystemConfig
+from repro.sim.results import AppResult, SimulationResult
+from repro.workloads.trace import Placement, Workload
+
+#: ``system_kwargs`` that require one global event order and therefore
+#: cannot be sharded.  Keys map to the value that means "disabled".
+_UNSHARDABLE_KWARGS: dict[str, Any] = {
+    "record_iommu_stream": False,
+    "snapshot_interval": 0,
+    "shootdown_interval": 0,
+    "faults": None,
+    "telemetry": None,
+    "check_invariants": False,
+}
+
+
+def plan_shards(workload: Workload, shards: int) -> list[list[int]]:
+    """Partition the workload's GPUs into contiguous blocks.
+
+    Returns ``effective`` blocks of sorted GPU ids where ``effective =
+    min(shards, occupied GPUs)``; sizes differ by at most one and earlier
+    blocks take the remainder, so the partition is a pure function of the
+    workload and the shard count.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    gpus = sorted({p.gpu_id for p in workload.placements})
+    if not gpus:
+        raise ValueError("workload has no placements")
+    effective = min(shards, len(gpus))
+    base, extra = divmod(len(gpus), effective)
+    blocks: list[list[int]] = []
+    start = 0
+    for index in range(effective):
+        size = base + (1 if index < extra else 0)
+        blocks.append(gpus[start : start + size])
+        start += size
+    return blocks
+
+
+def shard_workload(workload: Workload, block: list[int]) -> Workload:
+    """The sub-workload of one GPU block, with GPU ids remapped to 0..k-1.
+
+    Streams and footprints are shared by reference — workers receive
+    copies through pickling anyway, and the in-process ``shards=1`` path
+    never calls this.
+    """
+    remap = {gpu_id: local for local, gpu_id in enumerate(block)}
+    placements = [
+        Placement(
+            gpu_id=remap[p.gpu_id],
+            pid=p.pid,
+            app_name=p.app_name,
+            cu_ids=p.cu_ids,
+            streams=p.streams,
+        )
+        for p in workload.placements
+        if p.gpu_id in remap
+    ]
+    pids = {p.pid for p in placements}
+    return Workload(
+        name=workload.name,
+        kind=workload.kind,
+        placements=placements,
+        app_names={pid: name for pid, name in workload.app_names.items() if pid in pids},
+        footprints={pid: fp for pid, fp in workload.footprints.items() if pid in pids},
+    )
+
+
+def _merge_counters(dicts: list[dict[str, int]]) -> dict[str, int]:
+    """Key-union sum, first-seen key order (shard order, so deterministic)."""
+    merged: dict[str, int] = {}
+    for counters in dicts:
+        for key, value in counters.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _lat_count(app: AppResult) -> int:
+    """The denominator of ``mean_translation_latency``.
+
+    Both backends increment the latency accumulator in lockstep with
+    exactly the ``served_*`` counters, so the count is recoverable from
+    the counter dict (pinned by ``tests/sim/test_sharding.py``).
+    """
+    return sum(v for k, v in app.counters.items() if k.startswith("served_"))
+
+
+def _weighted_mean(pairs: list[tuple[float, int]]) -> float:
+    """Merge per-shard ``(mean, count)`` into the global mean.
+
+    The per-shard totals are integers (cycle sums), so ``round(mean *
+    count)`` recovers them exactly (the relative rounding error of one
+    divide is far below 0.5 for any feasible cycle sum) and the merged
+    mean is bit-identical to a single accumulator over all shards.
+    """
+    total = sum(round(mean * count) for mean, count in pairs)
+    count = sum(count for _, count in pairs)
+    return total / count if count else 0.0
+
+
+def merge_shard_results(
+    config: SystemConfig,
+    workload: Workload,
+    results: list[SimulationResult],
+) -> SimulationResult:
+    """Reduce per-shard results (in shard order) into one result.
+
+    The reduction is order-independent by construction: callers index
+    ``results`` by shard id, never by completion order, and every fold
+    below is a sum/max/weighted mean over that fixed order.
+    """
+    if not results:
+        raise ValueError("no shard results to merge")
+    apps: dict[int, AppResult] = {}
+    for pid in workload.pids:
+        parts = [r.apps[pid] for r in results if pid in r.apps]
+        apps[pid] = AppResult(
+            pid=pid,
+            app_name=workload.app_names[pid],
+            gpu_ids=tuple(workload.gpus_for(pid)),
+            instructions=sum(a.instructions for a in parts),
+            runs=sum(a.runs for a in parts),
+            accesses=sum(a.accesses for a in parts),
+            exec_cycles=max(a.exec_cycles for a in parts),
+            counters=_merge_counters([a.counters for a in parts]),
+            mean_translation_latency=_weighted_mean(
+                [(a.mean_translation_latency, _lat_count(a)) for a in parts]
+            ),
+        )
+    tracker_parts = [r.tracker_stats for r in results if r.tracker_stats is not None]
+    metadata = dict(results[0].metadata)
+    metadata["num_gpus"] = config.num_gpus
+    metadata["shards"] = len(results)
+    return SimulationResult(
+        workload_name=workload.name,
+        workload_kind=workload.kind,
+        policy_name=results[0].policy_name,
+        total_cycles=max(r.total_cycles for r in results),
+        apps=apps,
+        iommu_counters=_merge_counters([r.iommu_counters for r in results]),
+        walker_counters=_merge_counters([r.walker_counters for r in results]),
+        walker_queue_wait_mean=_weighted_mean(
+            [
+                (r.walker_queue_wait_mean, r.walker_counters.get("walks_dispatched", 0))
+                for r in results
+            ]
+        ),
+        tracker_stats=_merge_counters(tracker_parts) if tracker_parts else None,
+        snapshots=[],
+        iommu_stream=None,
+        events_executed=sum(r.events_executed for r in results),
+        metadata=metadata,
+        telemetry=None,
+    )
+
+
+def _shard_worker(conn: Any, config: SystemConfig, workload: Workload,
+                  policy: str, backend: str, kwargs: dict[str, Any]) -> None:
+    """Worker entry point: one shard, one result (or one structured error)."""
+    try:
+        from repro.sim.backends import BackendUnsupported
+        from repro.sim.driver import simulate
+
+        try:
+            result = simulate(config, workload, policy, backend=backend, **kwargs)
+        except BackendUnsupported as exc:
+            conn.send(("unsupported", str(exc)))
+        else:
+            conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 — relayed to the supervisor
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def run_sharded(
+    config: SystemConfig,
+    workload: Workload,
+    policy: str = "baseline",
+    *,
+    backend: str = "event",
+    shards: int = 1,
+    max_cycles: int | None = None,
+    max_events: int | None = None,
+    **system_kwargs: Any,
+) -> SimulationResult:
+    """Run one simulation split across ``shards`` worker processes.
+
+    ``shards=1`` delegates to :func:`repro.sim.driver.simulate` unchanged.
+    See the module docstring for the ``shards>1`` semantics.
+    """
+    from repro.sim.driver import simulate
+
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return simulate(
+            config, workload, policy, backend=backend,
+            max_cycles=max_cycles, max_events=max_events, **system_kwargs,
+        )
+    if max_cycles is not None or max_events is not None:
+        raise ValueError("max_cycles/max_events require a single global event "
+                         "order and are unsupported with shards > 1")
+    for key, disabled in _UNSHARDABLE_KWARGS.items():
+        if system_kwargs.get(key, disabled) != disabled:
+            raise ValueError(f"{key} is unsupported with shards > 1")
+    blocks = plan_shards(workload, shards)
+    jobs = [
+        (config.derive(num_gpus=len(block)), shard_workload(workload, block))
+        for block in blocks
+    ]
+    ctx = get_context()
+    running: dict[Any, tuple[int, Any]] = {}
+    results: list[SimulationResult | None] = [None] * len(jobs)
+    errors: list[str] = []
+    unsupported: list[str] = []
+    procs = []
+    try:
+        for index, (shard_config, shard_workload_) in enumerate(jobs):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, shard_config, shard_workload_, policy,
+                      backend, dict(system_kwargs)),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            running[parent_conn] = (index, proc)
+        # Collect in *completion* order; results are indexed by shard id so
+        # the merge below is independent of which worker finishes first.
+        while running:
+            for conn in connection_wait(list(running)):
+                index, proc = running.pop(conn)
+                try:
+                    tag, payload = conn.recv()
+                except EOFError:
+                    errors.append(f"shard {index}: worker died "
+                                  f"(exitcode {proc.exitcode})")
+                else:
+                    if tag == "ok":
+                        results[index] = payload
+                    elif tag == "unsupported":
+                        unsupported.append(payload)
+                    else:
+                        errors.append(f"shard {index}: {payload}")
+                finally:
+                    conn.close()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+    if errors:
+        raise RuntimeError("sharded run failed: " + "; ".join(sorted(errors)))
+    if unsupported:
+        from repro.sim.backends import BackendUnsupported
+
+        raise BackendUnsupported(unsupported[0])
+    return merge_shard_results(config, workload, [r for r in results if r is not None])

@@ -537,6 +537,86 @@ class TelemetryGuardRule(Rule):
 
 
 @register
+class UnseededRNGRule(Rule):
+    """D9: unseeded RNG construction, and foreign RNGs in backend code.
+
+    D2 catches draws from the process-global generators; this rule
+    catches the quieter failure of *constructing* a generator without a
+    seed (``random.Random()``, ``np.random.default_rng()``,
+    ``SeedSequence()``) — every such object is seeded from the OS and
+    makes the run irreproducible, which in a replay backend also means
+    silent divergence from the event engine.
+
+    Inside backend code (``repro/sim/backends/``, ``repro/sim/
+    sharding.py``) the rule is stricter: *any* ``numpy.random``
+    construction is flagged, seeded or not.  Bit-identical replay
+    requires backends to draw randomness through the seeded structures
+    they share with the event engine (the tracker's ``Random(seed)``
+    chain), never through a generator of their own — a numpy generator
+    seeded with the same integer still produces a different draw
+    sequence than CPython's Mersenne Twister.
+    """
+
+    id = "D9"
+    name = "unseeded-rng"
+    description = (
+        "RNG constructed without a seed (or any numpy generator in "
+        "backend code) — replay fidelity requires config-seeded RNGs"
+    )
+
+    _CONSTRUCTORS = frozenset(
+        {"Random", "default_rng", "SeedSequence", "PCG64", "Philox"}
+    )
+    _BACKEND_PATHS = ("/sim/backends/", "/sim/sharding")
+
+    def interests(self) -> Iterable[type[ast.AST]]:
+        return (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = terminal_name(node.func)
+        if name not in self._CONSTRUCTORS:
+            return
+        dotted = dotted_name(node.func) or name
+        path = ctx.path.replace("\\", "/")
+        in_backend = any(marker in path for marker in self._BACKEND_PATHS)
+        if in_backend and "random" in dotted.split(".") and name != "Random":
+            # np.random.default_rng(seed) et al.: seeded, but a foreign
+            # draw sequence — backends must share the engine's RNGs.
+            ctx.report(
+                self,
+                node,
+                f"{dotted}() constructs a numpy generator inside backend "
+                "code; bit-identical replay must draw through the seeded "
+                "structures shared with the event engine",
+            )
+            return
+        if self._is_seeded(node):
+            return
+        ctx.report(
+            self,
+            node,
+            f"{dotted}() without a seed draws entropy from the OS and "
+            "makes the run irreproducible; pass the config seed",
+        )
+
+    @staticmethod
+    def _is_seeded(node: ast.Call) -> bool:
+        if node.args:
+            first = node.args[0]
+            return not (isinstance(first, ast.Constant) and first.value is None)
+        for kw in node.keywords:
+            if kw.arg is None:  # **kwargs: assume the seed is in there
+                return True
+            if kw.arg in ("seed", "entropy"):
+                value = kw.value
+                return not (
+                    isinstance(value, ast.Constant) and value.value is None
+                )
+        return False
+
+
+@register
 class BareExceptRule(Rule):
     """G1: ``except:`` with no exception type.
 

@@ -17,7 +17,7 @@ from repro.sim.parallel import JobSpec, expand_matrix
 
 class TestValidateBackend:
     def test_known_backends(self):
-        assert BACKENDS == ("event", "functional")
+        assert BACKENDS == ("event", "functional", "vectorized")
         for name in BACKENDS:
             assert validate_backend(name) == name
 
@@ -34,11 +34,32 @@ class TestFingerprint:
         )
 
     def test_backend_is_keyed(self):
-        event = self._fingerprint("event")
-        functional = self._fingerprint("functional")
-        assert event["backend"] == "event"
-        assert functional["backend"] == "functional"
-        assert fingerprint_digest(event) != fingerprint_digest(functional)
+        digests = set()
+        for backend in ("event", "functional", "vectorized"):
+            fingerprint = self._fingerprint(backend)
+            assert fingerprint["backend"] == backend
+            digests.add(fingerprint_digest(fingerprint))
+        assert len(digests) == 3
+
+    def test_shards_are_keyed(self):
+        unsharded = run_fingerprint(
+            kind="single", workload="MM", policy="baseline",
+            config=baseline_config(), scale=0.05, seed=None, shards=1,
+        )
+        sharded = run_fingerprint(
+            kind="single", workload="MM", policy="baseline",
+            config=baseline_config(), scale=0.05, seed=None, shards=4,
+        )
+        assert unsharded["shards"] == 1
+        assert sharded["shards"] == 4
+        assert fingerprint_digest(unsharded) != fingerprint_digest(sharded)
+
+    def test_default_shards_is_one(self):
+        fingerprint = run_fingerprint(
+            kind="single", workload="MM", policy="baseline",
+            config=baseline_config(), scale=0.05, seed=None,
+        )
+        assert fingerprint["shards"] == 1
 
     def test_default_backend_is_event(self):
         fingerprint = run_fingerprint(
@@ -75,6 +96,26 @@ class TestJobSpec:
         fast = self._spec(scale=0.02, backend="functional").execute()
         assert dataclasses.asdict(fast) == dataclasses.asdict(ref)
 
+    def test_default_shards(self):
+        spec = self._spec()
+        assert spec.shards == 1
+        assert "+s" not in spec.label
+        assert spec.fingerprint()["shards"] == 1
+
+    def test_sharded_label_and_fingerprint(self):
+        spec = self._spec(shards=4)
+        assert spec.label.endswith("+s4")
+        assert spec.fingerprint()["shards"] == 4
+
+    def test_invalid_shards_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="shards"):
+            self._spec(shards=0)
+
+    def test_execute_routes_to_sharded(self):
+        result = self._spec(scale=0.02, shards=2).execute()
+        assert result.metadata["shards"] == 2
+        assert result.events_executed > 0
+
 
 class TestExpandMatrix:
     def test_backend_applied_to_every_spec(self):
@@ -88,3 +129,14 @@ class TestExpandMatrix:
         with pytest.raises(ValueError, match="unknown backend"):
             expand_matrix(["fig02_baseline_hit_rates"], scale=0.05,
                           backend="quantum")
+
+    def test_shards_applied_to_every_spec(self):
+        pairs = expand_matrix(
+            ["fig02_baseline_hit_rates"], scale=0.05, shards=2
+        )
+        assert pairs
+        assert all(spec.shards == 2 for _, spec in pairs)
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            expand_matrix(["fig02_baseline_hit_rates"], scale=0.05, shards=0)

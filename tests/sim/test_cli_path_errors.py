@@ -62,3 +62,33 @@ class TestFunctionalBackendCli:
             ])
         assert excinfo.value.code == 2
         assert "error: --backend functional" in capsys.readouterr().err
+
+    def test_run_vectorized_backend(self):
+        assert main([
+            "run", "FIR", "--scale", "0.02", "--backend", "vectorized",
+        ]) == 0
+
+
+class TestShardedCli:
+    def test_run_sharded(self):
+        assert main([
+            "run", "W1", "--scale", "0.02", "--backend", "vectorized",
+            "--shards", "2",
+        ]) == 0
+
+    def test_run_rejects_zero_shards(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "FIR", "--scale", "0.02", "--shards", "0"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_rejects_global_order_options_with_shards(self, capsys):
+        # Snapshots need one global event order; sharding must refuse
+        # loudly rather than approximate them per-shard.
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "run", "FIR", "--scale", "0.02", "--shards", "2",
+                "--snapshot-interval", "100",
+            ])
+        assert excinfo.value.code == 2
+        assert "error: --shards 2" in capsys.readouterr().err

@@ -1,0 +1,275 @@
+"""Sharded execution: planning, merge exactness, and determinism.
+
+``shards>1`` is a documented partitioned-system approximation
+(:mod:`repro.sim.sharding`), so these tests do *not* compare sharded
+numbers to unsharded ones.  What they pin instead:
+
+* ``shards=1`` is exactly the unsharded run;
+* the merged result is backend-agnostic — bit-identical whether the
+  shards ran on the event, functional or vectorized backend;
+* the merge is independent of worker completion order (results are
+  indexed by shard id, and simulating the shards in any order
+  reproduces ``run_sharded``'s output byte for byte);
+* latency means merge exactly: the sample count is recoverable from the
+  ``served_*`` counters and ``round(mean * count)`` recovers the integer
+  cycle totals (the ``_lat_count`` / ``_weighted_mean`` contract);
+* everything that needs one global event order is rejected loudly.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import (
+    GPUConfig,
+    IOMMUConfig,
+    InterconnectConfig,
+    SystemConfig,
+    TLBLevelConfig,
+    TrackerConfig,
+)
+from repro.reporting.export import result_to_dict
+from repro.sim.backends import BackendUnsupported
+from repro.sim.driver import simulate
+from repro.sim.sharding import (
+    merge_shard_results,
+    plan_shards,
+    run_sharded,
+    shard_workload,
+)
+from repro.workloads.trace import CUStream, Placement, Workload
+
+
+def tiny_config(num_gpus=4, seed=1):
+    return SystemConfig(
+        num_gpus=num_gpus,
+        gpu=GPUConfig(
+            num_cus=2,
+            slots_per_cu=2,
+            l1_tlb=TLBLevelConfig(num_entries=2, associativity=2, lookup_latency=1),
+            l2_tlb=TLBLevelConfig(num_entries=8, associativity=4, lookup_latency=3),
+        ),
+        iommu=IOMMUConfig(
+            tlb=TLBLevelConfig(num_entries=16, associativity=4, lookup_latency=10),
+            num_walkers=2,
+            walker_threads=2,
+            walk_latency=40,
+        ),
+        tracker=TrackerConfig(total_entries=32, kind="cuckoo"),
+        interconnect=InterconnectConfig(host_link_latency=15, peer_link_latency=5),
+        seed=seed,
+    )
+
+
+def make_workload(gpu_pid_vpns, kind="multi"):
+    """``gpu_pid_vpns``: {gpu_id: {pid: [vpns]}} -> a Workload."""
+    placements = []
+    footprints: dict[int, set] = {}
+    app_names = {}
+    for gpu_id, by_pid in sorted(gpu_pid_vpns.items()):
+        for pid, vpns in sorted(by_pid.items()):
+            if not vpns:
+                continue
+            n = len(vpns)
+            app_names[pid] = f"app{pid}"
+            footprints.setdefault(pid, set()).update(vpns)
+            placements.append(
+                Placement(
+                    gpu_id=gpu_id, pid=pid, app_name=f"app{pid}", cu_ids=[0],
+                    streams=[CUStream(
+                        np.array(vpns, dtype=np.int64),
+                        np.full(n, 37, dtype=np.int64),
+                        np.ones(n, dtype=np.int64),
+                    )],
+                )
+            )
+    return Workload(
+        name="rand", kind=kind, placements=placements, app_names=app_names,
+        footprints={
+            pid: np.array(sorted(fp), dtype=np.int64)
+            for pid, fp in footprints.items()
+        },
+    )
+
+
+def spanning_workload():
+    """Two apps, each spanning both halves of a 4-GPU system."""
+    return make_workload({
+        0: {1: [0, 1, 2, 3, 8]},
+        1: {2: [4, 5, 6]},
+        2: {1: [0, 2, 9, 10]},
+        3: {2: [5, 7, 11]},
+    })
+
+
+class TestPlanShards:
+    @given(
+        occupied=st.sets(st.integers(0, 15), min_size=1, max_size=16),
+        shards=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_properties(self, occupied, shards):
+        workload = make_workload({g: {1: [0]} for g in occupied})
+        blocks = plan_shards(workload, shards)
+        # Exactly min(shards, occupied) contiguous blocks covering every
+        # occupied GPU once, sizes differing by at most one.
+        assert len(blocks) == min(shards, len(occupied))
+        flat = [g for block in blocks for g in block]
+        assert flat == sorted(occupied)
+        sizes = {len(block) for block in blocks}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        workload = spanning_workload()
+        assert plan_shards(workload, 2) == plan_shards(workload, 2)
+        assert plan_shards(workload, 2) == [[0, 1], [2, 3]]
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="shards"):
+            plan_shards(spanning_workload(), 0)
+        with pytest.raises(ValueError, match="no placements"):
+            plan_shards(make_workload({}), 2)
+
+
+class TestShardWorkload:
+    def test_remaps_and_filters(self):
+        shard = shard_workload(spanning_workload(), [2, 3])
+        assert sorted({p.gpu_id for p in shard.placements}) == [0, 1]
+        assert set(shard.app_names) == {1, 2}
+        # GPU 2 held pid 1, GPU 3 held pid 2; local ids follow block order.
+        by_gpu = {p.gpu_id: p.pid for p in shard.placements}
+        assert by_gpu == {0: 1, 1: 2}
+
+    def test_drops_absent_pids(self):
+        shard = shard_workload(spanning_workload(), [1])
+        assert set(shard.app_names) == {2}
+        assert set(shard.footprints) == {2}
+
+
+class TestRunSharded:
+    def test_single_shard_is_exactly_unsharded(self):
+        config, workload = tiny_config(), spanning_workload()
+        ref = simulate(config, workload, "baseline")
+        one = run_sharded(config, workload, "baseline", shards=1)
+        assert dataclasses.asdict(one) == dataclasses.asdict(ref)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_merge_is_backend_agnostic(self, shards):
+        config, workload = tiny_config(), spanning_workload()
+        dicts = [
+            result_to_dict(run_sharded(
+                config, workload, "baseline", backend=backend, shards=shards,
+            ))
+            for backend in ("event", "functional", "vectorized")
+        ]
+        assert dicts[0] == dicts[1] == dicts[2]
+
+    def test_merged_metadata(self):
+        config, workload = tiny_config(), spanning_workload()
+        result = run_sharded(config, workload, "baseline", shards=2)
+        assert result.metadata["num_gpus"] == config.num_gpus
+        assert result.metadata["shards"] == 2
+        assert result.snapshots == []
+        assert result.iommu_stream is None
+
+    def test_completion_order_independence(self):
+        """Simulating the shards in any order reproduces ``run_sharded``.
+
+        ``run_sharded`` collects worker results in *completion* order but
+        slots them by shard id; this drives the same merge with every
+        possible processing order in-process and demands byte-identical
+        JSON.
+        """
+        config, workload = tiny_config(), spanning_workload()
+        expected = result_to_dict(
+            run_sharded(config, workload, "baseline", shards=2)
+        )
+        blocks = plan_shards(workload, 2)
+        jobs = [
+            (config.derive(num_gpus=len(block)), shard_workload(workload, block))
+            for block in blocks
+        ]
+        order = list(range(len(jobs)))
+        for trial in range(3):
+            random.Random(trial).shuffle(order)
+            slots = [None] * len(jobs)
+            for index in order:
+                shard_config, shard_wl = jobs[index]
+                slots[index] = simulate(shard_config, shard_wl, "baseline")
+            merged = merge_shard_results(config, workload, slots)
+            assert result_to_dict(merged) == expected
+
+    def test_deterministic_across_runs(self):
+        config, workload = tiny_config(), spanning_workload()
+        first = run_sharded(config, workload, "baseline",
+                            backend="vectorized", shards=2)
+        second = run_sharded(config, workload, "baseline",
+                             backend="vectorized", shards=2)
+        assert result_to_dict(first) == result_to_dict(second)
+
+
+class TestMergeExactness:
+    def test_latency_count_recoverable_from_served_counters(self):
+        """Merging a result with itself as its only shard must reproduce
+        its latency means bit-identically — this fails unless the
+        ``served_*`` counter sum is the true sample count and
+        ``round(mean * count)`` recovers the integer cycle total."""
+        config, workload = tiny_config(), spanning_workload()
+        ref = simulate(config, workload, "baseline")
+        merged = merge_shard_results(config, workload, [ref])
+        for pid, app in ref.apps.items():
+            assert merged.apps[pid].mean_translation_latency == \
+                app.mean_translation_latency
+            assert merged.apps[pid].counters == app.counters
+        assert merged.walker_queue_wait_mean == ref.walker_queue_wait_mean
+        assert merged.total_cycles == ref.total_cycles
+
+    def test_merged_counters_are_shard_sums(self):
+        config, workload = tiny_config(), spanning_workload()
+        blocks = plan_shards(workload, 2)
+        parts = [
+            simulate(config.derive(num_gpus=len(block)),
+                     shard_workload(workload, block), "baseline")
+            for block in blocks
+        ]
+        merged = merge_shard_results(config, workload, parts)
+        assert merged.events_executed == sum(p.events_executed for p in parts)
+        assert merged.total_cycles == max(p.total_cycles for p in parts)
+        for key in merged.iommu_counters:
+            assert merged.iommu_counters[key] == sum(
+                p.iommu_counters.get(key, 0) for p in parts
+            )
+
+
+class TestRejections:
+    def test_global_caps_rejected(self):
+        config, workload = tiny_config(), spanning_workload()
+        with pytest.raises(ValueError, match="max_cycles/max_events"):
+            run_sharded(config, workload, shards=2, max_cycles=100)
+        with pytest.raises(ValueError, match="max_cycles/max_events"):
+            run_sharded(config, workload, shards=2, max_events=100)
+
+    @pytest.mark.parametrize("key,value", [
+        ("snapshot_interval", 100),
+        ("shootdown_interval", 50),
+        ("record_iommu_stream", True),
+        ("check_invariants", True),
+    ])
+    def test_global_order_options_rejected(self, key, value):
+        config, workload = tiny_config(), spanning_workload()
+        with pytest.raises(ValueError, match=key):
+            run_sharded(config, workload, shards=2, **{key: value})
+
+    def test_backend_unsupported_propagates_from_workers(self):
+        config, workload = tiny_config(), spanning_workload()
+        with pytest.raises(BackendUnsupported, match="tlb-probing"):
+            run_sharded(config, workload, "tlb-probing",
+                        backend="vectorized", shards=2)
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ValueError, match="shards"):
+            run_sharded(tiny_config(), spanning_workload(), shards=0)

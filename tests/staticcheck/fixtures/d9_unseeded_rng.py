@@ -1,0 +1,20 @@
+"""Fixture for D9 (unseeded-rng).  Never executed."""
+
+import random
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+
+def make_generators(seed):
+    os_seeded = random.Random()  # fires
+    none_is_not_a_seed = random.Random(None)  # fires
+    np_unseeded = np.random.default_rng()  # fires
+    seq = SeedSequence()  # fires
+    kw_none = default_rng(seed=None)  # fires
+    good = random.Random(seed)
+    good_np = np.random.default_rng(seed)
+    good_kw = default_rng(seed=seed)
+    good_seq = SeedSequence(entropy=seed)
+    return (os_seeded, none_is_not_a_seed, np_unseeded, seq, kw_none,
+            good, good_np, good_kw, good_seq)

@@ -25,6 +25,7 @@ RULE_FIXTURES = {
     "D6": "d6_config_mutation.py",
     "D7": "d7_stats_ownership.py",
     "D8": "d8_telemetry_guard.py",
+    "D9": "d9_unseeded_rng.py",
     "G1": "g1_bare_except.py",
     "G2": "g2_mutable_default.py",
 }
@@ -81,3 +82,41 @@ def test_registry_is_sorted_and_described():
 def test_get_rule_unknown_raises():
     with pytest.raises(KeyError):
         get_rule("D99")
+
+
+class TestD9BackendScope:
+    """D9's stricter backend clause: inside ``repro/sim/backends/`` (and
+    ``sharding.py``) even a *seeded* numpy generator is flagged — replay
+    fidelity requires drawing through the engine's own seeded
+    structures, and an identically-seeded numpy generator still yields a
+    different draw sequence than CPython's Mersenne Twister."""
+
+    SEEDED_NUMPY = "import numpy as np\nrng = np.random.default_rng(7)\n"
+    SEEDED_STDLIB = "import random\nrng = random.Random(7)\n"
+
+    def _check(self, source, path):
+        return check_source(source, path, rules=[get_rule("D9")])
+
+    def test_seeded_numpy_generator_fires_in_backend_code(self):
+        for path in (
+            "src/repro/sim/backends/vectorized.py",
+            "src/repro/sim/sharding.py",
+        ):
+            violations = self._check(self.SEEDED_NUMPY, path)
+            assert [v.line for v in violations] == [2], path
+            assert "backend" in violations[0].message
+
+    def test_seeded_numpy_generator_is_fine_elsewhere(self):
+        assert self._check(self.SEEDED_NUMPY, "src/repro/workloads/gen.py") == []
+
+    def test_seeded_stdlib_rng_is_fine_in_backend_code(self):
+        # The engine's own idiom (random.Random(config.seed)) stays legal.
+        assert (
+            self._check(self.SEEDED_STDLIB, "src/repro/sim/backends/functional.py")
+            == []
+        )
+
+    def test_unseeded_stdlib_rng_fires_in_backend_code(self):
+        source = "import random\nrng = random.Random()\n"
+        violations = self._check(source, "src/repro/sim/backends/functional.py")
+        assert [v.line for v in violations] == [2]
