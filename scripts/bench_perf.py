@@ -18,7 +18,11 @@ writes them to ``BENCH_kernel.json``:
   each with its speedup over the event engine and the multi-shard rows
   with their scaling versus the single-shard run.  Shard rows measure
   the *sharded semantics* (see ``docs/backends.md``): wall-clock scaling
-  only appears when real cores back the worker processes.
+  only appears when real cores back the worker processes;
+* **serve throughput** — the ``repro serve`` daemon (``docs/service.md``)
+  measured through a real HTTP client: cached submissions/second (the
+  dedup + transport overhead) and cold single-job end-to-end jobs/second
+  (submit → queue → worker → SSE completion).
 
 Usage::
 
@@ -27,8 +31,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py \
         --baseline BENCH_kernel.json --max-regression 0.30       # gate
 
-With ``--baseline``, the harness exits non-zero if measured kernel or
-fastpath throughput falls more than ``--max-regression`` below the
+With ``--baseline``, the harness exits non-zero if any gated section's
+throughput falls more than ``--max-regression`` below the
 baseline file's (used by the CI perf-smoke job).  Numbers are machine-relative: compare
 trajectories on one machine, not across machines — the ``machine`` stamp
 records where a baseline came from.
@@ -207,6 +211,82 @@ def measure_vectorized(
     return rows
 
 
+#: Cached submissions timed per repeat by the ``serve`` section.
+SERVE_CACHED_SUBMITS = 25
+
+
+def measure_serve(scale: float, repeats: int) -> list[dict]:
+    """Serve-daemon throughput (docs/service.md), two rows:
+
+    * ``serve-cached-submit`` — submissions/second for requests the
+      persistent cache already settles (the dedup + HTTP round-trip
+      overhead a warm client sees);
+    * ``serve-e2e-single-job`` — jobs/second for a cold single job
+      through submit → queue → worker → SSE ``job_done`` (event-driven,
+      no polling granularity in the number).
+
+    Both report their rate in the shared ``events_per_sec`` field so
+    :func:`check_regression` gates them like every other section.
+    """
+    from repro.serve.api import ServerThread
+    from repro.serve.app import ServeApp, ServeSettings
+    from repro.serve.client import ServeClient
+
+    base = {"workload": "MM", "policy": "least-tlb", "scale": scale,
+            "backend": "functional"}
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        cache = ResultCache(tmp)
+        app = ServeApp(ServeSettings(workers=2), cache=cache)
+        thread = ServerThread(app)
+        url = thread.start()
+        try:
+            client = ServeClient(url, client_name="bench")
+            best = None
+            for i in range(repeats):
+                start = time.perf_counter()
+                job = client.submit({"jobs": [dict(base, seed=9000 + i)]})
+                for event in client.events(job["job"]):
+                    pass  # generator stops at job_done
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None or elapsed < best else best
+            rows.append({
+                "name": "serve-e2e-single-job",
+                "scale": scale,
+                "wall_seconds": round(best, 6),
+                "events_per_sec": round(1.0 / best, 3),
+            })
+            print(
+                f"serve  e2e-single-job     {best:.3f}s  "
+                f"{1.0 / best:>10,.2f} jobs/s"
+            )
+
+            cached = dict(base, seed=9000)  # settled by the loop above
+            best = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for _ in range(SERVE_CACHED_SUBMITS):
+                    body = client.submit({"jobs": [cached]})
+                    assert body["state"] == "done", "cache dedup broke"
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None or elapsed < best else best
+            rate = SERVE_CACHED_SUBMITS / best
+            rows.append({
+                "name": "serve-cached-submit",
+                "scale": scale,
+                "requests": SERVE_CACHED_SUBMITS,
+                "wall_seconds": round(best, 6),
+                "events_per_sec": round(rate, 1),
+            })
+            print(
+                f"serve  cached-submit      {best:.3f}s  "
+                f"{rate:>10,.1f} requests/s"
+            )
+        finally:
+            thread.stop()
+    return rows
+
+
 def measure_matrix(benches: str, scale: float, jobs: int | None) -> dict:
     """Cold-serial vs warm-cache wall-clock over one matrix selection."""
     pairs = expand_matrix(select_benches(benches), scale=scale)
@@ -252,7 +332,7 @@ def check_regression(report: dict, baseline_path: Path, max_regression: float) -
         print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
         return 2
     failures = 0
-    for section in ("kernel", "fastpath", "vectorized"):
+    for section in ("kernel", "fastpath", "vectorized", "serve"):
         base_rows = {row["name"]: row for row in baseline.get(section, [])}
         for row in report.get(section, []):
             base = base_rows.get(row["name"])
@@ -312,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
     report["vectorized"] = measure_vectorized(
         args.scale, args.repeats, report["kernel"]
     )
+    report["serve"] = measure_serve(args.scale, args.repeats)
     if not args.skip_matrix:
         report["matrix"] = measure_matrix(
             args.matrix_benches,

@@ -26,7 +26,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.config import presets
+from repro.config.presets import CONFIG_PRESETS
 from repro.config.system import SystemConfig
 from repro.engine.watchdog import SimulationStalledError
 from repro.faults import FaultPlan, FaultPlanError, InvariantViolation
@@ -48,18 +48,6 @@ from repro.workloads.multi_app import (
 )
 from repro.workloads.trace import Workload
 from repro.workloads.trace_io import load_workload
-
-CONFIG_PRESETS = {
-    "baseline": presets.baseline_config,
-    "infinite-iommu": presets.infinite_iommu_config,
-    "small-iommu": presets.small_iommu_config,
-    "large-pages": presets.large_page_config,
-    "local-page-tables": presets.local_page_table_config,
-    "dws": presets.dws_config,
-    "8gpu": lambda: presets.scaled_config(8),
-    "16gpu": lambda: presets.scaled_config(16),
-}
-
 
 def _cli_error(message: str) -> SystemExit:
     """A usage error: ``error:``-prefixed message on stderr, exit status 2."""
@@ -210,8 +198,101 @@ def _print_telemetry(hub) -> None:
               f"({sum(len(t) for t in hub.traces)} spans)")
 
 
+def _server_options(args: argparse.Namespace) -> dict:
+    """The ``options`` object of a served job, from ``repro run`` flags."""
+    options: dict = {}
+    if args.record_stream:
+        options["record_stream"] = True
+    if args.snapshot_interval:
+        options["snapshot_interval"] = args.snapshot_interval
+    if args.timeline:
+        options["timeline"] = args.timeline
+    if args.max_cycles:
+        options["max_cycles"] = args.max_cycles
+    if args.max_events:
+        options["max_events"] = args.max_events
+    if args.check_invariants:
+        options["check_invariants"] = True
+    return options
+
+
+def _run_via_server(args: argparse.Namespace) -> int:
+    """``repro run --server``: submit to a daemon instead of simulating."""
+    from repro.reporting.export import result_from_dict
+    from repro.serve.client import ServeClient, ServeClientError
+
+    for flag, unsupported in (
+        ("--profile", args.profile),
+        ("--trace", args.trace is not None),
+        ("--faults", args.faults is not None),
+    ):
+        if unsupported:
+            raise _cli_error(f"{flag} is not supported in --server mode")
+    upper = args.workload.upper()
+    if not (upper in APPLICATIONS or upper in MULTI_APP_WORKLOADS
+            or upper in SCALED_WORKLOADS or upper in MIX_WORKLOADS):
+        raise _cli_error(
+            f"--server mode needs a named workload, got {args.workload!r} "
+            "(.npz paths only exist on this machine)"
+        )
+    job: dict = {
+        "workload": upper,
+        "policy": args.policy,
+        "config": args.config,
+        "scale": args.scale,
+        "backend": args.backend,
+        "shards": args.shards,
+    }
+    if args.seed is not None:
+        job["seed"] = args.seed
+    options = _server_options(args)
+    if options:
+        job["options"] = options
+
+    client = ServeClient(args.server, client_name=args.client)
+    try:
+        submitted = client.submit({"jobs": [job]})
+        body = client.wait(submitted["job"], timeout=args.wait_timeout)
+    except ServeClientError as exc:
+        if exc.status == 400:
+            raise _cli_error(str(exc)) from None
+        if exc.status == 429:
+            retry = exc.retry_after
+            print(
+                f"error: server over capacity: {exc}"
+                + (f" (retry after {retry:.0f}s)" if retry else ""),
+                file=sys.stderr,
+            )
+            return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    task = body["tasks"][0]
+    if task["state"] != "done":
+        error = task.get("error") or {}
+        print(
+            f"error: served job failed "
+            f"[{error.get('class', 'unknown')}]: {error.get('message', '')}",
+            file=sys.stderr,
+        )
+        return 3
+    result = result_from_dict(task["result"])
+    _print_result(result)
+    print(f"\nserved by {args.server} "
+          f"(job {body['job']}, source: {task['source']}, "
+          f"{task['seconds']:.2f}s server-side)")
+    if args.json:
+        path = save_result_json(result, args.json, include_stream=args.record_stream)
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one simulation, optionally exported to JSON."""
+    if args.server:
+        return _run_via_server(args)
     config = _apply_seed(resolve_config(args.config), args.seed)
     policy = resolve_policy(args.policy)
     try:
@@ -454,6 +535,91 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_via_server(args: argparse.Namespace) -> int:
+    """``repro bench --server``: run the matrix on a daemon."""
+    from repro.serve.client import ServeClient, ServeClientError
+
+    for flag, unsupported in (
+        ("--chaos", args.chaos is not None),
+        ("--profile", args.profile),
+        ("--resume", args.resume),
+        ("--clear-cache", args.clear_cache),
+        ("--no-cache", args.no_cache),
+        ("--cache-dir", args.cache_dir is not None),
+        ("--jobs", args.jobs is not None),
+    ):
+        if unsupported:
+            raise _cli_error(
+                f"{flag} is a local-runner flag; the daemon owns its own "
+                "cache and worker pool in --server mode"
+            )
+    payload: dict = {
+        "benches": [args.only or "*"],
+        "scale": args.scale,
+        "backend": args.backend,
+        "shards": args.shards,
+    }
+    if args.seed is not None:
+        payload["seed"] = args.seed
+
+    client = ServeClient(args.server, client_name=args.client)
+    start = time.perf_counter()
+    try:
+        submitted = client.submit(payload)
+        if args.verbose:
+            for event in client.events(submitted["job"]):
+                print(f"  {event.get('event')}: "
+                      f"{event.get('label', event.get('state', ''))}",
+                      file=sys.stderr)
+        body = client.wait(submitted["job"], timeout=args.wait_timeout)
+    except ServeClientError as exc:
+        if exc.status == 400:
+            raise _cli_error(str(exc)) from None
+        if exc.status == 429:
+            retry = exc.retry_after
+            print(
+                f"error: server over capacity: {exc}"
+                + (f" (retry after {retry:.0f}s)" if retry else ""),
+                file=sys.stderr,
+            )
+            return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    wall = time.perf_counter() - start
+
+    status = client.job(submitted["job"])
+    rows = [
+        [t["label"], t["state"], t["source"],
+         f"{t.get('seconds', 0.0):.2f}s" if t["state"] in ("done", "failed") else "-"]
+        for t in status["tasks"]
+    ]
+    print(comparison_table(rows, ["job", "state", "source", "time"]))
+    dedup = status["dedup"]
+    counts = status["counts"]
+    print(
+        f"\nserved by {args.server}: {counts['total']} unique jobs "
+        f"({dedup['cache']} cache hits, {dedup['inflight']} joined in-flight, "
+        f"{dedup['matrix']} matrix dups, {dedup['new']} executed) "
+        f"in {wall:.2f}s wall"
+    )
+    if args.json:
+        _write_output(
+            lambda: Path(args.json).write_text(
+                json.dumps({"status": status, "results": body}, indent=2) + "\n"
+            ),
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    failed = counts["failed"]
+    if failed:
+        print(f"error: {failed} served job(s) failed", file=sys.stderr)
+        return 3
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: the parallel, cached, resilient matrix runner.
 
@@ -491,6 +657,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         print(comparison_table(rows, ["bench", "jobs"]))
         return 0
+
+    if args.server:
+        return _bench_via_server(args)
 
     if args.jobs is not None and args.jobs < 1:
         raise _cli_error(f"--jobs must be >= 1, got {args.jobs}")
@@ -646,6 +815,123 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the async job daemon (see docs/service.md).
+
+    Runs until SIGTERM/SIGINT or ``POST /v1/admin/drain``, then drains
+    gracefully: running jobs finish, queued jobs are journalled, exit 0.
+    """
+    from repro.serve.api import run_server
+    from repro.serve.app import ServeSettings
+
+    if args.workers < 1:
+        raise _cli_error(f"--workers must be >= 1, got {args.workers}")
+    if args.max_pending < 1:
+        raise _cli_error(f"--max-pending must be >= 1, got {args.max_pending}")
+    if args.retries < 0:
+        raise _cli_error(f"--retries must be >= 0, got {args.retries}")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        raise _cli_error(f"--job-timeout must be positive, got {args.job_timeout:g}")
+    if args.default_weight <= 0:
+        raise _cli_error(f"--default-weight must be > 0, got {args.default_weight:g}")
+    weights: dict[str, float] = {}
+    for spec in args.weight or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise _cli_error(f"--weight expects CLIENT=WEIGHT, got {spec!r}")
+        try:
+            weight = float(value)
+        except ValueError:
+            raise _cli_error(f"--weight {spec!r}: {value!r} is not a number") from None
+        if weight <= 0:
+            raise _cli_error(f"--weight {spec!r}: weight must be > 0")
+        weights[name] = weight
+
+    settings = ServeSettings(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=args.cache_dir, max_pending=args.max_pending,
+        default_weight=args.default_weight, weights=weights,
+        retries=args.retries, job_timeout=args.job_timeout,
+        verbose=args.verbose,
+    )
+    try:
+        return run_server(settings)
+    except OSError as exc:
+        detail = exc.strerror or str(exc)
+        raise _cli_error(f"cannot serve on {args.host}:{args.port}: {detail}") from None
+
+
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{int(value):,} B"
+        value /= 1024
+    return f"{int(value):,} B"  # pragma: no cover - unreachable
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache``: inspect and maintain the persistent result cache."""
+    from repro.sim.cache import ResultCache, cache_stats
+
+    cache = ResultCache.from_env(args.cache_dir)
+
+    if args.cache_command == "stats":
+        if args.stamp:
+            cache.stamp_stats()
+        stats = cache_stats(cache)
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        state = "enabled" if stats["enabled"] else "disabled (REPRO_NO_CACHE)"
+        print(f"cache {stats['dir']} ({state})")
+        print(f"  entries: {stats['entries']} ({_human_bytes(stats['bytes'])})")
+        print(f"  quarantined (*.corrupt): {stats['corrupt_entries']}")
+        print(f"  stale temp files: {stats['stale_tmp_files']}")
+        since = stats["since_stamp"]
+        rate = since["hit_rate"]
+        print(
+            f"  since last stamp: {since['hits']} hits / "
+            f"{since['lookups']} lookups"
+            + (f" ({rate:.1%} hit rate)" if rate is not None else "")
+            + f", {since['stores']} stores, {since['corruptions']} corruptions"
+        )
+        if args.stamp:
+            print("  counters stamped: a new measurement window starts now")
+        return 0
+
+    if args.cache_command == "prune":
+        if args.older_than is None and args.max_bytes is None:
+            raise _cli_error(
+                "prune needs --older-than DAYS and/or --max-bytes N"
+            )
+        if args.older_than is not None and args.older_than < 0:
+            raise _cli_error(
+                f"--older-than must be >= 0 days, got {args.older_than:g}"
+            )
+        if args.max_bytes is not None and args.max_bytes < 0:
+            raise _cli_error(f"--max-bytes must be >= 0, got {args.max_bytes}")
+        summary = cache.prune(
+            older_than_days=args.older_than, max_bytes=args.max_bytes
+        )
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"pruned {summary['removed']} entries "
+            f"({_human_bytes(summary['bytes_freed'])} freed), "
+            f"kept {summary['kept']} ({_human_bytes(summary['bytes_kept'])})"
+        )
+        if summary["corrupt_removed"] or summary["tmp_removed"]:
+            print(
+                f"also removed {summary['corrupt_removed']} quarantined and "
+                f"{summary['tmp_removed']} stale temp file(s)"
+            )
+        return 0
+
+    raise _cli_error(f"unknown cache command {args.cache_command!r}")
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: the determinism/protocol static analysis pass.
 
@@ -760,6 +1046,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help=f"Chrome trace output path (default {DEFAULT_TRACE_OUT})")
     run.add_argument("--timeline", type=int, default=0, metavar="CYCLES",
                      help="record an interval-timeline epoch every N cycles")
+    run.add_argument("--server", default=None, metavar="URL",
+                     help="submit to a `repro serve` daemon instead of "
+                          "simulating locally (see docs/service.md)")
+    run.add_argument("--client", default=None, metavar="NAME",
+                     help="client identity for --server fairness accounting")
+    run.add_argument("--wait-timeout", type=float, default=3600.0,
+                     metavar="SECONDS",
+                     help="with --server: give up waiting after this long "
+                          "(default 3600)")
     run.set_defaults(func=cmd_run)
 
     trace = sub.add_parser(
@@ -830,7 +1125,81 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the matrix summary to this JSON file")
     bench.add_argument("--verbose", action="store_true",
                        help="stream per-job progress to stderr")
+    bench.add_argument("--server", default=None, metavar="URL",
+                       help="submit the matrix to a `repro serve` daemon "
+                            "instead of running locally (see docs/service.md)")
+    bench.add_argument("--client", default=None, metavar="NAME",
+                       help="client identity for --server fairness accounting")
+    bench.add_argument("--wait-timeout", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="with --server: give up waiting after this long "
+                            "(default 3600)")
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service daemon (see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8177,
+                       help="bind port (default 8177; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent simulation worker processes (default 2)")
+    serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                       help="per-client queued-job limit before 429 "
+                            "backpressure (default 64)")
+    serve.add_argument("--default-weight", type=float, default=1.0,
+                       metavar="W",
+                       help="fair-share weight for unlisted clients (default 1)")
+    serve.add_argument("--weight", action="append", default=None,
+                       metavar="CLIENT=W",
+                       help="fair-share weight for one client (repeatable)")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="per-job crash/failure retries (default 1)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hard per-job deadline (default: derived from "
+                            "each job's scale and backend)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache location (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-sim)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log per-job lifecycle lines to stderr")
+    serve.set_defaults(func=cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the persistent result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats_p = cache_sub.add_parser(
+        "stats", help="entries, bytes, hit rate since last stamp"
+    )
+    cache_stats_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                               help="cache location (default: $REPRO_CACHE_DIR "
+                                    "or ~/.cache/repro-sim)")
+    cache_stats_p.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+    cache_stats_p.add_argument("--stamp", action="store_true",
+                               help="zero the persistent counters, starting a "
+                                    "new hit-rate measurement window")
+    cache_stats_p.set_defaults(func=cmd_cache)
+    cache_prune_p = cache_sub.add_parser(
+        "prune", help="bound the cache by age and/or total size"
+    )
+    cache_prune_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                               help="cache location (default: $REPRO_CACHE_DIR "
+                                    "or ~/.cache/repro-sim)")
+    cache_prune_p.add_argument("--older-than", type=float, default=None,
+                               metavar="DAYS",
+                               help="remove entries older than this many days")
+    cache_prune_p.add_argument("--max-bytes", type=int, default=None,
+                               metavar="N",
+                               help="then remove oldest entries until the "
+                                    "cache fits in N bytes")
+    cache_prune_p.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+    cache_prune_p.set_defaults(func=cmd_cache)
 
     lint = sub.add_parser(
         "lint",

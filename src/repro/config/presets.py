@@ -12,6 +12,7 @@ Each preset corresponds to a configuration the paper evaluates:
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Callable
 
 from repro.config.system import (
     PAGE_2MB,
@@ -89,3 +90,31 @@ def dws_config(num_gpus: int = 4, seed: int = 1) -> SystemConfig:
 def spill_budget_config(budget: int, num_gpus: int = 4, seed: int = 1) -> SystemConfig:
     """Figure 19: the spilling counter N (1 in the design, 2 in the study)."""
     return baseline_config(num_gpus=num_gpus, seed=seed).derive(spill_budget=budget)
+
+
+#: Named preset registry: the configurations a user can ask for *by name*
+#: (the CLI ``--config`` flag and the ``repro serve`` request schema both
+#: resolve through this table, so client and server agree on what a name
+#: means — which is what makes server-side fingerprints match local ones).
+CONFIG_PRESETS: dict[str, Callable[[], SystemConfig]] = {
+    "baseline": baseline_config,
+    "infinite-iommu": infinite_iommu_config,
+    "small-iommu": small_iommu_config,
+    "large-pages": large_page_config,
+    "local-page-tables": local_page_table_config,
+    "dws": dws_config,
+    "8gpu": lambda: scaled_config(8),
+    "16gpu": lambda: scaled_config(16),
+}
+
+
+def resolve_preset(name: str) -> SystemConfig:
+    """Build the named preset; raises :class:`KeyError` with the valid
+    names when ``name`` is unknown."""
+    try:
+        builder = CONFIG_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown config preset {name!r}; choose from {sorted(CONFIG_PRESETS)}"
+        ) from None
+    return builder()

@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon.
+
+The one-shot CLI pays Python startup, matrix expansion, and cache probing
+per invocation and serves exactly one caller.  This package turns the
+same engine room — :mod:`repro.sim.driver` for execution,
+:mod:`repro.sim.cache` for content-addressed results,
+:mod:`repro.sim.resilience` for crash-isolated supervised workers — into
+a long-running asyncio daemon with an HTTP/JSON API:
+
+* :mod:`repro.serve.requests` — request canonicalization: JSON payloads
+  become :class:`~repro.sim.parallel.JobSpec` values with the *same*
+  cache fingerprints the CLI computes, so the daemon, ``repro bench``,
+  and ``repro run`` all address one result store;
+* :mod:`repro.serve.fairness` — per-client weighted-fair queueing with
+  bounded depth and explicit backpressure (429 + ``Retry-After``);
+* :mod:`repro.serve.jobstore` — job/task records, three-way dedup
+  indexes, subscriber fan-out, and the drain journal;
+* :mod:`repro.serve.pool` — the bounded asyncio bridge onto
+  :func:`repro.sim.resilience.supervise_one` worker processes;
+* :mod:`repro.serve.sse` — server-sent-events encoding/decoding;
+* :mod:`repro.serve.app` — the service core tying the above together;
+* :mod:`repro.serve.api` — the stdlib asyncio HTTP server and routes;
+* :mod:`repro.serve.client` — the synchronous thin client behind
+  ``repro run/bench --server URL``.
+
+See ``docs/service.md`` for the API reference and semantics.
+"""
+
+from repro.serve.app import ServeApp, ServeSettings
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.fairness import FairQueue, QuotaExceeded
+from repro.serve.requests import RequestError, parse_request
+
+__all__ = [
+    "FairQueue",
+    "QuotaExceeded",
+    "RequestError",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeSettings",
+    "parse_request",
+]

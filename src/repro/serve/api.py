@@ -1,0 +1,341 @@
+"""The HTTP/JSON transport for the serve daemon (stdlib only).
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework, no dependency, connection-per-request.  Routes:
+
+===============================  ==========================================
+``GET  /v1/health``              daemon status, queue depths, dedup stats
+``POST /v1/jobs``                submit (201) — 400 malformed, 429 quota
+                                 with ``Retry-After``, 503 draining
+``GET  /v1/jobs/{id}``           job status snapshot
+``GET  /v1/jobs/{id}/result``    200 terminal / 202 in progress / 404 / 410
+``GET  /v1/jobs/{id}/events``    server-sent progress events
+``GET  /v1/cache/stats``         persistent result-cache statistics
+``POST /v1/admin/drain``         begin graceful drain (202)
+===============================  ==========================================
+
+The caller's identity is the submission's ``client`` field, falling back
+to the ``X-Repro-Client`` header, then ``"anon"``.  SIGTERM/SIGINT
+trigger the same drain path as ``/v1/admin/drain``: stop accepting,
+finish running jobs, journal queued ones, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+from typing import Any, Callable
+
+from repro.serve.app import ServeApp, ServeSettings
+from repro.serve.sse import encode_event
+from repro.sim.cache import cache_stats
+
+#: Reason phrases for the statuses this API actually emits.
+REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 410: "Gone",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Request body cap — a full bench-matrix submission is well under 64 KiB.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Idle seconds between SSE keepalive comments.
+SSE_KEEPALIVE_SECONDS = 15.0
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def json_response(status: int, body: Any,
+                  extra: dict[str, str] | None = None) -> bytes:
+    payload = json.dumps(body, sort_keys=True).encode()
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for name, value in (extra or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: ``(method, path, headers, body)``."""
+    line = await reader.readline()
+    if not line:
+        raise ConnectionResetError("client closed before sending a request")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError as exc:
+        raise HttpError(400, "malformed Content-Length header") from exc
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length > 0 else b""
+    return method.upper(), target.split("?", 1)[0], headers, body
+
+
+class Api:
+    """Routes requests for one :class:`ServeApp`; owns the stop signal."""
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+        self.stop = asyncio.Event()
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, headers, body = await read_request(reader)
+            except HttpError as exc:
+                writer.write(json_response(exc.status, {"error": str(exc)}))
+                await writer.drain()
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            await self.dispatch(method, path, headers, body, writer)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        except Exception as exc:  # a handler bug must not kill the daemon
+            self.app.note(f"internal error handling request: {exc!r}")
+            with contextlib.suppress(Exception):
+                writer.write(json_response(500, {
+                    "error": f"internal error: {type(exc).__name__}",
+                }))
+                await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def dispatch(self, method: str, path: str, headers: dict[str, str],
+                       body: bytes, writer: asyncio.StreamWriter) -> None:
+        segments = [s for s in path.split("/") if s]
+
+        if segments == ["v1", "health"]:
+            self._expect(method, "GET")
+            writer.write(json_response(200, self.app.health()))
+        elif segments == ["v1", "cache", "stats"]:
+            self._expect(method, "GET")
+            writer.write(json_response(200, cache_stats(self.app.cache)))
+        elif segments == ["v1", "jobs"]:
+            self._expect(method, "POST")
+            try:
+                payload = json.loads(body.decode() or "null")
+            except ValueError:
+                writer.write(json_response(
+                    400, {"error": "request body is not valid JSON"}))
+                await writer.drain()
+                return
+            status, reply, extra = self.app.submit(
+                payload, fallback_client=headers.get("x-repro-client"))
+            writer.write(json_response(status, reply, extra))
+        elif len(segments) == 3 and segments[:2] == ["v1", "jobs"]:
+            self._expect(method, "GET")
+            status_body = self.app.job_status(segments[2])
+            if status_body is None:
+                writer.write(json_response(
+                    404, {"error": f"unknown job {segments[2]!r}"}))
+            else:
+                writer.write(json_response(200, status_body))
+        elif len(segments) == 4 and segments[:2] == ["v1", "jobs"] and \
+                segments[3] == "result":
+            self._expect(method, "GET")
+            status, reply = self.app.job_result(segments[2])
+            writer.write(json_response(status, reply))
+        elif len(segments) == 4 and segments[:2] == ["v1", "jobs"] and \
+                segments[3] == "events":
+            self._expect(method, "GET")
+            await self.stream_events(segments[2], writer)
+            return  # stream_events drains and finishes the response itself
+        elif segments == ["v1", "admin", "drain"]:
+            self._expect(method, "POST")
+            self.stop.set()
+            writer.write(json_response(202, {"status": "draining"}))
+        else:
+            writer.write(json_response(
+                404, {"error": f"no route for {method} {path}"}))
+        await writer.drain()
+
+    @staticmethod
+    def _expect(method: str, allowed: str) -> None:
+        if method != allowed:
+            raise HttpError(405, f"method {method} not allowed; use {allowed}")
+
+    async def stream_events(self, job_id: str,
+                            writer: asyncio.StreamWriter) -> None:
+        """SSE: an initial ``snapshot`` frame, then live progress frames
+        until the job reaches a terminal ``job_done`` (or ``drained``)."""
+        subscription = self.app.subscribe(job_id)
+        if subscription is None:
+            writer.write(json_response(
+                404, {"error": f"unknown job {job_id!r}"}))
+            await writer.drain()
+            return
+        job, queue = subscription
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-cache\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            snapshot = self.app.job_status(job_id) or {}
+            writer.write(encode_event({"event": "snapshot", **snapshot}))
+            await writer.drain()
+            if self.app.job_terminal(job):
+                writer.write(encode_event({
+                    "event": "job_done", "job": job_id,
+                    "state": snapshot.get("state", "done"),
+                }))
+                await writer.drain()
+                return
+            while True:
+                try:
+                    event = await asyncio.wait_for(
+                        queue.get(), timeout=SSE_KEEPALIVE_SECONDS)
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    continue
+                writer.write(encode_event(event))
+                await writer.drain()
+                if event.get("event") == "job_done":
+                    return
+        except (ConnectionError, BrokenPipeError):
+            pass  # subscriber went away; just detach
+        finally:
+            job.unsubscribe(queue)
+
+
+async def run_app(
+    app: ServeApp,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+    api: Api | None = None,
+    ready: Callable[[str], None] | None = None,
+    announce: bool = True,
+) -> int:
+    """Run ``app`` behind an HTTP server until drained; returns 0."""
+    api = api or Api(app)
+    await app.start()
+    server = await asyncio.start_server(
+        api.handle,
+        host if host is not None else app.settings.host,
+        port if port is not None else app.settings.port,
+    )
+    sockname = server.sockets[0].getsockname()
+    url = f"http://{sockname[0]}:{sockname[1]}"
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(sig, api.stop.set)
+    if announce:
+        print(f"serving on {url}", flush=True)
+    if ready is not None:
+        ready(url)
+    await api.stop.wait()
+    server.close()
+    await server.wait_closed()
+    await app.drain()
+    return 0
+
+
+def run_server(settings: ServeSettings) -> int:
+    """Blocking entry point for ``repro serve``."""
+    app = ServeApp(settings)
+    return asyncio.run(run_app(app))
+
+
+class ServerThread:
+    """A daemon server on a background thread (tests and benchmarks).
+
+    Binds an ephemeral port by default; :meth:`start` blocks until the
+    server is accepting and returns its base URL.
+    """
+
+    def __init__(self, app: ServeApp, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self.api = Api(app)
+        self.url: str | None = None
+        self.exit_code: int | None = None
+        self.error: BaseException | None = None
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True)
+
+    def _main(self) -> None:
+        async def runner() -> None:
+            self._loop = asyncio.get_running_loop()
+
+            def ready(url: str) -> None:
+                self.url = url
+                self._ready.set()
+
+            self.exit_code = await run_app(
+                self.app, host=self._host, port=self._port,
+                api=self.api, ready=ready, announce=False,
+            )
+
+        try:
+            asyncio.run(runner())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self.error = exc
+        finally:
+            self._ready.set()
+
+    def start(self, timeout: float = 30.0) -> str:
+        self._thread.start()
+        self._ready.wait(timeout)
+        if self.url is None:
+            raise RuntimeError(
+                f"server failed to start: {self.error!r}"
+            ) from self.error
+        return self.url
+
+    def stop(self, timeout: float = 60.0) -> int | None:
+        """Trigger drain and join; returns the server's exit code."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.api.stop.set)
+        self._thread.join(timeout)
+        if self.error is not None:
+            raise RuntimeError(f"server crashed: {self.error!r}") from self.error
+        return self.exit_code
+
+
+__all__ = [
+    "Api",
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "ServerThread",
+    "json_response",
+    "read_request",
+    "run_app",
+    "run_server",
+]

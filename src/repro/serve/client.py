@@ -1,0 +1,147 @@
+"""Stdlib-only synchronous client for the serve daemon.
+
+Used by ``repro run --server`` / ``repro bench --server`` (thin-client
+mode), the test suite, and the CI smoke script.  Plain ``urllib`` over
+connection-per-request HTTP — deliberately no dependency and no state
+beyond the base URL and caller identity.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from repro.serve.sse import parse_events
+
+
+class ServeClientError(Exception):
+    """A non-2xx daemon response, carrying status and parsed body."""
+
+    def __init__(self, status: int, body: dict[str, Any],
+                 retry_after: float | None = None) -> None:
+        detail = body.get("error") if isinstance(body, dict) else None
+        super().__init__(detail or f"server returned HTTP {status}")
+        self.status = status
+        self.body = body if isinstance(body, dict) else {}
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Talk to one daemon at ``base_url`` as ``client_name``."""
+
+    def __init__(self, base_url: str, *, client_name: str | None = None,
+                 timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_name = client_name
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Any | None = None) -> tuple[int, dict[str, Any]]:
+        headers = {"Accept": "application/json"}
+        if self.client_name:
+            headers["X-Repro-Client"] = self.client_name
+        data = None
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode(errors="replace")
+            try:
+                body = json.loads(raw or "{}")
+            except ValueError:
+                body = {"error": raw}
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            if exc.code == 202:  # job in progress is not an error
+                return exc.code, body
+            raise ServeClientError(exc.code, body, retry_after) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                0, {"error": f"cannot reach {self.base_url}: {exc.reason}"}
+            ) from None
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/health")[1]
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/cache/stats")[1]
+
+    def submit(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST a submission; returns the job snapshot (201 body).
+
+        Raises :class:`ServeClientError` with ``status == 429`` and a
+        ``retry_after`` estimate when the client is over quota.
+        """
+        return self._request("POST", "/v1/jobs", payload)[1]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+
+    def result(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        """``(status, body)``: 200 with results when terminal, 202 while
+        the job is still queued or running."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def drain(self) -> dict[str, Any]:
+        return self._request("POST", "/v1/admin/drain", {})[1]
+
+    def wait(self, job_id: str, *, timeout: float = 600.0,
+             poll: float = 0.2) -> dict[str, Any]:
+        """Poll until the job is terminal; returns the result body."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, body = self.result(job_id)
+            if status == 200:
+                return body
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {body.get('state', 'pending')!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream the job's server-sent events until ``job_done``."""
+        headers = {"Accept": "text/event-stream"}
+        if self.client_name:
+            headers["X-Repro-Client"] = self.client_name
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events", headers=headers)
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode(errors="replace")
+            try:
+                body = json.loads(raw or "{}")
+            except ValueError:
+                body = {"error": raw}
+            raise ServeClientError(exc.code, body) from None
+        try:
+            for event in parse_events(
+                line.decode(errors="replace") for line in response
+            ):
+                yield event
+                if event.get("event") == "job_done":
+                    return
+        finally:
+            response.close()
+
+
+__all__ = ["ServeClient", "ServeClientError"]

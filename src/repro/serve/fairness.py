@@ -1,0 +1,125 @@
+"""Per-client weighted-fair queueing with bounded depth.
+
+The daemon is multi-tenant: one greedy client submitting a thousand-job
+matrix must not starve a light client's single run.  This is the
+service-level analogue of the per-app TLB contention the paper's
+tracker+spilling design arbitrates — here the shared resource is the
+worker pool, and the arbiter is **start-time fair queueing** (SFQ):
+
+* every client has a weight (default 1.0, configurable per daemon);
+* an enqueued item receives a virtual *start* tag
+  ``S = max(V, last_finish(client))`` and a *finish* tag
+  ``F = S + cost / weight``, where ``V`` is the queue's virtual time;
+* the dispatcher always pops the smallest finish tag, and ``V`` advances
+  to the popped item's start tag.
+
+The classic SFQ bound applies: a client's extra wait versus its weighted
+share is bounded by one maximal job per competing client, independent of
+how deep any other client's backlog is.  ``tests/serve/test_fairness.py``
+asserts that bound behaviourally.
+
+Depth is bounded per client (:class:`QuotaExceeded` → HTTP 429 with
+``Retry-After``): queueing is a contract to *eventually* run the work,
+so admission is refused while a client's backlog is at the limit instead
+of buffering unboundedly — explicit backpressure over hidden latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator
+
+#: Default per-client bound on queued (not yet running) items.
+DEFAULT_MAX_PENDING = 64
+
+
+class QuotaExceeded(Exception):
+    """A client's queue depth is at its limit (→ 429 + Retry-After)."""
+
+    def __init__(self, client: str, pending: int, limit: int) -> None:
+        super().__init__(
+            f"client {client!r} has {pending} queued jobs "
+            f"(limit {limit}); retry after the backlog drains"
+        )
+        self.client = client
+        self.pending = pending
+        self.limit = limit
+
+
+class FairQueue:
+    """Start-time fair queue over opaque items, keyed by client."""
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        default_weight: float = 1.0,
+        weights: dict[str, float] | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if default_weight <= 0:
+            raise ValueError(f"default_weight must be > 0, got {default_weight}")
+        for client, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"weight for client {client!r} must be > 0, got {weight}"
+                )
+        self.max_pending = max_pending
+        self.default_weight = default_weight
+        self.weights = dict(weights or {})
+        self._heap: list[tuple[float, float, int, str, Any]] = []
+        self._seq = itertools.count()
+        self._vtime = 0.0
+        self._pending: dict[str, int] = {}
+        self._last_finish: dict[str, float] = {}
+
+    def weight(self, client: str) -> float:
+        """The client's scheduling weight (share of the worker pool)."""
+        return self.weights.get(client, self.default_weight)
+
+    def pending(self, client: str | None = None) -> int:
+        """Queued items for ``client`` (or in total)."""
+        if client is not None:
+            return self._pending.get(client, 0)
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def clients(self) -> dict[str, int]:
+        """Clients with queued work → their queue depths."""
+        return {c: n for c, n in sorted(self._pending.items()) if n}
+
+    def push(self, client: str, item: Any, *, cost: float = 1.0) -> None:
+        """Enqueue ``item`` for ``client``; :class:`QuotaExceeded` at the
+        depth limit.  ``cost`` is the item's relative service demand (the
+        daemon uses the job's trace scale, so a big job charges its
+        client proportionally more virtual time than a small one)."""
+        queued = self._pending.get(client, 0)
+        if queued >= self.max_pending:
+            raise QuotaExceeded(client, queued, self.max_pending)
+        start = max(self._vtime, self._last_finish.get(client, 0.0))
+        finish = start + max(cost, 1e-9) / self.weight(client)
+        self._last_finish[client] = finish
+        heapq.heappush(self._heap, (finish, start, next(self._seq), client, item))
+        self._pending[client] = queued + 1
+
+    def pop(self) -> tuple[str, Any] | None:
+        """The fairest next item as ``(client, item)``, or ``None``."""
+        if not self._heap:
+            return None
+        _finish, start, _seq, client, item = heapq.heappop(self._heap)
+        self._vtime = max(self._vtime, start)
+        self._pending[client] -= 1
+        return client, item
+
+    def drain(self) -> Iterator[tuple[str, Any]]:
+        """Pop everything, fairness-ordered (used when journalling a
+        drain: the journal preserves the order work would have run in)."""
+        while True:
+            entry = self.pop()
+            if entry is None:
+                return
+            yield entry

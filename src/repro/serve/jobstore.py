@@ -1,0 +1,231 @@
+"""Job and task bookkeeping for the serve daemon.
+
+Terminology: a **task** is one unique simulation, keyed by its cache
+fingerprint digest — exactly the unit :func:`repro.sim.parallel.dedupe_jobs`
+deduplicates.  A **job** is one client submission: an ordered set of task
+digests plus subscriber queues for progress streaming.  Many jobs may
+reference one task (that *is* the in-flight dedup), and a task outlives
+the jobs that created it: its result lives in the persistent
+:class:`~repro.sim.cache.ResultCache`, its record here only while the
+daemon runs.
+
+The store is only ever touched from the event loop — handlers and the
+dispatcher run there, worker threads report back via
+``call_soon_threadsafe`` — so it needs no locking of its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.parallel import JobSpec
+
+#: Task lifecycle states.
+TASK_QUEUED = "queued"
+TASK_RUNNING = "running"
+TASK_DONE = "done"
+TASK_FAILED = "failed"
+TERMINAL_STATES = (TASK_DONE, TASK_FAILED)
+
+#: How a task's result came (or is coming) to be.
+SOURCE_RUN = "run"          # executed by this daemon's worker pool
+SOURCE_CACHE = "cache"      # served from the persistent result cache
+SOURCE_INFLIGHT = "inflight"  # attached to an already queued/running task
+
+#: In-memory results retained after completion (results also persist in
+#: the cache; this bound only caps daemon RSS for cache-disabled setups).
+MAX_RESULTS_IN_MEMORY = 256
+
+
+@dataclass
+class TaskRecord:
+    """One unique simulation the daemon knows about."""
+
+    digest: str
+    spec: JobSpec
+    fingerprint: dict[str, Any]
+    benches: tuple[str, ...]
+    state: str = TASK_QUEUED
+    source: str = SOURCE_RUN
+    client: str = "anon"
+    """The client whose submission created (and is billed for) the task."""
+    attempts: int = 0
+    seconds: float = 0.0
+    error: dict[str, str] | None = None
+    job_ids: list[str] = field(default_factory=list)
+    enqueued_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    events: int = 0
+    total_cycles: int = 0
+    result: Any = None
+    """The in-memory :class:`SimulationResult` (may be evicted — the
+    persistent cache remains the durable copy)."""
+    telemetry: dict[str, Any] | None = None
+    """The result's telemetry block, kept for progress/finish events."""
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    def describe(self) -> dict[str, Any]:
+        """The task's public JSON shape (status endpoints and events)."""
+        payload: dict[str, Any] = {
+            "digest": self.digest,
+            "label": self.label,
+            "state": self.state,
+            "source": self.source,
+            "attempts": self.attempts,
+        }
+        if self.benches and self.benches != ("adhoc",):
+            payload["benches"] = list(self.benches)
+        if self.state in TERMINAL_STATES:
+            payload["seconds"] = round(self.seconds, 6)
+            payload["events"] = self.events
+            payload["total_cycles"] = self.total_cycles
+        if self.error is not None:
+            payload["error"] = dict(self.error)
+        return payload
+
+
+@dataclass
+class JobRecord:
+    """One client submission and its subscribers."""
+
+    job_id: str
+    client: str
+    digests: tuple[str, ...]
+    created_at: float = field(default_factory=time.monotonic)
+    subscribers: list[asyncio.Queue] = field(default_factory=list)
+    dedup: dict[str, int] = field(default_factory=dict)
+    """Submission-time dedup counts: new/cache/inflight/matrix."""
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        self.subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self.subscribers.remove(queue)
+        except ValueError:
+            pass
+
+
+class JobStore:
+    """All jobs and tasks of one daemon process."""
+
+    def __init__(self) -> None:
+        self.jobs: dict[str, JobRecord] = {}
+        self.tasks: dict[str, TaskRecord] = {}
+        self._job_counter = 0
+        self._done_order: list[str] = []
+        self.stats = {
+            "jobs_submitted": 0,
+            "tasks_executed": 0,
+            "tasks_failed": 0,
+            "dedup_cache": 0,
+            "dedup_inflight": 0,
+            "dedup_matrix": 0,
+        }
+
+    # -- jobs ---------------------------------------------------------------
+
+    def new_job(self, client: str, digests: tuple[str, ...],
+                dedup: dict[str, int]) -> JobRecord:
+        self._job_counter += 1
+        job = JobRecord(
+            job_id=f"job-{self._job_counter:06d}", client=client,
+            digests=digests, dedup=dict(dedup),
+        )
+        self.jobs[job.job_id] = job
+        self.stats["jobs_submitted"] += 1
+        self.stats["dedup_cache"] += dedup.get("cache", 0)
+        self.stats["dedup_inflight"] += dedup.get("inflight", 0)
+        self.stats["dedup_matrix"] += dedup.get("matrix", 0)
+        return job
+
+    def job_state(self, job: JobRecord) -> str:
+        """Aggregate job state: ``done``/``failed`` only once every task
+        is terminal; ``failed`` if any task failed."""
+        states = [self.tasks[d].state for d in job.digests]
+        if any(s == TASK_FAILED for s in states):
+            if all(s in TERMINAL_STATES for s in states):
+                return "failed"
+            return "running"
+        if all(s == TASK_DONE for s in states):
+            return "done"
+        if any(s == TASK_RUNNING for s in states):
+            return "running"
+        return "queued"
+
+    def describe_job(self, job: JobRecord) -> dict[str, Any]:
+        tasks = [self.tasks[d] for d in job.digests]
+        states = [t.state for t in tasks]
+        return {
+            "job": job.job_id,
+            "client": job.client,
+            "state": self.job_state(job),
+            "dedup": dict(job.dedup),
+            "counts": {
+                "total": len(tasks),
+                "queued": states.count(TASK_QUEUED),
+                "running": states.count(TASK_RUNNING),
+                "done": states.count(TASK_DONE),
+                "failed": states.count(TASK_FAILED),
+            },
+            "tasks": [t.describe() for t in tasks],
+        }
+
+    # -- tasks --------------------------------------------------------------
+
+    def inflight(self, digest: str) -> TaskRecord | None:
+        """The queued/running task for ``digest``, if any."""
+        task = self.tasks.get(digest)
+        if task is not None and task.state not in TERMINAL_STATES:
+            return task
+        return None
+
+    def add_task(self, task: TaskRecord) -> None:
+        self.tasks[task.digest] = task
+
+    def finish_task(self, task: TaskRecord) -> None:
+        """Account a terminal transition and bound in-memory results."""
+        task.finished_at = time.monotonic()
+        if task.state == TASK_DONE and task.source == SOURCE_RUN:
+            self.stats["tasks_executed"] += 1
+        if task.state == TASK_FAILED:
+            self.stats["tasks_failed"] += 1
+        if task.result is not None:
+            self._done_order.append(task.digest)
+            while len(self._done_order) > MAX_RESULTS_IN_MEMORY:
+                evicted = self.tasks.get(self._done_order.pop(0))
+                if evicted is not None:
+                    evicted.result = None
+
+    def queued_tasks(self) -> list[TaskRecord]:
+        return [t for t in self.tasks.values() if t.state == TASK_QUEUED]
+
+    def running_tasks(self) -> list[TaskRecord]:
+        return [t for t in self.tasks.values() if t.state == TASK_RUNNING]
+
+    # -- event fan-out ------------------------------------------------------
+
+    def publish(self, task: TaskRecord, event: dict[str, Any]) -> None:
+        """Deliver ``event`` to every subscriber of every job watching
+        ``task`` (the two-subscribers-one-run dedup contract)."""
+        for job_id in task.job_ids:
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue
+            scoped = {**event, "job": job_id}
+            for queue in job.subscribers:
+                queue.put_nowait(scoped)
+
+    def publish_job(self, job: JobRecord, event: dict[str, Any]) -> None:
+        scoped = {**event, "job": job.job_id}
+        for queue in job.subscribers:
+            queue.put_nowait(scoped)

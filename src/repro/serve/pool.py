@@ -1,0 +1,90 @@
+"""The bounded asyncio bridge onto supervised worker processes.
+
+Execution itself is **not** reimplemented here: every task attempt runs
+through :func:`repro.sim.resilience.supervise_one` — the same
+crash-isolated ``Process``+``Pipe`` worker, soft/hard deadline, and
+seeded-backoff retry machinery ``repro bench`` uses.  This module only
+adapts it to the event loop: each task occupies one pool slot, executes
+in a thread (``asyncio.to_thread``) that supervises its worker process,
+and reports heartbeats back onto the loop with
+``call_soon_threadsafe``.
+
+The pool is deliberately dumb about *ordering* — choosing what runs next
+is the fair queue's job (:mod:`repro.serve.fairness`); the pool just
+enforces the concurrency bound and keeps the loop responsive while
+simulations run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable
+
+from repro.sim.cache import ResultCache
+from repro.sim.parallel import JobOutcome
+from repro.sim.resilience import ResiliencePolicy, supervise_one
+from repro.serve.jobstore import TaskRecord
+
+#: ``execute`` callables take ``(task, tick)`` and return a JobOutcome.
+#: ``tick`` is invoked from the supervising thread about once a second.
+ExecuteFn = Callable[[TaskRecord, Callable[[], None]], JobOutcome]
+
+
+def default_execute(cache: ResultCache, policy: ResiliencePolicy,
+                    note: Callable[[str], None]) -> ExecuteFn:
+    """The production executor: supervised worker processes + cache store."""
+
+    def execute(task: TaskRecord, tick: Callable[[], None]) -> JobOutcome:
+        return supervise_one(
+            task.spec, task.fingerprint, task.digest,
+            cache=cache, benches=task.benches, policy=policy,
+            note=note, on_tick=tick,
+        )
+
+    return execute
+
+
+class WorkerPool:
+    """Run tasks through ``execute`` with bounded concurrency."""
+
+    def __init__(self, workers: int, execute: ExecuteFn) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.semaphore = asyncio.Semaphore(workers)
+        self._execute = execute
+        self.active: dict[str, float] = {}
+        """Digest → monotonic start time of currently-executing tasks."""
+
+    @property
+    def busy(self) -> int:
+        return len(self.active)
+
+    async def run(
+        self,
+        task: TaskRecord,
+        on_heartbeat: Callable[[TaskRecord, float], None] | None = None,
+    ) -> JobOutcome:
+        """Execute ``task`` in a supervising thread; the caller must hold
+        a pool slot (``async with pool.semaphore``)."""
+        loop = asyncio.get_running_loop()
+        started = time.monotonic()
+        self.active[task.digest] = started
+
+        def tick() -> None:
+            if on_heartbeat is not None:
+                elapsed = time.monotonic() - started
+                loop.call_soon_threadsafe(on_heartbeat, task, elapsed)
+
+        try:
+            return await asyncio.to_thread(self._execute, task, tick)
+        finally:
+            self.active.pop(task.digest, None)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "busy": self.busy,
+            "active": sorted(self.active),
+        }

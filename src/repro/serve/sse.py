@@ -1,0 +1,48 @@
+"""Server-sent events: encoding (daemon side) and parsing (client side).
+
+SSE (``text/event-stream``) is the simplest streaming transport that
+plain HTTP clients — ``curl -N``, browsers' ``EventSource``, and the
+stdlib-only :class:`~repro.serve.client.ServeClient` — can all consume
+without extra dependencies.  Events are JSON objects on ``data:`` lines
+with the event kind duplicated in the ``event:`` field, one blank line
+between events, per the WHATWG spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+
+def encode_event(event: dict[str, Any]) -> bytes:
+    """One SSE frame for ``event`` (its ``"event"`` key names the type)."""
+    name = str(event.get("event", "message"))
+    data = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    return f"event: {name}\ndata: {data}\n\n".encode()
+
+
+def parse_events(lines: Iterable[str]) -> Iterator[dict[str, Any]]:
+    """Parse an SSE line stream back into event dictionaries.
+
+    Tolerant by construction: comment lines (``:`` prefix) and fields
+    other than ``data:`` are skipped, multi-``data:`` events concatenate
+    per spec, and a truncated trailing event (connection cut mid-frame)
+    is dropped rather than raised.
+    """
+    data_parts: list[str] = []
+    for raw in lines:
+        line = raw.rstrip("\r\n")
+        if line.startswith(":"):
+            continue
+        if line == "":
+            if data_parts:
+                try:
+                    payload = json.loads("\n".join(data_parts))
+                except ValueError:
+                    payload = None
+                if isinstance(payload, dict):
+                    yield payload
+                data_parts = []
+            continue
+        if line.startswith("data:"):
+            data_parts.append(line[5:].lstrip(" "))

@@ -34,11 +34,17 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
 from dataclasses import asdict, is_dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Any
+
+try:  # advisory inter-process locking; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only test environment
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -174,6 +180,57 @@ def fingerprint_digest(fingerprint: dict[str, Any]) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Sidecar file (inside the cache dir) accumulating counters across
+#: processes.  Deliberately *not* ``*.json`` so ``clear``/``prune`` never
+#: sweep it up with the digest-named entries.
+STATS_SIDECAR = "stats.meta"
+
+#: Lock file name for the advisory inter-process cache lock.
+LOCK_NAME = ".lock"
+
+#: Orphaned ``*.tmp`` files (a writer killed mid-store) older than this
+#: are reclaimed by :meth:`ResultCache.prune`.
+STALE_TMP_SECONDS = 3600.0
+
+_PERSISTENT_COUNTERS = ("hits", "misses", "stores", "corruptions")
+
+
+class CacheLock:
+    """Advisory ``flock`` over a cache directory's ``.lock`` file.
+
+    Serialises destructive maintenance (``clear``, ``prune``, stats
+    flushes) across processes.  Plain stores don't need it — they are
+    already atomic via write-to-temp + ``os.replace`` — and on platforms
+    without ``fcntl`` the lock degrades to a no-op (stores stay safe;
+    only concurrent maintenance loses mutual exclusion).
+    """
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.path = cache_dir / LOCK_NAME
+        self._handle: Any = None
+
+    def __enter__(self) -> "CacheLock":
+        if fcntl is None:
+            return self
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        except OSError:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._handle.close()
+                self._handle = None
+
+
 class ResultCache:
     """On-disk store of finished simulation results, one JSON per digest."""
 
@@ -258,11 +315,27 @@ class ResultCache:
         if not self.enabled:
             return None
         path = self.path_for(fingerprint)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         payload = {
             "fingerprint": fingerprint,
             "result": result_to_dict(result, include_stream=True),
         }
+        # Tolerate-and-retry: a concurrent ``clear``/``prune`` may remove
+        # the cache directory between our mkdir and the temp-file write or
+        # the final rename.  One retry after re-creating the directory is
+        # enough — the store itself stays atomic either way.
+        last_error: OSError | None = None
+        for attempt in range(2):
+            try:
+                self._put_once(path, payload)
+            except FileNotFoundError as exc:
+                last_error = exc
+                continue
+            self.stores += 1
+            return path
+        raise last_error if last_error is not None else OSError("cache store failed")
+
+    def _put_once(self, path: Path, payload: dict[str, Any]) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.cache_dir, prefix=path.stem[:16], suffix=".tmp"
         )
@@ -276,23 +349,113 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
-        return path
 
     # -- maintenance --------------------------------------------------------
 
+    def lock(self) -> CacheLock:
+        """The cache directory's advisory inter-process lock."""
+        return CacheLock(self.cache_dir)
+
     def clear(self) -> int:
-        """Delete every cache entry.  Returns the number removed."""
+        """Delete every cache entry.  Returns the number removed.
+
+        Takes the inter-process lock so a concurrent ``clear``/``prune``
+        never races this sweep; concurrent *stores* are safe regardless
+        (atomic rename, and ``put`` retries if the directory vanishes).
+        """
         removed = 0
         if not self.cache_dir.is_dir():
             return 0
-        for path in self.cache_dir.glob("*.json"):
+        with self.lock():
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def prune(
+        self,
+        *,
+        older_than_days: float | None = None,
+        max_bytes: int | None = None,
+    ) -> dict[str, int]:
+        """Bound the cache by age and/or size; returns a removal summary.
+
+        ``older_than_days`` removes entries (and quarantined ``*.corrupt``
+        files) whose mtime is older; ``max_bytes`` then removes the oldest
+        surviving entries until the remainder fits.  Orphaned ``*.tmp``
+        files from killed writers are always reclaimed once stale.  Runs
+        under the inter-process lock.
+        """
+        summary = {
+            "removed": 0, "bytes_freed": 0, "kept": 0, "bytes_kept": 0,
+            "corrupt_removed": 0, "tmp_removed": 0,
+        }
+        if not self.cache_dir.is_dir():
+            return summary
+        now = time.time()  # staticcheck: ignore[D2] - file-age policy needs wall clock
+        cutoff = None
+        if older_than_days is not None:
+            cutoff = now - older_than_days * 86400.0
+
+        def try_remove(path: Path, size: int, key: str) -> bool:
             try:
                 path.unlink()
-                removed += 1
             except OSError:
-                pass
-        return removed
+                return False
+            summary[key] += 1
+            if key == "removed":
+                summary["bytes_freed"] += size
+            return True
+
+        with self.lock():
+            entries: list[tuple[float, int, Path]] = []
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+            entries.sort()  # oldest first
+
+            survivors: list[tuple[float, int, Path]] = []
+            for mtime, size, path in entries:
+                if cutoff is not None and mtime < cutoff:
+                    try_remove(path, size, "removed")
+                else:
+                    survivors.append((mtime, size, path))
+
+            if max_bytes is not None:
+                total = sum(size for _mtime, size, _path in survivors)
+                kept: list[tuple[float, int, Path]] = []
+                for mtime, size, path in survivors:  # oldest first
+                    if total > max_bytes and try_remove(path, size, "removed"):
+                        total -= size
+                    else:
+                        kept.append((mtime, size, path))
+                survivors = kept
+
+            summary["kept"] = len(survivors)
+            summary["bytes_kept"] = sum(s for _m, s, _p in survivors)
+
+            for path in self.cache_dir.glob("*.json.corrupt"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if cutoff is not None and stat.st_mtime < cutoff:
+                    try_remove(path, stat.st_size, "corrupt_removed")
+
+            for path in self.cache_dir.glob("*.tmp"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if now - stat.st_mtime > STALE_TMP_SECONDS:
+                    try_remove(path, stat.st_size, "tmp_removed")
+        return summary
 
     def entry_count(self) -> int:
         """How many entries are currently stored."""
@@ -311,3 +474,92 @@ class ResultCache:
             "stores": self.stores,
             "corruptions": self.corruptions,
         }
+
+    # -- cross-process statistics -------------------------------------------
+
+    def _stats_path(self) -> Path:
+        return self.cache_dir / STATS_SIDECAR
+
+    def _read_sidecar(self) -> dict[str, int]:
+        try:
+            payload = json.loads(self._stats_path().read_text())
+        except (OSError, ValueError):
+            payload = {}
+        return {
+            name: int(payload.get(name, 0)) for name in _PERSISTENT_COUNTERS
+        }
+
+    def flush_session_stats(self) -> dict[str, int]:
+        """Fold this process's hit/miss/store counters into the sidecar.
+
+        Counters accumulate across processes until :meth:`stamp_stats`
+        zeroes them — ``repro cache stats`` reports the hit rate *since
+        the last stamp*.  Flushing resets the in-memory counters so
+        repeated flushes never double-count; runs under the lock.
+        """
+        if not self.enabled:
+            return self._read_sidecar()
+        with self.lock():
+            totals = self._read_sidecar()
+            for name in _PERSISTENT_COUNTERS:
+                totals[name] += getattr(self, name)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._stats_path().write_text(json.dumps(totals, sort_keys=True))
+        for name in _PERSISTENT_COUNTERS:
+            setattr(self, name, 0)
+        return totals
+
+    def stamp_stats(self) -> None:
+        """Zero the persistent counters (start a new measurement window)."""
+        with self.lock():
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._stats_path().write_text(json.dumps(
+                {name: 0 for name in _PERSISTENT_COUNTERS}, sort_keys=True))
+
+
+def cache_stats(cache: ResultCache) -> dict[str, Any]:
+    """The full statistics report for ``repro cache stats`` and the
+    daemon's ``/v1/cache/stats`` endpoint.
+
+    Combines on-disk state (entries, bytes, quarantined ``*.corrupt``
+    and orphaned ``*.tmp`` counts) with counters: this process's session
+    numbers and the cross-process sidecar totals since the last stamp,
+    including the derived hit rate.
+    """
+    entries = 0
+    total_bytes = 0
+    corrupt = 0
+    tmp = 0
+    if cache.cache_dir.is_dir():
+        for path in cache.cache_dir.glob("*.json"):
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        corrupt = sum(1 for _ in cache.cache_dir.glob("*.json.corrupt"))
+        tmp = sum(1 for _ in cache.cache_dir.glob("*.tmp"))
+    session = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "stores": cache.stores,
+        "corruptions": cache.corruptions,
+    }
+    totals = cache._read_sidecar()
+    for name in _PERSISTENT_COUNTERS:
+        totals[name] += session[name]
+    lookups = totals["hits"] + totals["misses"]
+    return {
+        "dir": str(cache.cache_dir),
+        "enabled": cache.enabled,
+        "entries": entries,
+        "bytes": total_bytes,
+        "corrupt_entries": corrupt,
+        "stale_tmp_files": tmp,
+        "session": session,
+        "since_stamp": {
+            **totals,
+            "lookups": lookups,
+            "hit_rate": round(totals["hits"] / lookups, 4) if lookups else None,
+        },
+    }

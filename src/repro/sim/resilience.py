@@ -576,6 +576,41 @@ def _run_in_process(
     return outcomes
 
 
+def supervise_one(
+    spec: JobSpec,
+    fingerprint: dict[str, Any],
+    digest: str,
+    *,
+    cache: ResultCache,
+    benches: tuple[str, ...] = (),
+    policy: ResiliencePolicy | None = None,
+    journal: SweepJournal | None = None,
+    note: Callable[[str], None] | None = None,
+    on_tick: Callable[[], None] | None = None,
+) -> JobOutcome:
+    """Run ONE job under full supervision and return its outcome.
+
+    The single-job entry point to the same machinery ``repro bench``
+    uses: a crash-isolated worker process per attempt, soft/hard
+    deadlines, and seeded-backoff retries.  This is the execution
+    primitive of the ``repro serve`` daemon — the service pool calls it
+    from worker threads, one call per deduplicated job, so the one-shot
+    sweep path and the service share the supervision code rather than
+    reimplementing it.
+
+    ``on_tick`` (if given) is invoked from the supervising thread at
+    least once a second while the job runs — the daemon uses it to push
+    heartbeat/progress events to subscribers.  A successful outcome has
+    already been stored in ``cache``.
+    """
+    job = _Job(0, spec, fingerprint, digest, tuple(benches))
+    return _run_supervised(
+        [job], workers=1, cache=cache, note=note or (lambda _msg: None),
+        policy=policy if policy is not None else ResiliencePolicy(),
+        chaos_state=None, journal=journal, on_tick=on_tick,
+    )[0]
+
+
 def _run_supervised(
     misses: list[_Job],
     *,
@@ -585,13 +620,16 @@ def _run_supervised(
     policy: ResiliencePolicy,
     chaos_state: ChaosState | None,
     journal: SweepJournal | None,
+    on_tick: Callable[[], None] | None = None,
 ) -> list[JobOutcome]:
     """Crash-isolated parallel execution: one worker process per attempt.
 
     The supervisor multiplexes result pipes with deadline checks; a dead
     pipe with no payload is a crash, a hard-deadline breach is a kill.
     Either requeues the job (with deterministic backoff) until its retry
-    budget is spent.
+    budget is spent.  ``on_tick`` is called once per supervision loop
+    iteration (roughly every second while anything runs) — host-side
+    only, it never touches simulation state.
     """
     from repro.reporting.export import result_from_dict
 
@@ -635,6 +673,8 @@ def _run_supervised(
 
     try:
         while waiting or running:
+            if on_tick is not None:
+                on_tick()
             now = time.monotonic()
             launchable = [j for j in waiting if j.ready_at <= now]
             while launchable and len(running) < workers:

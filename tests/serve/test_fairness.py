@@ -1,0 +1,94 @@
+"""Weighted-fair queue unit tests, including the SFQ wait-ratio bound
+that keeps a heavy client from starving a light one."""
+
+import pytest
+
+from repro.serve.fairness import FairQueue, QuotaExceeded
+
+
+class TestQuota:
+    def test_backpressure_at_limit(self):
+        q = FairQueue(max_pending=3)
+        for i in range(3):
+            q.push("greedy", i)
+        with pytest.raises(QuotaExceeded) as info:
+            q.push("greedy", 99)
+        assert info.value.client == "greedy"
+        assert info.value.limit == 3
+        # Other clients are unaffected by one client's full queue.
+        q.push("light", 0)
+        assert q.pending("light") == 1
+
+    def test_pop_frees_quota(self):
+        q = FairQueue(max_pending=1)
+        q.push("c", 1)
+        assert q.pop() == ("c", 1)
+        q.push("c", 2)  # does not raise
+        assert q.pending("c") == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FairQueue(max_pending=0)
+        with pytest.raises(ValueError):
+            FairQueue(default_weight=0.0)
+        with pytest.raises(ValueError):
+            FairQueue(weights={"a": -1.0})
+
+
+class TestFairness:
+    def test_light_client_not_starved(self):
+        """The SFQ bound: a late light client's first item pops after at
+        most ~one item per competing client, not after the heavy
+        client's whole backlog."""
+        q = FairQueue(max_pending=1000)
+        for i in range(200):
+            q.push("heavy", f"h{i}")
+        q.push("light", "l0")
+        popped_before_light = 0
+        while True:
+            client, _item = q.pop()
+            if client == "light":
+                break
+            popped_before_light += 1
+        assert popped_before_light <= 2
+
+    def test_weighted_share(self):
+        """A weight-3 client should receive ~3x the service of a
+        weight-1 client while both are backlogged."""
+        q = FairQueue(max_pending=1000, weights={"gold": 3.0})
+        for i in range(90):
+            q.push("gold", i)
+            q.push("basic", i)
+        first = [q.pop()[0] for _ in range(40)]
+        gold = first.count("gold")
+        basic = first.count("basic")
+        assert gold / max(basic, 1) >= 2.0
+
+    def test_cost_charges_virtual_time(self):
+        """Big jobs charge their client more virtual time, so a client
+        submitting huge jobs yields the pool between them."""
+        q = FairQueue(max_pending=1000)
+        for i in range(5):
+            q.push("big", f"b{i}", cost=10.0)
+        for i in range(5):
+            q.push("small", f"s{i}", cost=0.1)
+        order = [q.pop() for _ in range(10)]
+        # All small jobs run before the heavy backlog finishes.
+        small_positions = [i for i, (c, _x) in enumerate(order) if c == "small"]
+        assert max(small_positions) <= 5
+
+    def test_fifo_within_client(self):
+        q = FairQueue()
+        for i in range(10):
+            q.push("c", i)
+        assert [q.pop()[1] for _ in range(10)] == list(range(10))
+
+    def test_drain_empties_everything(self):
+        q = FairQueue()
+        for i in range(4):
+            q.push("a", i)
+            q.push("b", i)
+        drained = list(q.drain())
+        assert len(drained) == 8
+        assert len(q) == 0
+        assert q.clients() == {}

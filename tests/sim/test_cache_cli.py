@@ -1,0 +1,149 @@
+"""``repro cache``: stats and prune subcommands."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.export import result_to_dict
+from repro.serve.requests import parse_job
+from repro.sim.cache import ResultCache, cache_stats
+
+
+@pytest.fixture()
+def populated_cache(tmp_path):
+    """A cache dir with two real entries, one corrupt file, one temp."""
+    cache = ResultCache(tmp_path / "cache")
+    for seed in (1, 2):
+        spec = parse_job({"workload": "MM", "scale": 0.02, "seed": seed,
+                          "backend": "functional"})
+        cache.put(spec.fingerprint(), spec.execute())
+    (cache.cache_dir / "deadbeef.json.corrupt").write_text("junk")
+    (cache.cache_dir / "orphan.tmp").write_text("junk")
+    return cache
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestCacheStats:
+    def test_json_output(self, populated_cache, capsys):
+        code, out, _err = run_cli(
+            capsys, "cache", "stats", "--json",
+            "--cache-dir", str(populated_cache.cache_dir))
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["corrupt_entries"] == 1
+        assert stats["stale_tmp_files"] == 1
+        assert stats["since_stamp"]["hit_rate"] is None  # no lookups yet
+
+    def test_human_output(self, populated_cache, capsys):
+        code, out, _err = run_cli(
+            capsys, "cache", "stats",
+            "--cache-dir", str(populated_cache.cache_dir))
+        assert code == 0
+        assert "entries: 2" in out
+        assert "quarantined (*.corrupt): 1" in out
+
+    def test_hit_rate_accumulates_across_flushes(self, populated_cache,
+                                                 capsys):
+        cache = populated_cache
+        spec = parse_job({"workload": "MM", "scale": 0.02, "seed": 1,
+                          "backend": "functional"})
+        assert cache.get(spec.fingerprint()) is not None  # hit
+        assert cache.get({"nope": 1}) is None  # miss
+        cache.flush_session_stats()
+        assert cache.hits == 0  # flushed, not double-counted
+
+        code, out, _err = run_cli(
+            capsys, "cache", "stats", "--json",
+            "--cache-dir", str(cache.cache_dir))
+        assert code == 0
+        since = json.loads(out)["since_stamp"]
+        assert since["hits"] == 1
+        assert since["lookups"] == 2
+        assert since["hit_rate"] == 0.5
+
+    def test_stamp_resets_window(self, populated_cache, capsys):
+        cache = populated_cache
+        spec = parse_job({"workload": "MM", "scale": 0.02, "seed": 1,
+                          "backend": "functional"})
+        cache.get(spec.fingerprint())
+        cache.flush_session_stats()
+        code, out, _err = run_cli(
+            capsys, "cache", "stats", "--json", "--stamp",
+            "--cache-dir", str(cache.cache_dir))
+        assert code == 0
+        assert json.loads(out)["since_stamp"]["lookups"] == 0
+
+
+class TestCachePrune:
+    def test_usage_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        assert info.value.code == 2
+        _out, err = capsys.readouterr().out, capsys.readouterr().err
+        with pytest.raises(SystemExit) as info:
+            main(["cache", "prune", "--older-than", "-1",
+                  "--cache-dir", str(tmp_path)])
+        assert info.value.code == 2
+
+    def test_prune_by_age(self, populated_cache, capsys):
+        cache = populated_cache
+        entries = sorted(cache.cache_dir.glob("*.json"))
+        # Age one entry (and the corrupt file) far into the past.
+        old = time.time() - 40 * 86400
+        os.utime(entries[0], (old, old))
+        os.utime(cache.cache_dir / "deadbeef.json.corrupt", (old, old))
+        code, out, _err = run_cli(
+            capsys, "cache", "prune", "--older-than", "30", "--json",
+            "--cache-dir", str(cache.cache_dir))
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["removed"] == 1
+        assert summary["kept"] == 1
+        assert summary["corrupt_removed"] == 1
+        assert cache.entry_count() == 1
+
+    def test_prune_by_size_keeps_newest(self, populated_cache, capsys):
+        cache = populated_cache
+        entries = sorted(cache.cache_dir.glob("*.json"),
+                         key=lambda p: p.stat().st_mtime)
+        old = time.time() - 3600
+        os.utime(entries[0], (old, old))
+        keep_bytes = entries[-1].stat().st_size
+        code, out, _err = run_cli(
+            capsys, "cache", "prune", "--max-bytes", str(keep_bytes),
+            "--json", "--cache-dir", str(cache.cache_dir))
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["removed"] == 1
+        assert summary["bytes_kept"] <= keep_bytes
+        assert entries[-1].exists()  # newest survived
+        assert not entries[0].exists()
+
+    def test_prune_reclaims_stale_tmp(self, populated_cache, capsys):
+        cache = populated_cache
+        tmp_file = cache.cache_dir / "orphan.tmp"
+        old = time.time() - 7200
+        os.utime(tmp_file, (old, old))
+        code, out, _err = run_cli(
+            capsys, "cache", "prune", "--older-than", "9999", "--json",
+            "--cache-dir", str(cache.cache_dir))
+        assert code == 0
+        assert json.loads(out)["tmp_removed"] == 1
+        assert not tmp_file.exists()
+
+    def test_stats_after_prune_consistent(self, populated_cache, capsys):
+        cache = populated_cache
+        cache.prune(max_bytes=0)
+        stats = cache_stats(cache)
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
