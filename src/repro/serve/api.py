@@ -38,14 +38,24 @@ REASONS = {
     200: "OK", 201: "Created", 202: "Accepted", 400: "Bad Request",
     404: "Not Found", 405: "Method Not Allowed", 410: "Gone",
     413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 #: Request body cap — a full bench-matrix submission is well under 64 KiB.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Header-section caps — the API needs a handful of short headers, so
+#: anything past these bounds is hostile or broken, not legitimate.
+MAX_HEADER_LINES = 256
+MAX_HEADER_BYTES = 64 * 1024
+
 #: Idle seconds between SSE keepalive comments.
 SSE_KEEPALIVE_SECONDS = 15.0
+
+#: Seconds to let open connections finish after drain before cancelling
+#: them (drain has already published terminal events to every stream).
+CONNECTION_GRACE_SECONDS = 5.0
 
 
 class HttpError(Exception):
@@ -80,10 +90,16 @@ async def read_request(
         raise HttpError(400, "malformed request line")
     method, target, _version = parts
     headers: dict[str, str] = {}
+    header_lines = 0
+    header_bytes = 0
     while True:
         raw = await reader.readline()
         if raw in (b"\r\n", b"\n", b""):
             break
+        header_lines += 1
+        header_bytes += len(raw)
+        if header_lines > MAX_HEADER_LINES or header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, "request header section too large")
         name, _, value = raw.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
     try:
@@ -102,20 +118,23 @@ class Api:
     def __init__(self, app: ServeApp) -> None:
         self.app = app
         self.stop = asyncio.Event()
+        self.connections: set[asyncio.Task] = set()
+        """Live connection-handler tasks, so drain can cancel stragglers."""
 
     async def handle(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self.connections.add(task)
         try:
             try:
                 method, path, headers, body = await read_request(reader)
-            except HttpError as exc:
+                await self.dispatch(method, path, headers, body, writer)
+            except HttpError as exc:  # 400/405/413/431 — the client's fault
                 writer.write(json_response(exc.status, {"error": str(exc)}))
                 await writer.drain()
-                return
-            except (ConnectionError, asyncio.IncompleteReadError):
-                return
-            await self.dispatch(method, path, headers, body, writer)
-        except (ConnectionError, BrokenPipeError):
+        except (ConnectionError, BrokenPipeError,
+                asyncio.IncompleteReadError):
             pass
         except Exception as exc:  # a handler bug must not kill the daemon
             self.app.note(f"internal error handling request: {exc!r}")
@@ -125,6 +144,8 @@ class Api:
                 }))
                 await writer.drain()
         finally:
+            if task is not None:
+                self.connections.discard(task)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
@@ -138,7 +159,8 @@ class Api:
             writer.write(json_response(200, self.app.health()))
         elif segments == ["v1", "cache", "stats"]:
             self._expect(method, "GET")
-            writer.write(json_response(200, cache_stats(self.app.cache)))
+            stats = await asyncio.to_thread(cache_stats, self.app.cache)
+            writer.write(json_response(200, stats))
         elif segments == ["v1", "jobs"]:
             self._expect(method, "POST")
             try:
@@ -148,7 +170,7 @@ class Api:
                     400, {"error": "request body is not valid JSON"}))
                 await writer.drain()
                 return
-            status, reply, extra = self.app.submit(
+            status, reply, extra = await self.app.submit_async(
                 payload, fallback_client=headers.get("x-repro-client"))
             writer.write(json_response(status, reply, extra))
         elif len(segments) == 3 and segments[:2] == ["v1", "jobs"]:
@@ -162,7 +184,7 @@ class Api:
         elif len(segments) == 4 and segments[:2] == ["v1", "jobs"] and \
                 segments[3] == "result":
             self._expect(method, "GET")
-            status, reply = self.app.job_result(segments[2])
+            status, reply = await self.app.job_result_async(segments[2])
             writer.write(json_response(status, reply))
         elif len(segments) == 4 and segments[:2] == ["v1", "jobs"] and \
                 segments[3] == "events":
@@ -258,8 +280,22 @@ async def run_app(
         ready(url)
     await api.stop.wait()
     server.close()
-    await server.wait_closed()
+    # Drain BEFORE wait_closed(): on Python 3.12+ wait_closed() blocks
+    # until every connection handler finishes, and an SSE stream on a
+    # still-queued job only exits on the terminal event that drain()
+    # itself publishes — the old order deadlocked.  Drain lets handlers
+    # finish naturally; after a grace period any straggler (e.g. a
+    # client holding an idle socket without sending a request) is
+    # cancelled so shutdown cannot hang.
     await app.drain()
+    if api.connections:
+        _done, pending = await asyncio.wait(
+            set(api.connections), timeout=CONNECTION_GRACE_SECONDS)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    await server.wait_closed()
     return 0
 
 
@@ -333,6 +369,8 @@ __all__ = [
     "Api",
     "HttpError",
     "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_HEADER_LINES",
     "ServerThread",
     "json_response",
     "read_request",

@@ -220,10 +220,46 @@ class ServeApp:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(
+    async def submit_async(
         self, payload: Any, fallback_client: str | None = None
     ) -> tuple[int, dict[str, Any], dict[str, str]]:
-        """Handle one submission; returns ``(status, body, headers)``."""
+        """:meth:`submit` with cache lookups off the event loop.
+
+        The HTTP layer calls this so a large cache-warm submission (up
+        to one JSON read per unique job) cannot stall other handlers,
+        SSE delivery, or heartbeats.  The lookups run in a thread, then
+        the loop-state mutation happens in the sync :meth:`submit` —
+        which re-checks in-flight state, so the thread hop cannot
+        double-run a job."""
+        prefetched: dict[str, Any] | None = None
+        if self.state == "serving" and self.cache.enabled:
+            try:
+                parsed = parse_request(payload)
+            except RequestError:
+                parsed = None  # submit() produces the 400
+            if parsed is not None:
+                lookups = [
+                    (digest, fingerprint)
+                    for _spec, fingerprint, digest, _benches
+                    in dedupe_jobs(parsed.pairs)
+                    if self.store.inflight(digest) is None
+                ]
+                if lookups:
+                    prefetched = await asyncio.to_thread(
+                        lambda: {d: self.cache.get(fp) for d, fp in lookups}
+                    )
+        return self.submit(payload, fallback_client, prefetched=prefetched)
+
+    def submit(
+        self, payload: Any, fallback_client: str | None = None,
+        *, prefetched: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Handle one submission; returns ``(status, body, headers)``.
+
+        ``prefetched`` maps task digests to already-performed persistent
+        cache lookups (hit or ``None`` miss) so this method does no disk
+        I/O for them; digests not in the map fall back to a synchronous
+        lookup."""
         if self.state != "serving":
             return 503, {
                 "error": f"server is {self.state}; not accepting submissions",
@@ -247,7 +283,10 @@ class ServeApp:
                 dedup["inflight"] += 1
                 continue
             existing = self.store.tasks.get(digest)
-            cached = self.cache.get(fingerprint)
+            if prefetched is not None and digest in prefetched:
+                cached = prefetched[digest]
+            else:
+                cached = self.cache.get(fingerprint)
             if cached is None and existing is not None and \
                     existing.state == TASK_DONE and existing.result is not None:
                 cached = existing.result  # memory hit after external prune
@@ -461,9 +500,32 @@ class ServeApp:
             return None
         return self.store.describe_job(job)
 
-    def job_result(self, job_id: str) -> tuple[int, dict[str, Any]]:
+    async def job_result_async(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        """:meth:`job_result` with evicted-result cache loads off the
+        event loop (the HTTP layer's entry point)."""
+        job = self.store.jobs.get(job_id)
+        if job is not None and self.job_terminal(job):
+            lookups = [
+                (task.digest, task.fingerprint)
+                for task in (self.store.tasks.get(d) for d in job.digests)
+                if task is not None and task.state != TASK_FAILED
+                and task.result is None
+            ]
+            if lookups:
+                prefetched = await asyncio.to_thread(
+                    lambda: {d: self.cache.get(fp) for d, fp in lookups}
+                )
+                return self.job_result(job_id, prefetched=prefetched)
+        return self.job_result(job_id)
+
+    def job_result(
+        self, job_id: str, *, prefetched: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
         """``(status, body)`` for the result endpoint: 200 when terminal,
-        202 while queued/running, 404 unknown, 410 result evicted."""
+        202 while queued/running, 404 unknown, 410 result evicted.
+
+        ``prefetched`` maps task digests to cache loads already done
+        off-loop (see :meth:`job_result_async`)."""
         job = self.store.jobs.get(job_id)
         if job is None:
             return 404, {"error": f"unknown job {job_id!r}"}
@@ -490,7 +552,10 @@ class ServeApp:
             else:
                 result = task.result
                 if result is None:
-                    result = self.cache.get(task.fingerprint)
+                    if prefetched is not None and digest in prefetched:
+                        result = prefetched[digest]
+                    else:
+                        result = self.cache.get(task.fingerprint)
                 if result is None:
                     return 410, {
                         "error": f"result for {task.label} is no longer "

@@ -6,17 +6,21 @@ import json
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
 
-from repro.serve.api import ServerThread
+from repro.serve.api import MAX_HEADER_LINES, ServerThread
 from repro.serve.app import ServeApp, ServeSettings
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.requests import parse_job
 from repro.sim.cache import ResultCache
+from repro.sim.parallel import JobOutcome
 
 SRC = str(Path(__file__).resolve().parents[2] / "src")
 
@@ -114,6 +118,29 @@ class TestHttpApi:
             client.result("job-999999")
         assert info.value.status == 404
 
+    def test_wrong_method_is_405(self, server):
+        url, _app = server
+        client = ServeClient(url, client_name="t")
+        with pytest.raises(ServeClientError) as info:
+            client._request("GET", "/v1/jobs")
+        assert info.value.status == 405
+        assert "POST" in info.value.body["error"]
+        with pytest.raises(ServeClientError) as info:
+            client._request("POST", "/v1/health", {})
+        assert info.value.status == 405
+
+    def test_oversized_header_section_is_431(self, server):
+        url, _app = server
+        host, port = url.removeprefix("http://").rsplit(":", 1)
+        request = [b"GET /v1/health HTTP/1.1\r\n"]
+        request += [f"X-Flood-{i}: x\r\n".encode()
+                    for i in range(MAX_HEADER_LINES + 1)]
+        request.append(b"\r\n")
+        with socket.create_connection((host, int(port)), timeout=30) as sock:
+            sock.sendall(b"".join(request))
+            reply = sock.recv(65536)
+        assert b"431" in reply.split(b"\r\n", 1)[0]
+
     def test_backpressure_over_http(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         app = ServeApp(
@@ -142,7 +169,66 @@ class TestHttpApi:
             thread.stop()
 
 
+class _GatedExecutor:
+    """Blocks every execution until ``gate`` is set (drain-order tests)."""
+
+    def __init__(self, result):
+        self.result = result
+        self.gate = threading.Event()
+
+    def __call__(self, task, tick):
+        assert self.gate.wait(timeout=60), "executor gate never released"
+        tick()
+        return JobOutcome(
+            spec=task.spec, digest=task.digest, benches=task.benches,
+            cached=False, seconds=0.01,
+            events=self.result.events_executed,
+            total_cycles=self.result.total_cycles,
+            result=self.result,
+        )
+
+
 class TestGracefulDrain:
+    def test_drain_completes_with_sse_subscriber_on_queued_job(self, tmp_path):
+        """Regression: on Python 3.12+ ``Server.wait_closed()`` waits for
+        every connection handler, and an SSE stream on a still-queued job
+        only exits on the terminal event ``drain()`` publishes — so drain
+        must run before ``wait_closed()`` or shutdown deadlocks."""
+        executor = _GatedExecutor(parse_job(JOB).execute())
+        app = ServeApp(ServeSettings(workers=1),
+                       cache=ResultCache(tmp_path / "cache"),
+                       execute=executor)
+        thread = ServerThread(app)
+        url = thread.start()
+        client = ServeClient(url, client_name="t")
+        client.submit({"jobs": [JOB]})  # occupies the only worker (gated)
+        deadline = time.monotonic() + 60
+        while app.pool.busy != 1:
+            assert time.monotonic() < deadline, "first job never started"
+            time.sleep(0.01)
+        queued = client.submit({"jobs": [dict(JOB, seed=77)]})
+        events = []
+        streamer = threading.Thread(
+            target=lambda: events.extend(client.events(queued["job"])))
+        streamer.start()
+        while not app.store.jobs[queued["job"]].subscribers:
+            assert time.monotonic() < deadline, "SSE never subscribed"
+            time.sleep(0.01)
+        exit_codes = []
+        stopper = threading.Thread(
+            target=lambda: exit_codes.append(thread.stop(timeout=90)))
+        stopper.start()
+        while app.state != "draining":
+            assert time.monotonic() < deadline, "drain never started"
+            time.sleep(0.01)
+        executor.gate.set()  # running job finishes; queued one is journaled
+        stopper.join(timeout=120)
+        assert exit_codes == [0], "drain deadlocked with an open SSE stream"
+        streamer.join(timeout=30)
+        assert not streamer.is_alive(), "SSE stream never saw a terminal event"
+        assert events and events[-1]["event"] == "job_done"
+        assert events[-1]["state"] == "drained"
+
     def test_sigterm_drains_without_losing_jobs(self, tmp_path):
         """SIGTERM mid-backlog: the daemon finishes or journals every
         submitted job, flushes, and exits 0 — nothing lost, nothing
