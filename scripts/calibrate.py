@@ -14,7 +14,7 @@ if MODE in ("single", "both"):
     print(f"{'app':4s} {'mpki':>6s} {'cls':3s} | {'base':>9s} {'inf':>6s} {'least':>6s} | "
           f"{'l2hr':>5s} {'io_b':>5s} {'io_l':>5s} {'rem':>5s} | {'wq_b':>7s}")
     for app in SINGLE_APP_NAMES:
-        t = time.time()
+        t = time.perf_counter()
         base = run_single_app(app, policy="baseline", scale=SCALE)
         inf = run_single_app(app, infinite_iommu_config(), policy="baseline", scale=SCALE)
         least = run_single_app(app, policy="least-tlb", scale=SCALE)
@@ -22,16 +22,16 @@ if MODE in ("single", "both"):
         print(f"{app:4s} {b.mpki:6.2f} {'LMH'[min(2,(b.mpki>=0.1)+(b.mpki>=1))]:3s} | "
               f"{b.exec_cycles:9d} {inf.speedup_vs(base):6.3f} {least.speedup_vs(base):6.3f} | "
               f"{b.l2_hit_rate:5.2f} {b.iommu_hit_rate:5.2f} {l.iommu_hit_rate:5.2f} {l.remote_hit_rate:5.2f} | "
-              f"{base.walker_queue_wait_mean:7.0f}  ({time.time()-t:.0f}s)")
+              f"{base.walker_queue_wait_mean:7.0f}  ({time.perf_counter()-t:.0f}s)")
 
 if MODE in ("multi", "both"):
     print(f"=== multi-app (scale={SCALE}) ===")
     alone = {}
-    for app in set(a for apps, _ in MULTI_APP_WORKLOADS.values() for a in apps):
+    for app in sorted(set(a for apps, _ in MULTI_APP_WORKLOADS.values() for a in apps)):
         alone[app] = run_alone(app, policy="baseline", scale=SCALE).apps[1]
     print(f"{'wl':4s} {'cat':5s} | {'ws_b':>5s} {'ws_l':>5s} {'norm':>6s} | per-app speedups | io_b io_l rem")
     for wl, (apps, cat) in MULTI_APP_WORKLOADS.items():
-        t = time.time()
+        t = time.perf_counter()
         base = run_multi_app(wl, policy="baseline", scale=SCALE)
         least = run_multi_app(wl, policy="least-tlb", scale=SCALE)
         wsb = weighted_speedup(base, alone); wsl = weighted_speedup(least, alone)
@@ -41,4 +41,4 @@ if MODE in ("multi", "both"):
         rem = sum(a.remote_hit_rate for a in least.apps.values())/4
         print(f"{wl:4s} {cat:5s} | {wsb:5.2f} {wsl:5.2f} {wsl/wsb:6.3f} | "
               + " ".join(f"{apps[p-1]}:{sp[p]:.2f}" for p in sorted(sp))
-              + f" | {io_b:.2f} {io_l:.2f} {rem:.3f}  ({time.time()-t:.0f}s)")
+              + f" | {io_b:.2f} {io_l:.2f} {rem:.3f}  ({time.perf_counter()-t:.0f}s)")

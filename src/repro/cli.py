@@ -932,25 +932,71 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise _cli_error(f"unknown cache command {args.cache_command!r}")
 
 
+def _git_changed_python_files() -> list[str]:
+    """Python files changed vs HEAD (staged + unstaged + untracked).
+
+    The ``repro lint --changed`` pre-commit fast path: lint only what
+    the commit touches instead of the whole tree.  Files the full-tree
+    pass would never visit (rule fixtures, caches — the runner's skip
+    set) are excluded here too, since git names them explicitly.
+    """
+    import subprocess
+
+    from repro.staticcheck.runner import _SKIP_DIRS
+
+    names: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "--diff-filter=d", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise _cli_error(
+                f"--changed requires a git checkout with at least one "
+                f"commit: {exc}"
+            ) from None
+        names.update(line.strip() for line in proc.stdout.splitlines())
+    return sorted(
+        name for name in names
+        if name.endswith(".py") and Path(name).exists()
+        and not any(part in _SKIP_DIRS for part in Path(name).parts)
+    )
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: the determinism/protocol static analysis pass.
 
-    Exit codes follow the repo convention: 0 clean, 1 violations found,
-    2 usage error (unknown path, rule, or format).
+    Exit codes follow the repo convention: 0 clean (or every finding
+    baselined), 1 new violations found, 2 usage error (unknown path,
+    rule, or format).
     """
     # Imported here so simulation commands never pay for the analyzer.
-    from repro.staticcheck import all_rules, check_paths, get_rule
+    from repro.staticcheck import all_rules, check_units, get_rule
+    from repro.staticcheck.baseline import Baseline, DEFAULT_BASELINE_NAME
     from repro.staticcheck.runner import (
         iter_python_files,
         render_json_text,
         render_text,
     )
+    from repro.staticcheck.sarif import render_sarif_text
 
     if args.list_rules:
         rows = [[rule.id, rule.name, rule.description] for rule in all_rules()]
         print(comparison_table(rows, ["id", "name", "description"]))
         return 0
-    if not args.paths:
+
+    paths: list[str] = list(args.paths)
+    if args.changed:
+        if paths:
+            raise _cli_error("--changed and explicit paths are mutually exclusive")
+        paths = _git_changed_python_files()
+        if not paths:
+            print("0 file(s) checked: clean (no changed Python files)")
+            return 0
+    if not paths:
         raise _cli_error("no paths given (try `repro lint src/`)")
 
     rules = None
@@ -969,19 +1015,57 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 ) from None
 
     try:
-        files = iter_python_files(args.paths)
+        files = iter_python_files(paths)
     except FileNotFoundError as exc:
         raise _cli_error(f"no such file or directory: {exc}") from None
-    violations = check_paths(files, rules)
+    sources = {
+        str(file_path): file_path.read_text(encoding="utf-8")
+        for file_path in files
+    }
+    violations = check_units(sorted(sources.items()), rules)
+
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        Baseline.from_violations(violations, sources).save(target)
+        print(
+            f"wrote {len(violations)} baseline entr"
+            f"{'y' if len(violations) == 1 else 'ies'} to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baselined: list = []
+    stale: list = []
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except OSError as exc:
+            raise _cli_error(f"cannot read baseline: {exc}") from None
+        except ValueError as exc:
+            raise _cli_error(str(exc)) from None
+        violations, baselined, stale = baseline.split(violations, sources)
 
     if args.format == "json":
-        report = render_json_text(violations, len(files), rules)
+        report = render_json_text(
+            violations, len(files), rules,
+            baselined=baselined, stale_baseline_entries=len(stale),
+        )
+    elif args.format == "sarif":
+        active = list(rules) if rules is not None else all_rules()
+        report = render_sarif_text(violations, active)
     else:
-        report = render_text(violations, len(files)) + "\n"
+        report = render_text(violations, len(files), len(baselined)) + "\n"
     if args.output:
         Path(args.output).write_text(report)
         print(f"wrote {args.output}", file=sys.stderr)
     print(report, end="")
+    if stale:
+        print(
+            f"note: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} "
+            f"(fixed findings — re-run with --update-baseline to shrink)",
+            file=sys.stderr,
+        )
     return 1 if violations else 0
 
 
@@ -1208,14 +1292,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to analyse (e.g. src/)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="report format (default text)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="report format (default text; sarif for "
+                           "code-scanning upload)")
     lint.add_argument("--rules", default=None, metavar="IDS",
                       help="comma-separated rule ids to run (default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list the rule catalog and exit")
     lint.add_argument("--output", default=None, metavar="FILE",
                       help="also write the report to this file (CI artifact)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="accepted-findings file: baselined findings do "
+                           "not fail the run (see docs/static-analysis.md)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="(re)write the baseline file from this run's "
+                           "findings and exit 0")
+    lint.add_argument("--changed", action="store_true",
+                      help="lint only Python files changed vs HEAD "
+                           "(pre-commit fast path)")
     lint.set_defaults(func=cmd_lint)
 
     compare = sub.add_parser("compare", help="run several policies and compare")

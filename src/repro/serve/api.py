@@ -156,7 +156,7 @@ class Api:
 
         if segments == ["v1", "health"]:
             self._expect(method, "GET")
-            writer.write(json_response(200, self.app.health()))
+            writer.write(json_response(200, await self.app.health_async()))
         elif segments == ["v1", "cache", "stats"]:
             self._expect(method, "GET")
             stats = await asyncio.to_thread(cache_stats, self.app.cache)

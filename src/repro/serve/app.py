@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -83,28 +84,47 @@ class ServeJournal:
     queued-but-unstarted task as ``journaled`` together with a
     resubmittable request body — the "zero lost jobs" contract is
     auditable from this file alone.
+
+    The sync methods block on disk, so the event loop never calls them
+    directly: :class:`ServeApp` uses the ``*_async`` wrappers, which hop
+    to a worker thread.  Concurrent task completions therefore write
+    from different threads — the internal lock keeps each JSONL record
+    atomic and the handle lifecycle race-free.
     """
 
     def __init__(self, path: Path | None) -> None:
         self.path = path
         self._handle: Any = None
+        self._lock = threading.Lock()
 
     def open(self) -> None:
         if self.path is None:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = self.path.open("a")
+        with self._lock:
+            self._handle = self.path.open("a")
 
     def write(self, event: dict[str, Any]) -> None:
-        if self._handle is None:
-            return
-        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-        self._handle.flush()
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+            self._handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    async def open_async(self) -> None:
+        await asyncio.to_thread(self.open)
+
+    async def write_async(self, event: dict[str, Any]) -> None:
+        await asyncio.to_thread(self.write, event)
+
+    async def close_async(self) -> None:
+        await asyncio.to_thread(self.close)
 
 
 class ServeApp:
@@ -146,6 +166,13 @@ class ServeApp:
             self.cache.cache_dir / SERVE_JOURNAL_NAME
             if self.cache.enabled else None
         )
+        # Injectable seams for the blocking cache reads.  The async entry
+        # points (submit_async, job_result_async, health_async) prefetch
+        # via asyncio.to_thread and hand the data down, so the event loop
+        # itself never touches disk; these bound defaults serve the
+        # synchronous callers (CLI, tests) and the rare prefetch races.
+        self._cache_lookup: Callable[[str], Any] = self.cache.get
+        self._cache_describe: Callable[[], dict[str, Any]] = self.cache.describe
         self.state = "starting"
         self.started_at = time.monotonic()
         self.rejections = 0
@@ -159,8 +186,10 @@ class ServeApp:
 
     async def start(self) -> None:
         """Open the journal and start the dispatcher."""
-        self.journal.open()
-        self.journal.write({"event": "serve", "workers": self.pool.workers})
+        await self.journal.open_async()
+        await self.journal.write_async(
+            {"event": "serve", "workers": self.pool.workers}
+        )
         self.state = "serving"
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
@@ -182,7 +211,7 @@ class ServeApp:
             task = self.store.tasks.get(digest)
             if task is None or task.state != TASK_QUEUED:
                 continue
-            self.journal.write({
+            await self.journal.write_async({
                 "event": "journaled",
                 "digest": digest,
                 "label": task.label,
@@ -202,15 +231,15 @@ class ServeApp:
                 self.store.publish_job(job, {
                     "event": "job_done", "state": "drained",
                 })
-        self.journal.write({
+        await self.journal.write_async({
             "event": "drain",
             "completed": self.drained["completed"],
             "journaled": journaled,
         })
-        self.journal.close()
+        await self.journal.close_async()
         flush = getattr(self.cache, "flush_session_stats", None)
         if flush is not None:
-            flush()
+            await asyncio.to_thread(flush)
         self.state = "stopped"
         self.note(
             f"drain: complete ({self.drained['completed']} finished, "
@@ -285,8 +314,14 @@ class ServeApp:
             existing = self.store.tasks.get(digest)
             if prefetched is not None and digest in prefetched:
                 cached = prefetched[digest]
+            elif existing is not None and existing.state == TASK_DONE \
+                    and existing.result is not None:
+                # In-memory terminal result — also covers a task that was
+                # in flight at prefetch time and finished before submit,
+                # so the async path stays off disk in that race.
+                cached = existing.result
             else:
-                cached = self.cache.get(fingerprint)
+                cached = self._cache_lookup(fingerprint)
             if cached is None and existing is not None and \
                     existing.state == TASK_DONE and existing.result is not None:
                 cached = existing.result  # memory hit after external prune
@@ -432,7 +467,7 @@ class ServeApp:
             self.pool.semaphore.release()
         self.store.finish_task(task)
         self.drained["completed"] += 1
-        self.journal.write({
+        await self.journal.write_async({
             "event": "task",
             "digest": task.digest,
             "label": task.label,
@@ -478,7 +513,17 @@ class ServeApp:
 
     # -- read-side ----------------------------------------------------------
 
-    def health(self) -> dict[str, Any]:
+    async def health_async(self) -> dict[str, Any]:
+        """:meth:`health` with the cache description — a disk glob per
+        call — taken off the event loop (the HTTP layer's entry point)."""
+        cache_info = await asyncio.to_thread(self._cache_describe)
+        return self.health(cache_info=cache_info)
+
+    def health(
+        self, *, cache_info: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        if cache_info is None:
+            cache_info = self._cache_describe()
         return {
             "status": self.state,
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
@@ -491,7 +536,7 @@ class ServeApp:
             "rejections": self.rejections,
             "mean_job_seconds": self._ewma_seconds,
             "stats": dict(self.store.stats),
-            "cache": self.cache.describe(),
+            "cache": cache_info,
         }
 
     def job_status(self, job_id: str) -> dict[str, Any] | None:
@@ -555,7 +600,7 @@ class ServeApp:
                     if prefetched is not None and digest in prefetched:
                         result = prefetched[digest]
                     else:
-                        result = self.cache.get(task.fingerprint)
+                        result = self._cache_lookup(task.fingerprint)
                 if result is None:
                     return 410, {
                         "error": f"result for {task.label} is no longer "

@@ -25,25 +25,32 @@ syntax (``# staticcheck: ignore[D1]``).
 
 from __future__ import annotations
 
-from repro.staticcheck.registry import Rule, all_rules, get_rule, register
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.registry import ProjectRule, Rule, all_rules, get_rule, register
 from repro.staticcheck.runner import (
     check_file,
     check_paths,
     check_source,
+    check_units,
     render_json,
     render_text,
 )
+from repro.staticcheck.sarif import render_sarif
 from repro.staticcheck.violations import Violation
 
 __all__ = [
+    "Baseline",
+    "ProjectRule",
     "Rule",
     "Violation",
     "all_rules",
     "check_file",
     "check_paths",
     "check_source",
+    "check_units",
     "get_rule",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -1,0 +1,129 @@
+"""Finding baselines: land new rules strict-on-new-code.
+
+A baseline file records the *accepted* pre-existing findings so a newly
+introduced rule can gate CI immediately: anything in the baseline is
+reported as ``baselined`` and does not fail the run; anything new does.
+
+Entries are matched by **content fingerprint** — a hash of the rule id,
+the file path, and the stripped source line — not by line number, so
+ordinary edits above a baselined finding do not invalidate it, while
+editing the offending line itself (or fixing it) retires the entry.
+
+Workflow::
+
+    repro lint src/ --update-baseline          # (re)write lint-baseline.json
+    repro lint src/ --baseline lint-baseline.json   # gate: new findings only
+
+Stale entries (fingerprints matching nothing) are surfaced in the
+summary so the checked-in baseline shrinks monotonically as findings
+are fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.staticcheck.violations import Violation
+
+BASELINE_SCHEMA = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def violation_fingerprint(violation: Violation, source_lines: Sequence[str]) -> str:
+    """Content hash identifying ``violation`` across line drift."""
+    index = violation.line - 1
+    content = (
+        source_lines[index].strip()
+        if 0 <= index < len(source_lines)
+        else ""
+    )
+    path = violation.path.replace("\\", "/")
+    digest = hashlib.sha256(
+        f"{violation.rule_id}:{path}:{content}".encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+class Baseline:
+    """The accepted-findings set, loadable and updatable."""
+
+    def __init__(self, entries: Sequence[dict[str, Any]] = ()) -> None:
+        self.entries = list(entries)
+        self._fingerprints = {entry["fingerprint"] for entry in self.entries}
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad payload."""
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: not a baseline file (no 'entries')")
+        schema = payload.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported baseline schema {schema!r} "
+                f"(expected {BASELINE_SCHEMA})"
+            )
+        entries = payload["entries"]
+        for entry in entries:
+            if "fingerprint" not in entry or "rule" not in entry:
+                raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        return cls(entries)
+
+    @classmethod
+    def from_violations(
+        cls,
+        violations: Sequence[Violation],
+        sources: dict[str, str],
+    ) -> "Baseline":
+        """Build a baseline accepting every violation in ``violations``."""
+        entries = []
+        for violation in violations:
+            lines = sources.get(violation.path, "").splitlines()
+            entries.append({
+                "rule": violation.rule_id,
+                "path": violation.path.replace("\\", "/"),
+                "line": violation.line,
+                "message": violation.message,
+                "fingerprint": violation_fingerprint(violation, lines),
+            })
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "tool": "repro.staticcheck",
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (e["path"], e.get("line", 0), e["rule"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def split(
+        self,
+        violations: Sequence[Violation],
+        sources: dict[str, str],
+    ) -> tuple[list[Violation], list[Violation], list[dict[str, Any]]]:
+        """``(new, baselined, stale_entries)`` for this run's findings."""
+        new: list[Violation] = []
+        baselined: list[Violation] = []
+        matched: set[str] = set()
+        for violation in violations:
+            lines = sources.get(violation.path, "").splitlines()
+            fingerprint = violation_fingerprint(violation, lines)
+            if fingerprint in self._fingerprints:
+                matched.add(fingerprint)
+                baselined.append(violation)
+            else:
+                new.append(violation)
+        stale = [
+            entry for entry in self.entries
+            if entry["fingerprint"] not in matched
+        ]
+        return new, baselined, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,454 @@
+"""Call graph, execution-context classification, and effect summaries.
+
+Built on the :class:`~repro.staticcheck.project.Project` symbol table,
+this module answers the questions the concurrency rules ask:
+
+* **who calls whom** — one edge per resolved intra-project call, with
+  the call node for reporting;
+* **where does a function run** — ``async`` (an ``async def``),
+  ``thread-entry`` (handed to ``asyncio.to_thread``, an executor,
+  ``Thread(target=...)`` or ``Process(target=...)``), ``loop-only``
+  (sync but reachable from the event loop: called from an ``async def``
+  without a thread hop, or registered via ``call_soon*``), or plain
+  ``sync``;
+* **what does a function do** — a per-function *effect summary*: the
+  blocking operations it performs directly (file I/O, ``Pipe.recv`` /
+  ``poll``, ``subprocess``, ``time.sleep``, ``ResultCache`` disk
+  methods, journal writes) and the locks it acquires (``fcntl.flock``,
+  ``threading.Lock``, ``asyncio.Lock``), plus the transitive closure of
+  both over resolved call edges.
+
+Everything is resolution-bounded: an edge the project table cannot
+resolve simply does not exist, so every classification here is a *lower
+bound* on what the code can do — which is exactly the polarity the
+"never a false C1" contract needs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.staticcheck.context import dotted_name, terminal_name
+from repro.staticcheck.project import FunctionInfo, ModuleInfo, Project
+
+#: Methods whose callback argument runs on a worker thread.
+_HOP_CALLS = frozenset({"to_thread"})
+#: Receiver-method spellings that put their argument on the event loop.
+_LOOP_CALLBACK_CALLS = frozenset({"call_soon", "call_soon_threadsafe", "call_later"})
+
+#: ResultCache methods that touch the disk (the cache's own module is
+#: exempt — it *is* the disk layer).
+CACHE_BLOCKING_METHODS = frozenset({
+    "get", "put", "clear", "prune", "describe", "entry_count",
+    "flush_session_stats", "stamp_stats", "lock",
+})
+
+#: File-handle-ish receiver names whose read/write methods block.
+_HANDLE_NAMES = frozenset({"_handle", "handle", "fh", "fp"})
+
+#: Methods that constitute file I/O on any receiver.
+_FILE_IO_METHODS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes", "unlink",
+    "mkdir", "replace", "rename",
+})
+
+_SUBPROCESS_CALLS = frozenset({"run", "Popen", "check_call", "check_output", "call"})
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One thing a function does that concurrency rules care about."""
+
+    kind: str
+    """``"block"``, ``"acquire"`` (sync lock), or ``"acquire-async"``."""
+
+    what: str
+    """Human name of the operation (``time.sleep``, ``ResultCache.get``)."""
+
+    node: ast.AST = field(compare=False, hash=False)
+    """Where it happens (for reporting)."""
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``node``."""
+
+    callee: str
+    node: ast.AST = field(compare=False, hash=False)
+    kind: str = "call"
+    """``"call"`` (same context) or ``"hop"`` (crosses into a thread)."""
+
+
+def _flock_mode(call: ast.Call) -> str | None:
+    """``"EX"``/``"SH"``/``"UN"`` for an ``fcntl.flock`` call, else None."""
+    if dotted_name(call.func) != "fcntl.flock" or len(call.args) < 2:
+        return None
+    flag = call.args[1]
+    name = terminal_name(flag)
+    if isinstance(flag, ast.BinOp):
+        name = terminal_name(flag.left) or terminal_name(flag.right)
+    if name is None:
+        return None
+    if "LOCK_UN" in name:
+        return "UN"
+    if "LOCK_EX" in name:
+        return "EX"
+    if "LOCK_SH" in name:
+        return "SH"
+    return None
+
+
+def _effect_for_call(call: ast.Call, path: str) -> list[Effect]:
+    """Direct blocking/acquire effects of one call expression."""
+    effects: list[Effect] = []
+    func = call.func
+    name = terminal_name(func)
+    dotted = dotted_name(func) or (name or "")
+    parts = dotted.split(".")
+    norm_path = path.replace("\\", "/")
+    in_cache_module = norm_path.endswith("sim/cache.py")
+
+    if dotted == "time.sleep":
+        effects.append(Effect("block", "time.sleep", call))
+    elif isinstance(func, ast.Name) and name == "open":
+        effects.append(Effect("block", "open()", call))
+    elif parts[0] == "subprocess" and name in _SUBPROCESS_CALLS:
+        effects.append(Effect("block", f"subprocess.{name}", call))
+    elif dotted == "fcntl.flock":
+        # Acquiring modes wait on the lock (a block) and hold it; LOCK_UN
+        # (and an unresolvable flag) contribute no effect — the polarity
+        # here is "unknown stays silent".
+        if _flock_mode(call) in ("EX", "SH"):
+            effects.append(Effect("block", "fcntl.flock", call))
+            effects.append(Effect("acquire", "fcntl.flock", call))
+    elif isinstance(func, ast.Attribute):
+        receiver = terminal_name(func.value)
+        if name in _FILE_IO_METHODS:
+            effects.append(Effect("block", f"file I/O (.{name})", call))
+        elif name == "open" and receiver not in ("webbrowser",):
+            effects.append(Effect("block", "file I/O (.open)", call))
+        elif name in ("recv", "poll") and receiver != "self":
+            effects.append(Effect("block", f"Pipe.{name}", call))
+        elif (
+            not in_cache_module
+            and name in CACHE_BLOCKING_METHODS
+            and receiver is not None
+            and (receiver == "cache" or receiver.endswith("cache"))
+        ):
+            effects.append(Effect("block", f"ResultCache.{name}", call))
+        elif (
+            receiver == "journal"
+            and name in ("open", "write", "close")
+        ):
+            effects.append(Effect("block", f"journal file I/O (.{name})", call))
+        elif (
+            receiver in _HANDLE_NAMES
+            and name in ("write", "read", "readline", "flush", "close")
+        ):
+            effects.append(Effect("block", f"file I/O ({receiver}.{name})", call))
+        elif name == "acquire":
+            lockish = receiver is not None and "lock" in receiver.lower()
+            if lockish:
+                effects.append(Effect("acquire", dotted, call))
+    if name == "cache_stats":
+        effects.append(Effect("block", "cache_stats()", call))
+    return effects
+
+
+def _callback_args(call: ast.Call) -> tuple[list[ast.expr], str | None]:
+    """``(callback exprs, context)`` for calls that register callbacks.
+
+    ``context`` is ``"thread"`` for to_thread/executor/Thread/Process
+    targets, ``"loop"`` for ``call_soon*`` registrations, or ``None``.
+    """
+    name = terminal_name(call.func)
+    if name in _HOP_CALLS and call.args:
+        return [call.args[0]], "thread"
+    if name == "run_in_executor" and len(call.args) >= 2:
+        return [call.args[1]], "thread"
+    if name == "submit" and call.args:
+        receiver = (
+            terminal_name(call.func.value)
+            if isinstance(call.func, ast.Attribute) else None
+        )
+        if receiver is not None and (
+            "executor" in receiver.lower() or "pool" in receiver.lower()
+        ):
+            return [call.args[0]], "thread"
+    if name in ("Thread", "Process"):
+        for kw in call.keywords:
+            if kw.arg == "target":
+                return [kw.value], "thread"
+    if name in _LOOP_CALLBACK_CALLS and call.args:
+        return [call.args[0]], "loop"
+    return [], None
+
+
+def _own_statements(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``node``'s subtree, *excluding* nested function bodies."""
+    stack: list[ast.AST] = [node]
+    first = True
+    while stack:
+        current = stack.pop()
+        if not first and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        first = False
+        yield current
+        stack.extend(reversed(list(ast.iter_child_nodes(current))))
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the call graph computed for one function."""
+
+    info: FunctionInfo
+    edges: list[Edge] = field(default_factory=list)
+    effects: list[Effect] = field(default_factory=list)
+    """Direct effects only (this function's own body)."""
+    writes: dict[str, ast.AST] = field(default_factory=dict)
+    """``self.attr`` / module-global names this function writes → site."""
+    classification: str = "sync"
+    """``async`` / ``thread-entry`` / ``loop-only`` / ``sync``."""
+
+
+class CallGraph:
+    """The interprocedural database behind the C-rule family."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.facts: dict[str, FunctionFacts] = {}
+        self.thread_entries: set[str] = set()
+        self.loop_callbacks: set[str] = set()
+        for info in project.functions:
+            self.facts[info.qualname] = FunctionFacts(info=info)
+        for info in project.functions:
+            self._analyse_function(info)
+        self._classify()
+
+    # -- per-function analysis ----------------------------------------------
+
+    def _analyse_function(self, info: FunctionInfo) -> None:
+        facts = self.facts[info.qualname]
+        module = info.module
+        body: Iterable[ast.AST]
+        if isinstance(info.node, ast.Lambda):
+            body = _own_statements(info.node.body)
+        else:
+            body = (
+                sub for stmt in info.node.body for sub in _own_statements(stmt)
+            )
+        for node in body:
+            if isinstance(node, ast.Call):
+                callbacks, context = _callback_args(node)
+                for callback in callbacks:
+                    target = self.project.resolve_callable(callback, info, module)
+                    if target is None:
+                        continue
+                    if context == "thread":
+                        self.thread_entries.add(target.qualname)
+                        facts.edges.append(Edge(target.qualname, node, kind="hop"))
+                    elif context == "loop":
+                        self.loop_callbacks.add(target.qualname)
+                        facts.edges.append(Edge(target.qualname, node, kind="call"))
+                if context == "thread":
+                    continue  # the registering call itself does not block
+                facts.effects.extend(_effect_for_call(node, info.path))
+                callee = self.project.resolve_call(node, info, module)
+                if callee is not None:
+                    facts.edges.append(Edge(callee.qualname, node))
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    self._with_effect(facts, info, module, item, node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                self._record_writes(facts, info, module, node)
+
+    def _with_effect(
+        self,
+        facts: FunctionFacts,
+        info: FunctionInfo,
+        module: ModuleInfo,
+        item: ast.withitem,
+        node: ast.With,
+    ) -> None:
+        expr = item.context_expr
+        name = dotted_name(expr)
+        if name is not None:
+            kind = self.project.lock_kind(module, info, name)
+            if kind == "sync" or (
+                kind is None and "lock" in (terminal_name(expr) or "").lower()
+            ):
+                facts.effects.append(Effect("acquire", name, node))
+            elif kind == "async":
+                facts.effects.append(Effect("acquire-async", name, node))
+            return
+        if isinstance(expr, ast.Call):
+            called = terminal_name(expr.func)
+            if called is not None and "lock" in called.lower():
+                # `with self.lock():` / `with cache.lock():` — the flock
+                # context-manager idiom.
+                facts.effects.append(
+                    Effect("acquire", dotted_name(expr.func) or called, node)
+                )
+                facts.effects.append(Effect("block", "fcntl.flock", node))
+
+    def _record_writes(
+        self,
+        facts: FunctionFacts,
+        info: FunctionInfo,
+        module: ModuleInfo,
+        node: ast.Assign | ast.AugAssign,
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            base = target
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            name = dotted_name(base)
+            if name is None:
+                continue
+            if name.startswith("self.") and info.cls is not None:
+                parts = name.split(".")
+                facts.writes.setdefault(
+                    f"{module.name}:{info.cls.name}.{parts[1]}", node
+                )
+            elif "." not in name and name in module.global_names:
+                if isinstance(target, ast.Subscript) or self._declared_global(
+                    info, name
+                ):
+                    facts.writes.setdefault(f"{module.name}:{name}", node)
+
+    @staticmethod
+    def _declared_global(info: FunctionInfo, name: str) -> bool:
+        if isinstance(info.node, ast.Lambda):
+            return False
+        for node in _own_statements_body(info.node):
+            if isinstance(node, ast.Global) and name in node.names:
+                return True
+        return False
+
+    # -- classification ------------------------------------------------------
+
+    def _classify(self) -> None:
+        loop_ctx = self._closure(
+            {
+                q for q, f in self.facts.items()
+                if f.info.is_async or q in self.loop_callbacks
+            },
+            include_async=True,
+        )
+        thread_ctx = self._closure(set(self.thread_entries), include_async=True)
+        for qualname, facts in self.facts.items():
+            if facts.info.is_async:
+                facts.classification = "async"
+            elif qualname in self.thread_entries:
+                facts.classification = "thread-entry"
+            elif qualname in loop_ctx and qualname not in thread_ctx:
+                facts.classification = "loop-only"
+            else:
+                facts.classification = "sync"
+        self.loop_context = loop_ctx
+        self.thread_context = thread_ctx
+
+    def _closure(self, roots: set[str], *, include_async: bool) -> set[str]:
+        """All functions reachable from ``roots`` via non-hop call edges."""
+        seen = set(roots)
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            facts = self.facts.get(current)
+            if facts is None:
+                continue
+            for edge in facts.edges:
+                if edge.kind == "hop":
+                    continue
+                callee = self.facts.get(edge.callee)
+                if callee is None or edge.callee in seen:
+                    continue
+                if callee.info.is_async and not include_async:
+                    continue
+                seen.add(edge.callee)
+                stack.append(edge.callee)
+        return seen
+
+    # -- queries -------------------------------------------------------------
+
+    def classification(self, qualname: str) -> str:
+        facts = self.facts.get(qualname)
+        return facts.classification if facts is not None else "unknown"
+
+    def summary(self, qualname: str) -> dict[str, list[str]]:
+        """Transitive effect summary: ``{"blocks": [...], "acquires": [...]}``."""
+        blocks: list[str] = []
+        acquires: list[str] = []
+        for effect, _path, _anchor in self.transitive_effects(qualname):
+            target = blocks if effect.kind == "block" else acquires
+            if effect.what not in target:
+                target.append(effect.what)
+        return {"blocks": blocks, "acquires": acquires}
+
+    def transitive_effects(
+        self, qualname: str
+    ) -> list[tuple[Effect, tuple[str, ...], ast.AST]]:
+        """Every effect reachable from ``qualname`` through resolved sync
+        call edges (hops excluded), as ``(effect, call path, anchor)``.
+
+        The *anchor* is a node inside ``qualname``'s own body — the
+        effect site itself for a direct effect, or the call expression
+        that starts the offending chain — so reports (and suppression
+        comments) land in the function under analysis, not three files
+        away.
+
+        Deterministic: BFS in edge order, first path to a function wins.
+        Awaiting or calling an ``async def`` does not propagate its
+        effects — an async callee schedules its own work and is analysed
+        (and reported) on its own.
+        """
+        start = self.facts.get(qualname)
+        if start is None:
+            return []
+        results: list[tuple[Effect, tuple[str, ...], ast.AST]] = []
+        seen = {qualname}
+        queue: list[tuple[str, tuple[str, ...], ast.AST | None]] = [
+            (qualname, (start.info.label,), None)
+        ]
+        while queue:
+            current, path, anchor = queue.pop(0)
+            facts = self.facts[current]
+            for effect in facts.effects:
+                results.append((effect, path, anchor or effect.node))
+            for edge in facts.edges:
+                if edge.kind == "hop" or edge.callee in seen:
+                    continue
+                callee = self.facts.get(edge.callee)
+                if callee is None or callee.info.is_async:
+                    continue
+                seen.add(edge.callee)
+                queue.append(
+                    (edge.callee, path + (callee.info.label,), anchor or edge.node)
+                )
+        return results
+
+    def blocking_paths(
+        self, qualname: str
+    ) -> list[tuple[Effect, tuple[str, ...], ast.AST]]:
+        """The blocking subset of :meth:`transitive_effects`."""
+        return [
+            (effect, path, anchor)
+            for effect, path, anchor in self.transitive_effects(qualname)
+            if effect.kind == "block"
+        ]
+
+
+def _own_statements_body(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterable[ast.AST]:
+    for stmt in node.body:
+        yield from _own_statements(stmt)

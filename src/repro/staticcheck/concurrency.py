@@ -1,0 +1,576 @@
+"""The concurrency rule family (C1–C4) and interprocedural D10.
+
+Every rule here runs over the project call graph
+(:mod:`repro.staticcheck.callgraph`) rather than one file's AST — these
+are exactly the failure classes the per-file pass could not see (the
+PR 9 drain deadlock, blocking ``ResultCache`` calls on the event loop,
+set-iteration order laundered through a return value).
+
+All five rules share the resolution-bounded contract: an edge the
+symbol table cannot resolve (dynamic dispatch, a callable parameter, an
+external library) is *unknown* and never reported through.  That means
+a finding is always backed by a concrete, spelled-out call chain — and
+degradation on hostile code shapes loses findings instead of inventing
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.staticcheck.callgraph import (
+    CallGraph,
+    FunctionFacts,
+    _flock_mode,
+    _own_statements,
+)
+from repro.staticcheck.context import FileContext, dotted_name, terminal_name
+from repro.staticcheck.project import FunctionInfo, Project
+from repro.staticcheck.registry import ProjectRule, register
+from repro.staticcheck.rules import _is_set_typed
+
+#: Sink names D10 treats as order-observable outputs: result payloads,
+#: fingerprints, and journal/report records.
+ORDER_SINK_RE = re.compile(
+    r"(result|record|payload|fingerprint|journal|report|summary|entry|event)s?$",
+    re.IGNORECASE,
+)
+
+#: Call names whose arguments are order-observable (serialisation and
+#: journalling boundaries).
+ORDER_SINK_CALLS = re.compile(r"^(dumps|dump|write|record|fingerprint)$")
+
+#: Functions whose enclosing role *is* the guard (a context manager's
+#: ``__enter__`` acquires; ``__exit__`` releases) — C3 exempts them.
+_GUARD_METHOD_NAMES = frozenset({"__enter__", "__exit__", "acquire", "release"})
+
+
+def _ctx_for(project: Project, info: FunctionInfo) -> FileContext:
+    return info.module.unit.ctx
+
+
+def _is_lockish(name: str | None) -> bool:
+    return name is not None and "lock" in name.lower()
+
+
+@register
+class BlockingInAsyncRule(ProjectRule):
+    """C1: a blocking effect reachable from an ``async def`` with no hop.
+
+    The event loop runs every coroutine on one thread: a transitively
+    reached ``time.sleep``, file read, ``subprocess`` call, ``Pipe``
+    poll, or ``ResultCache`` disk method stalls every other connection,
+    SSE stream, and heartbeat until it returns.  The sanctioned shape is
+    a thread hop — ``await asyncio.to_thread(...)`` or an executor —
+    which this analysis recognises and does not cross.
+
+    Only *resolved* call chains are reported: a dynamically dispatched
+    call degrades to unknown and stays silent, so every C1 carries a
+    concrete ``async f -> g -> h`` chain ending in a named effect.
+    """
+
+    id = "C1"
+    name = "blocking-call-in-async"
+    description = (
+        "blocking effect (file I/O, sleep, subprocess, pipe, ResultCache) "
+        "transitively reachable from an async def without a to_thread hop"
+    )
+
+    def check(self, project: Project, graph: CallGraph) -> None:
+        for facts in graph.facts.values():
+            if not facts.info.is_async:
+                continue
+            ctx = _ctx_for(project, facts.info)
+            seen: set[tuple[int, str]] = set()
+            for effect, path, anchor in graph.blocking_paths(facts.info.qualname):
+                line = getattr(anchor, "lineno", 0)
+                if (line, effect.what) in seen:
+                    continue
+                seen.add((line, effect.what))
+                chain = " -> ".join(path)
+                where = (
+                    "directly" if len(path) == 1
+                    else f"via {chain}"
+                )
+                ctx.report(
+                    self,
+                    anchor,
+                    f"async {facts.info.label}() reaches blocking "
+                    f"{effect.what} {where}; hop off the loop with "
+                    "await asyncio.to_thread(...) (or prefetch before the "
+                    "await point)",
+                    call_path=path,
+                    effect=effect.what,
+                )
+
+
+@register
+class AwaitUnderSyncLockRule(ProjectRule):
+    """C2: ``await`` while a sync lock or flock is held.
+
+    A ``threading.Lock`` (or an ``fcntl.flock``) held across an
+    ``await`` outlives the coroutine step that acquired it: every other
+    task that touches the lock — including the one this coroutine is
+    now waiting on — deadlocks or serialises the whole loop.  Async
+    critical sections use ``asyncio.Lock`` with ``async with``.
+    """
+
+    id = "C2"
+    name = "await-under-sync-lock"
+    description = (
+        "await expression while a threading lock or fcntl.flock is held "
+        "(use asyncio primitives in coroutines)"
+    )
+
+    def check(self, project: Project, graph: CallGraph) -> None:
+        for facts in graph.facts.values():
+            info = facts.info
+            if not info.is_async or isinstance(info.node, ast.Lambda):
+                continue
+            ctx = _ctx_for(project, info)
+            self._check_with_blocks(ctx, project, info)
+            self._check_flock_regions(ctx, info)
+
+    def _check_with_blocks(
+        self, ctx: FileContext, project: Project, info: FunctionInfo
+    ) -> None:
+        for node in _body_nodes(info.node):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                name = dotted_name(item.context_expr)
+                if name is None:
+                    continue
+                kind = project.lock_kind(info.module, info, name)
+                if kind == "async":
+                    continue
+                if kind != "sync" and not _is_lockish(
+                    terminal_name(item.context_expr)
+                ):
+                    continue
+                for sub in node.body:
+                    for inner in _own_statements(sub):
+                        if isinstance(inner, ast.Await):
+                            ctx.report(
+                                self,
+                                inner,
+                                f"await while holding sync lock `{name}`; "
+                                "the loop cannot switch tasks to release "
+                                "it — use asyncio.Lock with `async with`",
+                                effect=f"holds {name}",
+                            )
+
+    def _check_flock_regions(self, ctx: FileContext, info: FunctionInfo) -> None:
+        events: list[tuple[int, str, ast.AST]] = []
+        for node in _body_nodes(info.node):
+            if isinstance(node, ast.Call):
+                mode = _flock_mode(node)
+                if mode is not None:
+                    events.append((node.lineno, mode, node))
+            elif isinstance(node, ast.Await):
+                events.append((node.lineno, "AWAIT", node))
+        held = False
+        for _line, kind, node in sorted(events, key=lambda e: e[0]):
+            if kind in ("EX", "SH"):
+                held = True
+            elif kind == "UN":
+                held = False
+            elif kind == "AWAIT" and held:
+                ctx.report(
+                    self,
+                    node,
+                    f"await while an fcntl.flock is held in "
+                    f"{info.label}(); release before awaiting or move the "
+                    "whole locked region into asyncio.to_thread",
+                    effect="holds fcntl.flock",
+                )
+
+
+@register
+class UnguardedAcquireRule(ProjectRule):
+    """C3: a lock/flock acquisition with no ``with`` / ``try-finally``.
+
+    A bare ``.acquire()`` or ``fcntl.flock(..., LOCK_EX)`` leaks the
+    lock on any exception between acquire and release — after which
+    every later acquirer deadlocks silently.  The codebase idioms are
+    ``with lock:`` and the acquire-in-``__enter__`` context-manager
+    protocol (which this rule recognises and exempts).
+    """
+
+    id = "C3"
+    name = "unguarded-lock-acquire"
+    description = (
+        "lock .acquire() or fcntl.flock(LOCK_EX/SH) not guarded by with "
+        "or try/finally release"
+    )
+
+    def check(self, project: Project, graph: CallGraph) -> None:
+        for facts in graph.facts.values():
+            info = facts.info
+            if isinstance(info.node, ast.Lambda):
+                continue
+            if info.name in _GUARD_METHOD_NAMES:
+                continue
+            ctx = _ctx_for(project, info)
+            for node in _body_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "acquire"
+                    and _is_lockish(dotted_name(func.value))
+                ):
+                    receiver = dotted_name(func.value) or "<lock>"
+                    if not self._released_in_finally(ctx, node, receiver):
+                        ctx.report(
+                            self,
+                            node,
+                            f"`{receiver}.acquire()` without a with-block "
+                            "or try/finally release; an exception here "
+                            "leaks the lock — use `with "
+                            f"{receiver}:`",
+                            effect=f"acquires {receiver}",
+                        )
+                    continue
+                mode = _flock_mode(node)
+                if mode in ("EX", "SH"):
+                    if not self._flock_released_in_finally(ctx, node):
+                        ctx.report(
+                            self,
+                            node,
+                            "fcntl.flock(..., LOCK_"
+                            f"{mode}) without a try/finally LOCK_UN; an "
+                            "exception leaks the file lock — wrap the "
+                            "region or use a context manager",
+                            effect="acquires fcntl.flock",
+                        )
+
+    @staticmethod
+    def _candidate_tries(ctx: FileContext, node: ast.AST) -> Iterable[ast.Try]:
+        """Try statements that could guard ``node``'s acquisition: every
+        enclosing ``try``, plus the statement *immediately following*
+        the acquire (the canonical ``acquire(); try: ... finally:
+        release()`` shape, where the acquire sits before the try)."""
+        current = ctx.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.Try):
+                yield current
+            current = ctx.parents.get(current)
+        stmt: ast.AST | None = node
+        while stmt is not None and not isinstance(stmt, ast.stmt):
+            stmt = ctx.parents.get(stmt)
+        if stmt is None:
+            return
+        parent = ctx.parents.get(stmt)
+        if parent is None:
+            return
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(parent, field_name, None)
+            if isinstance(block, list) and stmt in block:
+                index = block.index(stmt)
+                if index + 1 < len(block) and isinstance(block[index + 1], ast.Try):
+                    yield block[index + 1]
+
+    def _released_in_finally(
+        self, ctx: FileContext, node: ast.AST, receiver: str
+    ) -> bool:
+        for handler in self._candidate_tries(ctx, node):
+            for stmt in handler.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and dotted_name(sub.func.value) == receiver
+                    ):
+                        return True
+        return False
+
+    def _flock_released_in_finally(self, ctx: FileContext, node: ast.AST) -> bool:
+        for handler in self._candidate_tries(ctx, node):
+            for stmt in handler.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) and _flock_mode(sub) == "UN":
+                        return True
+        return False
+
+
+@register
+class SharedStateRule(ProjectRule):
+    """C4: unlocked state written from both loop and thread contexts.
+
+    The serve stack's invariant is "loop state is touched only on the
+    loop" (worker threads report back with ``call_soon_threadsafe``).
+    An attribute or module global written both by loop-context code and
+    by a thread-entry function — with no lock acquired by any writer —
+    is a data race the GIL merely makes *rare*.
+
+    Conservative on purpose: both writers must be resolved, classified,
+    and lock-free for the rule to fire.
+    """
+
+    id = "C4"
+    name = "unlocked-shared-state"
+    description = (
+        "module/instance state written from both event-loop and "
+        "thread-entry context with no lock in any writer's effect summary"
+    )
+
+    def check(self, project: Project, graph: CallGraph) -> None:
+        writers: dict[str, list[tuple[FunctionFacts, ast.AST]]] = {}
+        for facts in graph.facts.values():
+            for key, node in facts.writes.items():
+                writers.setdefault(key, []).append((facts, node))
+        for key in sorted(writers):
+            sites = writers[key]
+            loop_writers = [
+                (facts, node) for facts, node in sites
+                if facts.info.qualname in graph.loop_context
+                and facts.info.qualname not in graph.thread_context
+            ]
+            thread_writers = [
+                (facts, node) for facts, node in sites
+                if facts.info.qualname in graph.thread_context
+            ]
+            if not loop_writers or not thread_writers:
+                continue
+            if any(
+                effect.kind.startswith("acquire")
+                for facts, _node in sites
+                for effect in facts.effects
+            ):
+                continue  # some writer takes a lock: assume the protocol
+            attr = key.split(":", 1)[1]
+            for facts, node in thread_writers:
+                ctx = _ctx_for(project, facts.info)
+                loop_side = ", ".join(
+                    f"{f.info.label}() line {getattr(n, 'lineno', 0)}"
+                    for f, n in loop_writers
+                )
+                ctx.report(
+                    self,
+                    node,
+                    f"`{attr}` is written here in thread context "
+                    f"({facts.info.label}()) and from the event loop "
+                    f"({loop_side}) with no lock; marshal the write onto "
+                    "the loop with call_soon_threadsafe or guard both "
+                    "sides with one lock",
+                    effect=f"races on {attr}",
+                )
+
+
+@register
+class OrderTaintRule(ProjectRule):
+    """D10: set-iteration order laundered through a return value.
+
+    D1 sees ``for k in some_set`` inside one function.  It cannot see
+    ``return list(some_set)`` consumed three calls away — the order
+    taint crosses the function boundary in a perfectly ordinary list.
+    This rule computes, project-wide, the functions whose return value
+    carries set-iteration order (returning a set, or a list/tuple built
+    by iterating one, transitively through other tainted returns), then
+    flags the places where that order becomes observable: iterating the
+    call unordered, or storing its result into result dicts,
+    fingerprints, or journal/report records.
+    """
+
+    id = "D10"
+    name = "interprocedural-order-taint"
+    description = (
+        "set-iteration order escaping through a return value into "
+        "ordered output (results, fingerprints, journal records)"
+    )
+
+    def check(self, project: Project, graph: CallGraph) -> None:
+        taint = self._tainted_returns(project)
+        if not taint:
+            return
+        for name in sorted(project.modules):
+            self._check_unit(project, project.modules[name], taint)
+
+    # -- taint computation ---------------------------------------------------
+
+    def _tainted_returns(self, project: Project) -> dict[str, str]:
+        """qualname → ``"set"`` (returns a set) or ``"seq"`` (returns a
+        sequence whose order came from iterating a set)."""
+        taint: dict[str, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for info in project.functions:
+                if info.qualname in taint or isinstance(info.node, ast.Lambda):
+                    continue
+                kind = self._return_taint(project, info, taint)
+                if kind is not None:
+                    taint[info.qualname] = kind
+                    changed = True
+        return taint
+
+    def _return_taint(
+        self, project: Project, info: FunctionInfo, taint: dict[str, str]
+    ) -> str | None:
+        for node in _body_nodes(info.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            kind = self._expr_taint(project, info, node.value, taint)
+            if kind is not None:
+                return kind
+        return None
+
+    def _expr_taint(
+        self,
+        project: Project,
+        scope: FunctionInfo,
+        expr: ast.expr,
+        taint: dict[str, str],
+    ) -> str | None:
+        if _is_set_typed(expr):
+            return "set"
+        if isinstance(expr, ast.Call):
+            name = terminal_name(expr.func)
+            if name == "sorted":
+                return None
+            if name in ("list", "tuple") and expr.args:
+                inner = self._expr_taint(project, scope, expr.args[0], taint)
+                return "seq" if inner is not None else None
+            callee = project.resolve_call(expr, scope, scope.module)
+            if callee is not None:
+                return taint.get(callee.qualname)
+            return None
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            gen = expr.generators[0]
+            inner = self._expr_taint(project, scope, gen.iter, taint)
+            return "seq" if inner is not None else None
+        return None
+
+    # -- sink detection ------------------------------------------------------
+
+    def _check_unit(self, project: Project, module, taint: dict[str, str]) -> None:
+        ctx = module.unit.ctx
+        for node in ast.walk(module.unit.tree):
+            enclosing = ctx.enclosing_function(node)
+            scope_fn = (
+                project.by_node.get(enclosing) if enclosing is not None else None
+            )
+            if isinstance(node, (ast.For, ast.comprehension)):
+                iter_expr = node.iter
+                tainted = self._call_taint(project, scope_fn, module, iter_expr, taint)
+                if tainted is not None:
+                    callee, _kind = tainted
+                    where = node if isinstance(node, ast.For) else iter_expr
+                    ctx.report(
+                        self,
+                        where,
+                        f"iterating {callee.label}() whose return value "
+                        "carries set-iteration order (defined at "
+                        f"{callee.path}:{callee.lineno}); wrap in sorted() "
+                        "so downstream state is reproducible",
+                        call_path=(callee.label,),
+                        effect="set-iteration order",
+                    )
+            elif isinstance(node, ast.Assign):
+                self._check_assign_sink(project, ctx, scope_fn, module, node, taint)
+            elif isinstance(node, ast.Call):
+                self._check_call_sink(project, ctx, scope_fn, module, node, taint)
+
+    def _call_taint(
+        self, project: Project, scope, module, expr: ast.expr, taint: dict[str, str]
+    ) -> tuple[FunctionInfo, str] | None:
+        """``expr`` is a call to an in-project function with tainted
+        return → ``(callee, kind)``."""
+        if not isinstance(expr, ast.Call):
+            return None
+        if terminal_name(expr.func) == "sorted":
+            return None
+        callee = project.resolve_call(expr, scope, module)
+        if callee is None:
+            return None
+        kind = taint.get(callee.qualname)
+        return (callee, kind) if kind is not None else None
+
+    def _tainted_call_within(
+        self, project: Project, scope, module, expr: ast.expr, taint: dict[str, str]
+    ) -> tuple[FunctionInfo, str] | None:
+        """A tainted call anywhere inside ``expr``.
+
+        ``sorted(...)`` subtrees are *pruned*, not just skipped:
+        sorting at the boundary is exactly the sanctioned fix, so a
+        tainted call wrapped in sorted() must stay silent.
+        """
+        stack: list[ast.AST] = [expr]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, ast.Call) and terminal_name(sub.func) == "sorted":
+                continue
+            if isinstance(sub, ast.Call):
+                found = self._call_taint(project, scope, module, sub, taint)
+                if found is not None:
+                    return found
+            stack.extend(ast.iter_child_nodes(sub))
+        return None
+
+    def _check_assign_sink(
+        self, project: Project, ctx: FileContext, scope, module,
+        node: ast.Assign, taint: dict[str, str],
+    ) -> None:
+        for target in node.targets:
+            sink: str | None = None
+            if isinstance(target, ast.Subscript):
+                base = dotted_name(target.value) or terminal_name(target.value)
+                if base is not None and ORDER_SINK_RE.search(base.split(".")[-1]):
+                    sink = base
+            elif isinstance(target, (ast.Name, ast.Attribute)):
+                name = terminal_name(target)
+                if name is not None and ORDER_SINK_RE.search(name):
+                    sink = dotted_name(target) or name
+            if sink is None:
+                continue
+            found = self._tainted_call_within(project, scope, module, node.value, taint)
+            if found is not None:
+                callee, _kind = found
+                ctx.report(
+                    self,
+                    node,
+                    f"{callee.label}() returns set-iteration-ordered data "
+                    f"(defined at {callee.path}:{callee.lineno}) flowing "
+                    f"into `{sink}`; sort at the boundary so the stored "
+                    "order is reproducible",
+                    call_path=(callee.label,),
+                    effect="set-iteration order",
+                )
+
+    def _check_call_sink(
+        self, project: Project, ctx: FileContext, scope, module,
+        node: ast.Call, taint: dict[str, str],
+    ) -> None:
+        name = terminal_name(node.func)
+        if name is None or not ORDER_SINK_CALLS.match(name):
+            return
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            found = self._tainted_call_within(project, scope, module, arg, taint)
+            if found is not None:
+                callee, _kind = found
+                ctx.report(
+                    self,
+                    node,
+                    f"{callee.label}() returns set-iteration-ordered data "
+                    f"(defined at {callee.path}:{callee.lineno}) passed "
+                    f"into {name}(); sort before serialising/recording",
+                    call_path=(callee.label,),
+                    effect="set-iteration order",
+                )
+                return
+
+
+def _body_nodes(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> Iterable[ast.AST]:
+    """Own-body nodes of a function (nested defs excluded)."""
+    if isinstance(node, ast.Lambda):
+        yield from _own_statements(node.body)
+        return
+    for stmt in node.body:
+        yield from _own_statements(stmt)

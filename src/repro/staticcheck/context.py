@@ -96,7 +96,15 @@ class FileContext:
 
     # -- reporting ----------------------------------------------------------
 
-    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+    def report(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        *,
+        call_path: tuple[str, ...] = (),
+        effect: str | None = None,
+    ) -> None:
         """Record a violation at ``node`` unless suppressed on its line."""
         line = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
@@ -110,6 +118,8 @@ class FileContext:
                 line=line,
                 col=col,
                 message=message,
+                call_path=call_path,
+                effect=effect,
             )
         )
 

@@ -1,0 +1,430 @@
+"""Project symbol table: every function, class, and import, resolvable.
+
+The per-file rules (D1–D9, G1/G2) deliberately know nothing beyond one
+tree.  The concurrency family (C1–C4) and the interprocedural
+determinism rule (D10) need more: *who calls whom*.  This module builds
+the symbol side of that question — a :class:`Project` holding every
+module in the analysed set, its functions (including nested functions
+and lambdas), its classes with base links, and an import table good
+enough to resolve intra-project calls.
+
+Resolution is deliberately conservative.  A call the table cannot
+resolve — dynamic dispatch, a callable parameter, an external library —
+returns ``None`` and the interprocedural rules treat it as *unknown*:
+they never report through an unresolved edge, so degradation can only
+lose findings, never invent them (the "never a false C1" contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.staticcheck.context import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.staticcheck.context import FileContext
+
+#: Constructors whose assignment marks a name as a synchronisation
+#: primitive (C2/C3/C4 lock-type inference).
+SYNC_LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Semaphore", "BoundedSemaphore"})
+ASYNC_LOCK_MODULES = frozenset({"asyncio"})
+
+
+def module_name_for(path: str | Path) -> str:
+    """A stable dotted module name for ``path``.
+
+    ``src/repro/sim/cache.py`` → ``repro.sim.cache`` (so intra-package
+    imports resolve); anything outside a ``repro`` root (scripts, tests)
+    gets its path spelled dotted, which is unique and never collides
+    with the package namespace.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    return ".".join(part for part in parts if part not in ("/", "\\", ".."))
+
+
+@dataclass
+class AnalysisUnit:
+    """One parsed file: the runner hands these to :class:`Project`."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    ctx: "FileContext"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and its method table."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, "FunctionInfo"] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, nested function, or lambda."""
+
+    qualname: str
+    """Globally unique dotted name (``repro.serve.app.ServeApp.submit``)."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    is_async: bool
+    cls: ClassInfo | None = None
+    parent: "FunctionInfo | None" = None
+    nested: dict[str, "FunctionInfo"] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.module.unit.path
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+    @property
+    def label(self) -> str:
+        """Short human name for call-path rendering."""
+        prefix = f"{self.cls.name}." if self.cls is not None else ""
+        return f"{prefix}{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """One module: defs, classes, imports, module-level state."""
+
+    name: str
+    unit: AnalysisUnit
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)
+    """Local alias → dotted target (``cache`` → ``repro.sim.cache``)."""
+    global_names: set[str] = field(default_factory=set)
+    """Names assigned at module level (C4's module-state universe)."""
+
+
+class Project:
+    """The cross-file symbol table the call graph is built on."""
+
+    def __init__(self, units: Iterable[AnalysisUnit]) -> None:
+        self.units = list(units)
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: list[FunctionInfo] = []
+        self.by_qualname: dict[str, FunctionInfo] = {}
+        self.by_node: dict[ast.AST, FunctionInfo] = {}
+        self.lock_types: dict[str, str] = {}
+        """Lock-ish names (``module:Class.attr`` / ``module:name``) →
+        ``"sync"`` or ``"async"``, inferred from constructor assignments."""
+        for unit in self.units:
+            self._index_unit(unit)
+        self._link_methods()
+
+    # -- construction -------------------------------------------------------
+
+    def _index_unit(self, unit: AnalysisUnit) -> None:
+        module = ModuleInfo(name=module_name_for(unit.path), unit=unit)
+        # Last unit wins on a (pathological) module-name collision; the
+        # analysis stays deterministic because units arrive sorted.
+        self.modules[module.name] = module
+        self._index_imports(module, unit.tree)
+        self._index_scope(module, unit.tree, cls=None, parent=None)
+        for stmt in unit.tree.body:
+            for target in self._assign_targets(stmt):
+                name = target if isinstance(target, str) else None
+                if name is not None:
+                    module.global_names.add(name)
+        self._index_locks(module, unit.tree)
+
+    def _index_imports(self, module: ModuleInfo, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: resolve against this module's package.
+                    package = module.name.split(".")
+                    package = package[: len(package) - node.level]
+                    base = ".".join(package + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _index_scope(
+        self,
+        module: ModuleInfo,
+        scope_node: ast.AST,
+        *,
+        cls: ClassInfo | None,
+        parent: FunctionInfo | None,
+    ) -> None:
+        """Recursively register functions/classes under ``scope_node``."""
+        for child in ast.iter_child_nodes(scope_node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_function(module, child, child.name, cls, parent)
+            elif isinstance(child, ast.ClassDef):
+                info = ClassInfo(
+                    name=child.name,
+                    module=module,
+                    node=child,
+                    bases=[b for b in (dotted_name(base) for base in child.bases) if b],
+                )
+                if cls is None and parent is None:
+                    module.classes[child.name] = info
+                for stmt in child.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._register_function(module, stmt, stmt.name, info, parent)
+                    else:
+                        self._index_lambdas(module, stmt, cls=info, parent=parent)
+            else:
+                self._index_lambdas(module, child, cls=cls, parent=parent)
+
+    def _register_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+        name: str,
+        cls: ClassInfo | None,
+        parent: FunctionInfo | None,
+    ) -> FunctionInfo:
+        pieces = [module.name]
+        if cls is not None:
+            pieces.append(cls.name)
+        if parent is not None:
+            pieces.append(parent.name)
+        pieces.append(name)
+        qualname = ".".join(pieces)
+        info = FunctionInfo(
+            qualname=qualname,
+            name=name,
+            module=module,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            cls=cls,
+            parent=parent,
+        )
+        self.functions.append(info)
+        self.by_qualname.setdefault(qualname, info)
+        self.by_node[node] = info
+        if parent is not None:
+            parent.nested[name] = info
+        elif cls is not None:
+            cls.methods[name] = info
+        else:
+            module.functions[name] = info
+        # Recurse into the body for nested defs and lambdas.
+        if not isinstance(node, ast.Lambda):
+            self._index_scope(module, node, cls=cls, parent=info)
+            for stmt in node.body:
+                self._index_lambdas(module, stmt, cls=cls, parent=info)
+        return info
+
+    def _index_lambdas(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        *,
+        cls: ClassInfo | None,
+        parent: FunctionInfo | None,
+    ) -> None:
+        """Register lambdas in ``node``, skipping nested def subtrees."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # handled by _index_scope at its own level
+            if isinstance(child, ast.Lambda):
+                self._register_function(
+                    module, child, f"<lambda:{child.lineno}>", cls, parent
+                )
+                continue
+            self._index_lambdas(module, child, cls=cls, parent=parent)
+
+    def _index_locks(self, module: ModuleInfo, tree: ast.Module) -> None:
+        """Record names assigned a lock constructor, with sync/async kind."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            func = node.value.func
+            ctor = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if ctor is None:
+                continue
+            kind: str | None = None
+            root = dotted_name(func) or ctor
+            if ctor in SYNC_LOCK_CONSTRUCTORS or ctor == "Condition":
+                head = root.split(".")[0]
+                is_async = head in ASYNC_LOCK_MODULES or (
+                    module.imports.get(ctor, "").startswith("asyncio.")
+                )
+                kind = "async" if is_async else "sync"
+            elif ctor == "Lock":  # pragma: no cover - covered by the set above
+                kind = "sync"
+            if kind is None:
+                continue
+            for target in node.targets:
+                name = dotted_name(target)
+                if name is None:
+                    continue
+                if name.startswith("self."):
+                    owner = self._enclosing_class_name(module, node)
+                    key = f"{module.name}:{owner or '?'}.{name[5:]}"
+                else:
+                    key = f"{module.name}:{name}"
+                self.lock_types[key] = kind
+
+    def _enclosing_class_name(self, module: ModuleInfo, node: ast.AST) -> str | None:
+        cls = module.unit.ctx.enclosing_class(node)
+        return cls.name if cls is not None else None
+
+    def _link_methods(self) -> None:
+        """Nothing to do today — bases resolve lazily in find_method."""
+
+    @staticmethod
+    def _assign_targets(stmt: ast.stmt) -> list[str]:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        names = []
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.extend(e.id for e in target.elts if isinstance(e, ast.Name))
+        return names
+
+    # -- lock queries --------------------------------------------------------
+
+    def lock_kind(self, module: ModuleInfo, scope: FunctionInfo | None,
+                  name: str) -> str | None:
+        """``"sync"``/``"async"`` for a lock-ish dotted ``name``, if known."""
+        if name.startswith("self.") and scope is not None and scope.cls is not None:
+            key = f"{module.name}:{scope.cls.name}.{name[5:]}"
+            if key in self.lock_types:
+                return self.lock_types[key]
+        key = f"{module.name}:{name}"
+        return self.lock_types.get(key)
+
+    # -- call resolution -----------------------------------------------------
+
+    def find_method(self, cls: ClassInfo, name: str,
+                    _seen: frozenset[str] = frozenset()) -> FunctionInfo | None:
+        """Look ``name`` up on ``cls``, walking project-local base classes."""
+        if name in cls.methods:
+            return cls.methods[name]
+        if cls.name in _seen:
+            return None
+        seen = _seen | {cls.name}
+        for base in cls.bases:
+            base_cls = self._resolve_class(cls.module, base)
+            if base_cls is not None:
+                found = self.find_method(base_cls, name, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_class(self, module: ModuleInfo, dotted: str) -> ClassInfo | None:
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            if parts[0] in module.classes:
+                return module.classes[parts[0]]
+            target = module.imports.get(parts[0])
+            if target is not None:
+                mod_name, _, cls_name = target.rpartition(".")
+                other = self.modules.get(mod_name)
+                if other is not None:
+                    return other.classes.get(cls_name)
+            return None
+        # `mod.Class` through an imported module alias.
+        target = module.imports.get(parts[0])
+        if target is not None and len(parts) == 2:
+            other = self.modules.get(target)
+            if other is not None:
+                return other.classes.get(parts[1])
+        return None
+
+    def _lookup_dotted_function(self, dotted: str) -> FunctionInfo | None:
+        """``repro.sim.cache.cache_stats`` → its FunctionInfo, if in-project."""
+        direct = self.by_qualname.get(dotted)
+        if direct is not None:
+            return direct
+        mod_name, _, func_name = dotted.rpartition(".")
+        module = self.modules.get(mod_name)
+        if module is not None:
+            return module.functions.get(func_name)
+        return None
+
+    def resolve_call(
+        self, call: ast.Call, scope: FunctionInfo | None, module: ModuleInfo
+    ) -> FunctionInfo | None:
+        """The in-project function ``call`` invokes, or ``None`` (unknown)."""
+        return self.resolve_callable(call.func, scope, module)
+
+    def resolve_callable(
+        self, func: ast.expr, scope: FunctionInfo | None, module: ModuleInfo
+    ) -> FunctionInfo | None:
+        """Resolve a callable *expression* (call target or callback arg)."""
+        if isinstance(func, ast.Lambda):
+            return self.by_node.get(func)
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Nested functions of enclosing scopes shadow module scope.
+            walker = scope
+            while walker is not None:
+                if name in walker.nested:
+                    return walker.nested[name]
+                walker = walker.parent
+            if name in module.functions:
+                return module.functions[name]
+            target = module.imports.get(name)
+            if target is not None:
+                return self._lookup_dotted_function(target)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = dotted_name(func)
+        if dotted is None:
+            # `self.lab.run(...).x` style chains: give up (unknown).
+            return None
+        parts = dotted.split(".")
+        if parts[0] == "self" and scope is not None and scope.cls is not None:
+            if len(parts) == 2:
+                return self.find_method(scope.cls, parts[1])
+            return None  # `self.attr.method()` needs type inference: unknown
+        if parts[0] == "cls" and scope is not None and scope.cls is not None:
+            if len(parts) == 2:
+                return self.find_method(scope.cls, parts[1])
+            return None
+        if len(parts) == 2 and parts[0] in module.classes:
+            return self.find_method(module.classes[parts[0]], parts[1])
+        target = module.imports.get(parts[0])
+        if target is not None:
+            expanded = ".".join([target, *parts[1:]])
+            found = self._lookup_dotted_function(expanded)
+            if found is not None:
+                return found
+            # `module.Class.method` through an alias.
+            if len(parts) == 3:
+                other = self.modules.get(target)
+                if other is not None and parts[1] in other.classes:
+                    return self.find_method(other.classes[parts[1]], parts[2])
+            return None
+        # Fully spelled `a.b.c.func` without an alias.
+        return self._lookup_dotted_function(dotted)

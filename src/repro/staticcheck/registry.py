@@ -14,7 +14,9 @@ import ast
 from typing import TYPE_CHECKING, Iterable, Type
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.staticcheck.callgraph import CallGraph
     from repro.staticcheck.context import FileContext
+    from repro.staticcheck.project import Project
 
 _REGISTRY: dict[str, "Rule"] = {}
 
@@ -44,6 +46,27 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """A rule that analyses the whole project, not one node at a time.
+
+    Project rules (the C family, D10) run after every file rule, over
+    the :class:`~repro.staticcheck.project.Project` symbol table and its
+    :class:`~repro.staticcheck.callgraph.CallGraph`.  They report
+    through each file's :class:`FileContext`, so per-line suppression
+    comments work identically to the file rules.
+    """
+
+    def interests(self) -> Iterable[type[ast.AST]]:
+        return ()
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        """Project rules are never node-dispatched."""
+
+    def check(self, project: "Project", graph: "CallGraph") -> None:
+        """Analyse the project; report via each unit's ``ctx``."""
+        raise NotImplementedError
+
+
 def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding ``cls`` to the global rule registry."""
     rule = cls()
@@ -70,4 +93,4 @@ def get_rule(rule_id: str) -> Rule:
 def _ensure_loaded() -> None:
     """Import the built-in rules exactly once (registration side effect)."""
     if not _REGISTRY:
-        from repro.staticcheck import rules  # noqa: F401
+        from repro.staticcheck import concurrency, rules  # noqa: F401

@@ -1,11 +1,13 @@
-"""Analysis drivers: one AST pass per file, every rule dispatched.
+"""Analysis drivers: per-file rules plus the project-wide pass.
 
-The runner walks each file's tree exactly once.  Rules declare the node
-types they care about (:meth:`Rule.interests`); the dispatcher indexes
-them by type so a pass costs O(nodes x interested-rules), not
-O(nodes x rules).  Files are visited in sorted order and violations are
-reported in (path, line, col, rule) order, so the output — like the
-simulator itself — is deterministic.
+The runner walks each file's tree exactly once for the file rules
+(D1–D9, G1/G2, dispatched by node type), then builds one
+:class:`~repro.staticcheck.project.Project` symbol table and
+:class:`~repro.staticcheck.callgraph.CallGraph` over *all* analysed
+files and runs the project rules (C1–C4, D10) on top.  Files are
+visited in sorted order and violations are reported in
+(path, line, col, rule) order, so the output — like the simulator
+itself — is deterministic.
 """
 
 from __future__ import annotations
@@ -15,12 +17,26 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro.staticcheck.callgraph import CallGraph
 from repro.staticcheck.context import FileContext
-from repro.staticcheck.registry import Rule, all_rules
+from repro.staticcheck.project import AnalysisUnit, Project
+from repro.staticcheck.registry import ProjectRule, Rule, all_rules
 from repro.staticcheck.violations import Violation
 
 #: Directory names never descended into when expanding a directory path.
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+#: ``fixtures`` holds the rule test fixtures — files that *intentionally*
+#: violate every rule.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", "fixtures"})
+
+#: The versioned machine-report schema (``repro lint --json``).  Bump on
+#: any backwards-incompatible change to the report or violation shape.
+REPORT_SCHEMA = 2
+
+
+def _split_rules(rules: Sequence[Rule]) -> tuple[list[Rule], list[ProjectRule]]:
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
 
 
 def _dispatch_table(rules: Sequence[Rule]) -> dict[type[ast.AST], list[Rule]]:
@@ -31,45 +47,79 @@ def _dispatch_table(rules: Sequence[Rule]) -> dict[type[ast.AST], list[Rule]]:
     return table
 
 
+def _syntax_error_violation(path: str, exc: SyntaxError) -> Violation:
+    return Violation(
+        rule_id="E0",
+        rule_name="syntax-error",
+        path=path,
+        line=exc.lineno or 0,
+        col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _run_file_rules(ctx: FileContext, rules: Sequence[Rule]) -> None:
+    table = _dispatch_table(rules)
+    if not table:
+        return
+    for node in ast.walk(ctx.tree):
+        for rule in table.get(type(node), ()):
+            rule.visit(node, ctx)
+
+
+def check_units(
+    units: Sequence[tuple[str, str]],
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Analyse ``(path, source)`` pairs as one project.
+
+    Runs every file rule per unit, then the project rules over the
+    whole set.  A unit that does not parse yields an ``E0`` violation
+    and is excluded from the project build — the linter must be able to
+    report on a broken tree without dying on it.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    file_rules, project_rules = _split_rules(active)
+    violations: list[Violation] = []
+    parsed: list[AnalysisUnit] = []
+    for path, source in units:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            violations.append(_syntax_error_violation(path, exc))
+            continue
+        ctx = FileContext(path, source, tree)
+        _run_file_rules(ctx, file_rules)
+        parsed.append(AnalysisUnit(path=path, source=source, tree=tree, ctx=ctx))
+    if project_rules and parsed:
+        project = Project(parsed)
+        graph = CallGraph(project)
+        for rule in project_rules:
+            rule.check(project, graph)
+    for unit in parsed:
+        violations.extend(unit.ctx.violations)
+    violations.sort(key=Violation.sort_key)
+    return violations
+
+
 def check_source(
     source: str,
     path: str = "<string>",
     rules: Sequence[Rule] | None = None,
 ) -> list[Violation]:
-    """Analyse ``source`` with ``rules`` (default: every registered rule).
+    """Analyse one in-memory ``source`` with ``rules`` (default: all).
 
-    A file that does not parse yields a single ``E0`` syntax-error
-    violation instead of raising — the linter must be able to report on
-    a broken tree without dying on it.
+    Project rules run too, over a single-file project — interprocedural
+    findings whose chain stays inside the file are still caught.
     """
-    active = list(rules) if rules is not None else all_rules()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                rule_id="E0",
-                rule_name="syntax-error",
-                path=path,
-                line=exc.lineno or 0,
-                col=(exc.offset or 1) - 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path, source, tree)
-    table = _dispatch_table(active)
-    for node in ast.walk(tree):
-        for rule in table.get(type(node), ()):
-            rule.visit(node, ctx)
-    ctx.violations.sort(key=Violation.sort_key)
-    return ctx.violations
+    return check_units([(path, source)], rules)
 
 
 def check_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Violation]:
     """Analyse one file on disk."""
     file_path = Path(path)
     source = file_path.read_text(encoding="utf-8")
-    return check_source(source, str(file_path), rules)
+    return check_units([(str(file_path), source)], rules)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -92,23 +142,33 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     return sorted(files)
 
 
+def load_sources(paths: Iterable[str | Path]) -> dict[str, str]:
+    """``{path: source}`` for every ``.py`` file under ``paths``."""
+    return {
+        str(file_path): file_path.read_text(encoding="utf-8")
+        for file_path in iter_python_files(paths)
+    }
+
+
 def check_paths(
     paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
 ) -> list[Violation]:
-    """Analyse every ``.py`` file under ``paths``; deterministic order."""
-    violations: list[Violation] = []
-    for file_path in iter_python_files(paths):
-        violations.extend(check_file(file_path, rules))
-    violations.sort(key=Violation.sort_key)
-    return violations
+    """Analyse every ``.py`` file under ``paths`` as one project."""
+    sources = load_sources(paths)
+    return check_units(sorted(sources.items()), rules)
 
 
 # -- report rendering --------------------------------------------------------
 
 
-def render_text(violations: Sequence[Violation], files_checked: int) -> str:
+def render_text(
+    violations: Sequence[Violation],
+    files_checked: int,
+    baselined: int = 0,
+) -> str:
     """The human report: one line per violation plus a summary line."""
     lines = [violation.render() for violation in violations]
+    suffix = f" ({baselined} baselined)" if baselined else ""
     if violations:
         by_rule: dict[str, int] = {}
         for violation in violations:
@@ -117,10 +177,10 @@ def render_text(violations: Sequence[Violation], files_checked: int) -> str:
         lines.append("")
         lines.append(
             f"{len(violations)} violation(s) in {files_checked} file(s) "
-            f"({breakdown})"
+            f"({breakdown}){suffix}"
         )
     else:
-        lines.append(f"{files_checked} file(s) checked: clean")
+        lines.append(f"{files_checked} file(s) checked: clean{suffix}")
     return "\n".join(lines)
 
 
@@ -128,22 +188,41 @@ def render_json(
     violations: Sequence[Violation],
     files_checked: int,
     rules: Sequence[Rule] | None = None,
+    *,
+    baselined: Sequence[Violation] = (),
+    stale_baseline_entries: int = 0,
 ) -> dict[str, Any]:
-    """The machine report (the CI artifact schema, stable + sorted)."""
+    """The machine report (schema 2 — versioned, stable, sorted).
+
+    Schema 2 adds: the integer ``schema`` pin, per-violation
+    ``call_path``/``effect`` metadata (the interprocedural rules'
+    evidence), per-rule ``kind`` (``file``/``project``), and the
+    baseline accounting block.
+    """
     active = list(rules) if rules is not None else all_rules()
     by_rule = {rule.id: 0 for rule in active}
     for violation in violations:
         by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
     return {
-        "schema": "repro.staticcheck/1",
+        "schema": REPORT_SCHEMA,
         "files_checked": files_checked,
         "total_violations": len(violations),
         "by_rule": {rule_id: count for rule_id, count in sorted(by_rule.items())},
+        "baseline": {
+            "suppressed": len(baselined),
+            "stale_entries": stale_baseline_entries,
+        },
         "rules": [
-            {"id": rule.id, "name": rule.name, "description": rule.description}
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "description": rule.description,
+                "kind": "project" if isinstance(rule, ProjectRule) else "file",
+            }
             for rule in active
         ],
         "violations": [violation.to_dict() for violation in violations],
+        "baselined_violations": [v.to_dict() for v in baselined],
     }
 
 
@@ -151,6 +230,9 @@ def render_json_text(
     violations: Sequence[Violation],
     files_checked: int,
     rules: Sequence[Rule] | None = None,
+    **kwargs: Any,
 ) -> str:
     """:func:`render_json`, serialised with a trailing newline."""
-    return json.dumps(render_json(violations, files_checked, rules), indent=2) + "\n"
+    return json.dumps(
+        render_json(violations, files_checked, rules, **kwargs), indent=2
+    ) + "\n"

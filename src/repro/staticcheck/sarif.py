@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 emission for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS 2.1.0) is the
+lingua franca of code-scanning backends — GitHub code scanning ingests
+it directly, so the CI lint job can surface C1/D10 findings as inline
+PR annotations instead of a log artifact nobody opens.
+
+The emitter produces the minimal conforming document: one ``run`` with
+a fully described ``tool.driver`` (every registered rule, so viewers
+can render rule help without a side channel) and one ``result`` per
+violation with a physical location.  Interprocedural findings carry
+their resolved call chain as SARIF ``stacks`` frames plus a
+``properties.callPath`` list for plain-JSON consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.staticcheck.registry import Rule
+from repro.staticcheck.violations import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-staticcheck"
+TOOL_URI = "https://github.com/least-tlb/repro/blob/main/docs/static-analysis.md"
+
+#: Every rule here is an invariant violation, not a style nit.
+_LEVEL = "error"
+
+
+def _artifact_uri(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./")
+
+
+def _result(violation: Violation) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": violation.rule_id,
+        "level": _LEVEL,
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(violation.path),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(violation.line, 1),
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    properties: dict[str, Any] = {}
+    if violation.call_path:
+        properties["callPath"] = list(violation.call_path)
+    if violation.effect is not None:
+        properties["effect"] = violation.effect
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+) -> dict[str, Any]:
+    """The SARIF 2.1.0 document for one analysis run."""
+    driver_rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "helpUri": TOOL_URI,
+            "defaultConfiguration": {"level": _LEVEL},
+        }
+        for rule in rules
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": "2.0.0",
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": [_result(violation) for violation in violations],
+            }
+        ],
+    }
+
+
+def render_sarif_text(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+) -> str:
+    """:func:`render_sarif`, serialised with a trailing newline."""
+    return json.dumps(render_sarif(violations, rules), indent=2) + "\n"

@@ -28,12 +28,20 @@ class Violation:
     message: str
     """What is wrong and how to fix it."""
 
+    call_path: tuple[str, ...] = ()
+    """For interprocedural rules: the resolved call chain from the
+    reported function to the offending effect (empty for file rules)."""
+
+    effect: str | None = None
+    """For effect-based rules: the blocking/acquiring operation found at
+    the end of ``call_path`` (``"time.sleep"``, ``"ResultCache.get"``)."""
+
     def sort_key(self) -> tuple[str, int, int, str]:
         """Stable report ordering: path, then position, then rule."""
         return (self.path, self.line, self.col, self.rule_id)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serialisable form (the CI artifact schema)."""
+        """JSON-serialisable form (the CI artifact schema, v2)."""
         return {
             "rule": self.rule_id,
             "name": self.rule_name,
@@ -41,7 +49,23 @@ class Violation:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "call_path": list(self.call_path),
+            "effect": self.effect,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Violation":
+        """Inverse of :meth:`to_dict` (the schema-2 round-trip)."""
+        return cls(
+            rule_id=payload["rule"],
+            rule_name=payload["name"],
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            message=payload["message"],
+            call_path=tuple(payload.get("call_path", ())),
+            effect=payload.get("effect"),
+        )
 
     def render(self) -> str:
         """The one-line human form: ``path:line:col: D1 [name] message``."""

@@ -50,7 +50,7 @@ def test_cannot_schedule_in_the_past():
 def test_negative_delay_rejected():
     queue = EventQueue()
     with pytest.raises(SimulationError):
-        queue.schedule_after(-1, lambda: None)
+        queue.schedule_after(-1, lambda: None)  # staticcheck: ignore[D3] -- asserts the raise
 
 
 def test_run_until_is_inclusive():

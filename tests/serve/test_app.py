@@ -268,7 +268,9 @@ class TestDrain:
             kinds = [e["event"] for e in drain_queue(queue)]
             assert "job_done" in kinds
             # The journal records every submitted digest exactly once.
-            journal = (app.cache.cache_dir / "serve-journal.jsonl").read_text()
+            journal = await asyncio.to_thread(
+                (app.cache.cache_dir / "serve-journal.jsonl").read_text
+            )
             submitted = {b["tasks"][0]["digest"] for b in bodies}
             for digest in submitted:
                 assert journal.count(digest) == 1

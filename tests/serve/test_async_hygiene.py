@@ -1,0 +1,197 @@
+"""Event-loop hygiene: disk I/O never runs on the loop thread.
+
+These are the regression tests for the C1 findings staticcheck raised
+against the service layer: every journal touch and every persistent
+cache read reachable from an ``async def`` must hop to a worker thread
+(``asyncio.to_thread``).  Each test instruments one fixed site with a
+thread recorder and asserts the blocking call happened — and happened
+off the loop thread.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.app import ServeApp, ServeSettings
+from repro.serve.requests import parse_job
+from repro.sim.cache import ResultCache
+from repro.sim.parallel import JobOutcome
+
+JOB = {"workload": "MM", "policy": "baseline", "scale": 0.02, "seed": 3,
+       "backend": "functional"}
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return parse_job(JOB).execute()
+
+
+class ThreadRecorder:
+    """Wraps a callable; records the thread ident of every invocation."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.idents: list[int] = []
+
+    def __call__(self, *args, **kwargs):
+        self.idents.append(threading.get_ident())
+        return self.fn(*args, **kwargs)
+
+    def ran_only_off(self, loop_ident: int) -> bool:
+        return bool(self.idents) and loop_ident not in self.idents
+
+
+def instant_executor(result, cache=None):
+    def execute(task, tick):
+        tick()
+        if cache is not None:
+            cache.put(task.fingerprint, result)
+        return JobOutcome(
+            spec=task.spec, digest=task.digest, benches=task.benches,
+            cached=False, seconds=0.01, events=result.events_executed,
+            total_cycles=result.total_cycles, result=result,
+        )
+    return execute
+
+
+def make_app(tmp_path, execute):
+    cache = ResultCache(tmp_path / "cache")
+    return ServeApp(ServeSettings(workers=1), cache=cache, execute=execute)
+
+
+async def wait_until(predicate, timeout=15.0):
+    for _ in range(int(timeout / 0.01)):
+        if predicate():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError("condition not reached in time")
+
+
+def test_start_opens_and_writes_journal_off_loop(tmp_path, tiny_result):
+    execute = instant_executor(tiny_result)
+
+    async def main():
+        app = make_app(tmp_path, execute)
+        opener = app.journal.open = ThreadRecorder(app.journal.open)
+        writer = app.journal.write = ThreadRecorder(app.journal.write)
+        loop_ident = threading.get_ident()
+        await app.start()
+        assert opener.ran_only_off(loop_ident)
+        assert writer.ran_only_off(loop_ident)  # the "serve" banner event
+        await app.drain()
+
+    asyncio.run(main())
+
+
+def test_run_task_terminal_journal_write_off_loop(tmp_path, tiny_result):
+    execute = instant_executor(tiny_result)
+
+    async def main():
+        app = make_app(tmp_path, execute)
+        await app.start()
+        events: list[tuple[int, str]] = []
+        inner_write = app.journal.write
+
+        def write(event):
+            events.append((threading.get_ident(), event["event"]))
+            return inner_write(event)
+
+        app.journal.write = write
+        loop_ident = threading.get_ident()
+        _s, body, _ = app.submit({"jobs": [JOB]}, "alice")
+        await wait_until(
+            lambda: app.job_terminal(app.store.jobs[body["job"]]))
+        await wait_until(lambda: any(kind == "task" for _i, kind in events))
+        assert all(ident != loop_ident for ident, _kind in events)
+        await app.drain()
+
+    asyncio.run(main())
+
+
+def test_drain_journals_and_flushes_stats_off_loop(tmp_path, tiny_result):
+    execute = instant_executor(tiny_result)
+
+    async def main():
+        app = make_app(tmp_path, execute)
+        await app.start()
+        writer = app.journal.write = ThreadRecorder(app.journal.write)
+        closer = app.journal.close = ThreadRecorder(app.journal.close)
+        flusher = app.cache.flush_session_stats = ThreadRecorder(
+            app.cache.flush_session_stats)
+        loop_ident = threading.get_ident()
+        await app.drain()
+        assert writer.ran_only_off(loop_ident)  # the "drain" summary event
+        assert closer.ran_only_off(loop_ident)
+        assert flusher.ran_only_off(loop_ident)
+
+    asyncio.run(main())
+
+
+def test_submit_async_prefetches_cache_reads_off_loop(tmp_path, tiny_result):
+    cache = ResultCache(tmp_path / "cache")
+    execute = instant_executor(tiny_result, cache=cache)
+
+    async def main():
+        app = ServeApp(ServeSettings(workers=1), cache=cache,
+                       execute=execute)
+        await app.start()
+        _s, first, _ = app.submit({"jobs": [JOB]}, "warm")
+        await wait_until(
+            lambda: app.job_terminal(app.store.jobs[first["job"]]))
+        app.store.tasks.clear()  # forget the in-memory result; disk remains
+
+        getter = app.cache.get = ThreadRecorder(app.cache.get)
+        fallback = app._cache_lookup = ThreadRecorder(app._cache_lookup)
+        loop_ident = threading.get_ident()
+        status, body, _ = await app.submit_async({"jobs": [JOB]}, "warm")
+        assert status == 201
+        assert body["dedup"]["cache"] == 1  # the hit came from the prefetch
+        assert getter.ran_only_off(loop_ident)
+        assert fallback.idents == []  # sync fallback never touched the loop
+        await app.drain()
+
+    asyncio.run(main())
+
+
+def test_job_result_async_loads_evicted_result_off_loop(tmp_path, tiny_result):
+    cache = ResultCache(tmp_path / "cache")
+    execute = instant_executor(tiny_result, cache=cache)
+
+    async def main():
+        app = ServeApp(ServeSettings(workers=1), cache=cache,
+                       execute=execute)
+        await app.start()
+        _s, body, _ = app.submit({"jobs": [JOB]}, "alice")
+        job_id = body["job"]
+        await wait_until(lambda: app.job_terminal(app.store.jobs[job_id]))
+        for task in app.store.tasks.values():
+            task.result = None  # simulate in-memory eviction
+
+        getter = app.cache.get = ThreadRecorder(app.cache.get)
+        fallback = app._cache_lookup = ThreadRecorder(app._cache_lookup)
+        loop_ident = threading.get_ident()
+        status, payload = await app.job_result_async(job_id)
+        assert status == 200
+        assert payload["tasks"][0]["result"] is not None
+        assert getter.ran_only_off(loop_ident)
+        assert fallback.idents == []
+        await app.drain()
+
+    asyncio.run(main())
+
+
+def test_health_async_describes_cache_off_loop(tmp_path, tiny_result):
+    execute = instant_executor(tiny_result)
+
+    async def main():
+        app = make_app(tmp_path, execute)
+        await app.start()
+        describer = app._cache_describe = ThreadRecorder(app._cache_describe)
+        loop_ident = threading.get_ident()
+        body = await app.health_async()
+        assert body["cache"]["enabled"] is True
+        assert describer.ran_only_off(loop_ident)
+        await app.drain()
+
+    asyncio.run(main())

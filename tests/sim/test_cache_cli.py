@@ -99,7 +99,7 @@ class TestCachePrune:
         cache = populated_cache
         entries = sorted(cache.cache_dir.glob("*.json"))
         # Age one entry (and the corrupt file) far into the past.
-        old = time.time() - 40 * 86400
+        old = time.time() - 40 * 86400  # staticcheck: ignore[D2] -- epoch time for os.utime
         os.utime(entries[0], (old, old))
         os.utime(cache.cache_dir / "deadbeef.json.corrupt", (old, old))
         code, out, _err = run_cli(
@@ -116,7 +116,7 @@ class TestCachePrune:
         cache = populated_cache
         entries = sorted(cache.cache_dir.glob("*.json"),
                          key=lambda p: p.stat().st_mtime)
-        old = time.time() - 3600
+        old = time.time() - 3600  # staticcheck: ignore[D2] -- epoch time for os.utime
         os.utime(entries[0], (old, old))
         keep_bytes = entries[-1].stat().st_size
         code, out, _err = run_cli(
@@ -132,7 +132,7 @@ class TestCachePrune:
     def test_prune_reclaims_stale_tmp(self, populated_cache, capsys):
         cache = populated_cache
         tmp_file = cache.cache_dir / "orphan.tmp"
-        old = time.time() - 7200
+        old = time.time() - 7200  # staticcheck: ignore[D2] -- epoch time for os.utime
         os.utime(tmp_file, (old, old))
         code, out, _err = run_cli(
             capsys, "cache", "prune", "--older-than", "9999", "--json",

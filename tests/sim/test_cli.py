@@ -285,7 +285,7 @@ class TestLint:
         path.write_text(self.BAD)
         assert main(["lint", "--format", "json", str(path)]) == 1
         report = json.loads(capsys.readouterr().out)
-        assert report["schema"] == "repro.staticcheck/1"
+        assert report["schema"] == 2
         assert report["total_violations"] == 1
         assert report["by_rule"]["D2"] == 1
         assert report["violations"][0]["rule"] == "D2"
@@ -305,3 +305,40 @@ class TestLint:
         src = Path(repro.__file__).resolve().parents[1]
         assert main(["lint", str(src)]) == 0
         assert "clean" in capsys.readouterr().out
+
+    def test_update_baseline_then_gate(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        base = tmp_path / "base.json"
+        args = ["lint", str(bad), "--baseline", str(base)]
+        assert main(args + ["--update-baseline"]) == 0
+        assert main(args) == 0  # the finding is grandfathered
+        assert "1 baselined" in capsys.readouterr().out
+        bad.write_text(self.BAD + "u = time.time()\n")
+        assert main(args) == 1  # ...but a *new* finding still fails
+
+    def test_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        assert main(["lint", "--format", "sarif", str(bad)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "D2"
+
+    def test_changed_skips_fixture_dirs(self, tmp_path, capsys, monkeypatch):
+        import subprocess
+
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-q", "--allow-empty", "-m", "seed"], check=True,
+        )
+        (tmp_path / "bad.py").write_text(self.BAD)
+        fixtures = tmp_path / "fixtures"
+        fixtures.mkdir()
+        (fixtures / "worse.py").write_text(self.BAD)
+        assert main(["lint", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py" in out
+        assert "worse.py" not in out  # fixture dirs stay excluded

@@ -125,4 +125,4 @@ class TestPresets:
     def test_presets_are_frozen(self):
         config = baseline_config()
         with pytest.raises(AttributeError):
-            config.num_gpus = 8
+            config.num_gpus = 8  # staticcheck: ignore[D6] -- asserts frozen-ness

@@ -1,0 +1,41 @@
+"""Fixture for C1 (blocking-call-in-async).  Never imported or executed.
+
+Lines tagged ``# fires`` must be reported; everything else must not.
+The transitive cases matter most: the blocking effect lives in a sync
+helper, and the report must land on the *call* inside the async body.
+"""
+import asyncio
+import time
+
+
+def read_config(path):
+    with open(path) as stream:
+        return stream.read()
+
+
+def indirect(path):
+    return read_config(path)
+
+
+async def bad_direct():
+    time.sleep(0.1)  # fires
+
+
+async def bad_helper(path):
+    return read_config(path)  # fires
+
+
+async def bad_deep(path):
+    return indirect(path)  # fires
+
+
+async def good_hop(path):
+    return await asyncio.to_thread(read_config, path)
+
+
+async def good_async_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def good_unresolved(loader, path):
+    return loader(path)

@@ -1,0 +1,39 @@
+"""Fixture for C2 (await-under-sync-lock).  Never imported or executed.
+
+Lines tagged ``# fires`` must be reported; everything else must not.
+The flock lines legitimately also trip C1 (an flock acquisition blocks
+the loop) — suppressed inline so this fixture isolates C2.
+"""
+import asyncio
+import fcntl
+import threading
+
+state_lock = threading.Lock()
+aio_lock = asyncio.Lock()
+
+
+async def bad_sync_lock(queue):
+    with state_lock:
+        await queue.get()  # fires
+
+
+async def bad_flock(handle, queue):
+    fcntl.flock(handle, fcntl.LOCK_EX)  # staticcheck: ignore[C1] -- isolating C2
+    try:
+        await queue.get()  # fires
+    finally:
+        fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+async def good_async_lock(queue):
+    async with aio_lock:
+        await queue.get()
+
+
+async def good_release_before_await(handle, queue):
+    fcntl.flock(handle, fcntl.LOCK_EX)  # staticcheck: ignore[C1] -- isolating C2
+    try:
+        handle.seek(0)
+    finally:
+        fcntl.flock(handle, fcntl.LOCK_UN)
+    await queue.get()

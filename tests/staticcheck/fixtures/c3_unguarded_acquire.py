@@ -1,0 +1,55 @@
+"""Fixture for C3 (unguarded-lock-acquire).  Never imported or executed.
+
+Lines tagged ``# fires`` must be reported; everything else must not.
+Both guard shapes are sanctioned: acquire *inside* a try with the
+release in its finally, and acquire immediately *before* such a try.
+"""
+import fcntl
+import threading
+
+state_lock = threading.Lock()
+
+
+def bad_acquire(work):
+    state_lock.acquire()  # fires
+    work()
+    state_lock.release()
+
+
+def good_try_finally(work):
+    state_lock.acquire()
+    try:
+        work()
+    finally:
+        state_lock.release()
+
+
+def bad_flock(handle, work):
+    fcntl.flock(handle, fcntl.LOCK_EX)  # fires
+    work()
+    fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def good_flock(handle, work):
+    fcntl.flock(handle, fcntl.LOCK_SH)
+    try:
+        work()
+    finally:
+        fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def good_with_block(work):
+    with state_lock:
+        work()
+
+
+class GuardingManager:
+    """The context-manager protocol itself is exempt: ``__enter__``
+    acquires by design; ``__exit__`` releases."""
+
+    def __enter__(self):
+        state_lock.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        state_lock.release()

@@ -1,0 +1,32 @@
+"""Fixture for C4 (unlocked-shared-state).  Never imported or executed.
+
+Lines tagged ``# fires`` must be reported; everything else must not.
+The report lands on the thread-side write: that's the side that should
+marshal onto the loop with call_soon_threadsafe (or both sides lock).
+"""
+import asyncio
+import threading
+
+stats_lock = threading.Lock()
+
+
+class Daemon:
+    def __init__(self):
+        self.completed = 0
+        self.flushed = 0
+
+    async def tick(self):
+        self.completed += 1
+        await asyncio.to_thread(self.worker)
+
+    def worker(self):
+        self.completed += 1  # fires
+
+    async def guarded_tick(self):
+        with stats_lock:
+            self.flushed += 1
+        await asyncio.to_thread(self.guarded_worker)
+
+    def guarded_worker(self):
+        with stats_lock:
+            self.flushed += 1

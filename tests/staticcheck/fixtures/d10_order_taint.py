@@ -1,0 +1,47 @@
+"""Fixture for D10 (interprocedural-order-taint).  Never imported or
+executed.
+
+Lines tagged ``# fires`` must be reported; everything else must not.
+D1 cannot see any of these: the set never appears at the sink — its
+iteration order is laundered through a return value (twice, for the
+``page_list`` cases).
+"""
+
+
+def resident_pages(tlb):
+    return set(tlb.pages)
+
+
+def page_list(tlb):
+    return list(resident_pages(tlb))
+
+
+def bad_iterate(tlb, queue):
+    for page in resident_pages(tlb):  # fires
+        queue.schedule(10, page)
+
+
+def bad_store(tlb):
+    report = {}
+    report["pages"] = page_list(tlb)  # fires
+    return report
+
+
+def bad_record(journal, tlb):
+    journal.write(page_list(tlb))  # fires
+
+
+def good_sorted_iterate(tlb, queue):
+    for page in sorted(resident_pages(tlb)):
+        queue.schedule(10, page)
+
+
+def good_sorted_store(tlb):
+    report = {}
+    report["pages"] = sorted(page_list(tlb))
+    return report
+
+
+def good_unordered_ok(tlb):
+    membership = resident_pages(tlb)
+    return 7 in membership

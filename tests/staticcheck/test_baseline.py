@@ -1,0 +1,113 @@
+"""Baseline semantics: fingerprint drift-tolerance, gating, staleness."""
+
+import json
+
+import pytest
+
+from repro.staticcheck import check_units
+from repro.staticcheck.baseline import (
+    BASELINE_SCHEMA,
+    Baseline,
+    violation_fingerprint,
+)
+
+BAD = "import time\nt = time.time()\n"
+
+
+def _violations(source=BAD, path="mod.py"):
+    return check_units([(path, source)]), {path: source}
+
+
+class TestFingerprint:
+    def test_line_drift_does_not_change_fingerprint(self):
+        violations, sources = _violations()
+        original = violation_fingerprint(
+            violations[0], sources["mod.py"].splitlines()
+        )
+        shifted_src = "import time\n# a new comment above\nt = time.time()\n"
+        shifted, shifted_sources = _violations(shifted_src)
+        assert shifted[0].line == 3  # it really did move
+        assert violation_fingerprint(
+            shifted[0], shifted_sources["mod.py"].splitlines()
+        ) == original
+
+    def test_editing_the_offending_line_changes_fingerprint(self):
+        violations, sources = _violations()
+        original = violation_fingerprint(
+            violations[0], sources["mod.py"].splitlines()
+        )
+        edited_src = "import time\nt2 = time.time()\n"
+        edited, edited_sources = _violations(edited_src)
+        assert violation_fingerprint(
+            edited[0], edited_sources["mod.py"].splitlines()
+        ) != original
+
+    def test_rule_and_path_are_part_of_identity(self):
+        violations, sources = _violations()
+        lines = sources["mod.py"].splitlines()
+        moved, moved_sources = _violations(BAD, path="other.py")
+        assert violation_fingerprint(violations[0], lines) != \
+            violation_fingerprint(moved[0], moved_sources["other.py"].splitlines())
+
+
+class TestSplit:
+    def test_baselined_findings_are_separated_from_new(self):
+        violations, sources = _violations()
+        baseline = Baseline.from_violations(violations, sources)
+        two = BAD + "u = time.time()\n"
+        now, now_sources = _violations(two)
+        new, baselined, stale = baseline.split(now, now_sources)
+        assert [v.line for v in baselined] == [2]
+        assert [v.line for v in new] == [3]
+        assert stale == []
+
+    def test_fixed_finding_becomes_stale_entry(self):
+        violations, sources = _violations()
+        baseline = Baseline.from_violations(violations, sources)
+        clean_src = "import time\n"
+        now, now_sources = _violations(clean_src)
+        new, baselined, stale = baseline.split(now, now_sources)
+        assert new == [] and baselined == []
+        assert len(stale) == 1
+        assert stale[0]["rule"] == "D2"
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        violations, sources = _violations()
+        baseline = Baseline.from_violations(violations, sources)
+        path = tmp_path / "lint-baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == len(baseline) == 1
+        new, baselined, _ = loaded.split(violations, sources)
+        assert new == [] and len(baselined) == 1
+
+    def test_saved_payload_is_sorted_and_versioned(self, tmp_path):
+        violations, sources = _violations(BAD + "u = time.time()\n")
+        path = tmp_path / "b.json"
+        Baseline.from_violations(violations, sources).save(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        lines = [entry["line"] for entry in payload["entries"]]
+        assert lines == sorted(lines)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported baseline schema"):
+            Baseline.load(path)
+
+    def test_load_rejects_non_baseline_payload(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"violations": []}))
+        with pytest.raises(ValueError, match="not a baseline file"):
+            Baseline.load(path)
+
+    def test_load_rejects_malformed_entry(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(
+            {"schema": BASELINE_SCHEMA, "entries": [{"rule": "D2"}]}
+        ))
+        with pytest.raises(ValueError, match="malformed baseline entry"):
+            Baseline.load(path)

@@ -1,0 +1,220 @@
+"""The project call graph and its degradation contract.
+
+Three properties carry the C-rule family:
+
+* **stability** — findings are a function of the code, not of the order
+  definitions appear in the file (hypothesis shuffles the defs);
+* **soundness polarity** — an edge the symbol table cannot resolve
+  (dynamic dispatch, a callable parameter, getattr) degrades to
+  *unknown* and loses findings; it never invents a C1;
+* **cycles** — recursion and mutual recursion terminate and still
+  propagate effects.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.staticcheck import check_source, check_units, get_rule
+from repro.staticcheck.callgraph import CallGraph
+from repro.staticcheck.project import Project
+from repro.staticcheck.registry import all_rules
+
+
+def build(source, path="mod.py"):
+    tree = ast.parse(source)
+    from repro.staticcheck.context import FileContext
+    from repro.staticcheck.project import AnalysisUnit
+
+    unit = AnalysisUnit(
+        path=path, source=source, tree=tree,
+        ctx=FileContext(path, source, tree),
+    )
+    project = Project([unit])
+    return project, CallGraph(project)
+
+
+# Function bodies that can be emitted in any textual order; the C1
+# verdicts must not change.  `helper` blocks; `bad` reaches it; `good`
+# hops; `deep` reaches it through `mid`.
+_DEFS = {
+    "helper": "def helper(p):\n    return open(p).read()\n",
+    "mid": "def mid(p):\n    return helper(p)\n",
+    "bad": "async def bad(p):\n    return helper(p)\n",
+    "deep": "async def deep(p):\n    return mid(p)\n",
+    "good": (
+        "async def good(p):\n"
+        "    return await asyncio.to_thread(helper, p)\n"
+    ),
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(order=st.permutations(sorted(_DEFS)))
+def test_findings_stable_under_def_reordering(order):
+    source = "import asyncio\n" + "\n".join(_DEFS[name] for name in order)
+    violations = check_source(source, "shuffled.py", rules=[get_rule("C1")])
+    fired_in = {v.message.split("(")[0].split()[1] for v in violations}
+    assert fired_in == {"bad", "deep"}
+    assert all(v.rule_id == "C1" for v in violations)
+
+
+@settings(max_examples=20, deadline=None)
+@given(order=st.permutations(sorted(_DEFS)))
+def test_classification_stable_under_def_reordering(order):
+    source = "import asyncio\n" + "\n".join(_DEFS[name] for name in order)
+    _project, graph = build(source, path="shuffled.py")
+    assert graph.classification("shuffled.bad") == "async"
+    assert graph.classification("shuffled.helper") == "thread-entry"
+    assert graph.classification("shuffled.mid") == "loop-only"
+
+
+def test_classification_qualnames_use_module_name():
+    # The fixture above relies on path->module naming; pin it.
+    _project, graph = build("def f():\n    pass\n", path="shuffled.py")
+    assert graph.classification("shuffled.f") == "sync"
+
+
+class TestDegradesToUnknown:
+    """Hostile shapes lose findings; they never invent a C1."""
+
+    def _c1(self, source):
+        return check_source(source, "mod.py", rules=[get_rule("C1")])
+
+    def test_callable_parameter_is_silent(self):
+        source = (
+            "async def handler(loader, p):\n"
+            "    return loader(p)\n"
+        )
+        assert self._c1(source) == []
+
+    def test_getattr_dispatch_is_silent(self):
+        source = (
+            "import time\n"
+            "def blocks():\n"
+            "    time.sleep(1)\n"
+            "async def handler(obj):\n"
+            "    return getattr(obj, 'blocks')()\n"
+        )
+        assert self._c1(source) == []
+
+    def test_dict_dispatch_is_silent(self):
+        source = (
+            "import time\n"
+            "def blocks():\n"
+            "    time.sleep(1)\n"
+            "TABLE = {'x': blocks}\n"
+            "async def handler(key):\n"
+            "    return TABLE[key]()\n"
+        )
+        assert self._c1(source) == []
+
+    def test_unresolved_attribute_receiver_is_silent(self):
+        source = (
+            "async def handler(self):\n"
+            "    return self.mystery.load()\n"
+        )
+        assert self._c1(source) == []
+
+    def test_resolved_equivalent_fires(self):
+        # The control: the same effect, reachable through a *resolved*
+        # edge, does fire — silence above is degradation, not blindness.
+        source = (
+            "import time\n"
+            "def blocks():\n"
+            "    time.sleep(1)\n"
+            "async def handler():\n"
+            "    return blocks()\n"
+        )
+        assert len(self._c1(source)) == 1
+
+
+class TestCycles:
+    def test_direct_recursion_terminates(self):
+        source = (
+            "def rec(n):\n"
+            "    open('x')\n"
+            "    return rec(n - 1)\n"
+            "async def handler():\n"
+            "    return rec(3)\n"
+        )
+        violations = check_source(source, "mod.py", rules=[get_rule("C1")])
+        assert [v.rule_id for v in violations] == ["C1"]
+
+    def test_mutual_recursion_terminates_and_propagates(self):
+        source = (
+            "def ping(n):\n"
+            "    return pong(n)\n"
+            "def pong(n):\n"
+            "    open('x')\n"
+            "    return ping(n - 1)\n"
+            "async def handler():\n"
+            "    return ping(3)\n"
+        )
+        violations = check_source(source, "mod.py", rules=[get_rule("C1")])
+        assert len(violations) == 1
+        assert violations[0].call_path == ("handler", "ping", "pong")
+        assert violations[0].effect == "open()"
+
+    def test_effect_summary_on_cycle(self):
+        _project, graph = build(
+            "def ping(n):\n"
+            "    return pong(n)\n"
+            "def pong(n):\n"
+            "    open('x')\n"
+            "    return ping(n - 1)\n"
+        )
+        assert graph.summary("mod.ping")["blocks"] == ["open()"]
+        assert graph.summary("mod.pong")["blocks"] == ["open()"]
+
+
+class TestCrossModule:
+    def test_imported_call_resolves_across_units(self):
+        helper = (
+            "def load(p):\n"
+            "    return open(p).read()\n"
+        )
+        app = (
+            "from repro.pkg.helper import load\n"
+            "async def handler(p):\n"
+            "    return load(p)\n"
+        )
+        violations = check_units([
+            ("src/repro/pkg/app.py", app),
+            ("src/repro/pkg/helper.py", helper),
+        ], rules=[get_rule("C1")])
+        assert [v.path for v in violations] == ["src/repro/pkg/app.py"]
+        assert violations[0].call_path == ("handler", "load")
+
+    def test_report_lands_in_async_callers_file_and_suppresses_there(self):
+        helper = "def load(p):\n    return open(p).read()\n"
+        app = (
+            "from repro.pkg.helper import load\n"
+            "async def handler(p):\n"
+            "    return load(p)  # staticcheck: ignore[C1] -- startup only\n"
+        )
+        violations = check_units([
+            ("src/repro/pkg/app.py", app),
+            ("src/repro/pkg/helper.py", helper),
+        ], rules=[get_rule("C1")])
+        assert violations == []
+
+
+def test_thread_entry_effects_do_not_fire_but_are_summarised():
+    source = (
+        "import asyncio\n"
+        "def writer(p):\n"
+        "    open(p)\n"
+        "async def handler(p):\n"
+        "    await asyncio.to_thread(writer, p)\n"
+    )
+    project, graph = build(source)
+    assert check_source(source, "mod.py", rules=[get_rule("C1")]) == []
+    assert graph.classification("mod.writer") == "thread-entry"
+    assert graph.summary("mod.writer")["blocks"] == ["open()"]
+
+
+def test_all_rules_include_project_rules():
+    ids = {rule.id for rule in all_rules()}
+    assert {"C1", "C2", "C3", "C4", "D10"} <= ids

@@ -17,6 +17,11 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 #: rule id -> the fixture exercising it.
 RULE_FIXTURES = {
+    "C1": "c1_blocking_in_async.py",
+    "C2": "c2_await_under_sync_lock.py",
+    "C3": "c3_unguarded_acquire.py",
+    "C4": "c4_unlocked_shared_state.py",
+    "D10": "d10_order_taint.py",
     "D1": "d1_unordered_iteration.py",
     "D2": "d2_wall_clock.py",
     "D3": "d3_schedule_in_past.py",

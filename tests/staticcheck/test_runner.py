@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.staticcheck import check_paths, check_source, render_json, render_text
+from repro.staticcheck import (
+    Violation,
+    check_paths,
+    check_source,
+    render_json,
+    render_text,
+)
 from repro.staticcheck.runner import iter_python_files, render_json_text
 
 
@@ -83,16 +89,42 @@ class TestRendering:
         path.write_text("import time\nt = time.time()\n")
         violations = check_paths([path])
         report = render_json(violations, 1)
-        assert report["schema"] == "repro.staticcheck/1"
+        assert report["schema"] == 2
         assert report["files_checked"] == 1
         assert report["total_violations"] == 1
         assert report["by_rule"]["D2"] == 1
         assert report["by_rule"]["D1"] == 0
-        assert {r["id"] for r in report["rules"]} >= {"D1", "D8", "G2"}
+        assert {r["id"] for r in report["rules"]} >= {"C1", "D1", "D10", "G2"}
+        kinds = {r["id"]: r["kind"] for r in report["rules"]}
+        assert kinds["D2"] == "file"
+        assert kinds["C1"] == "project"
+        assert report["baseline"] == {"suppressed": 0, "stale_entries": 0}
         entry = report["violations"][0]
         assert entry["rule"] == "D2"
         assert entry["line"] == 2
+        assert entry["call_path"] == []
+        assert entry["effect"] is None
 
     def test_json_text_round_trips(self):
         parsed = json.loads(render_json_text([], 0))
         assert parsed["total_violations"] == 0
+
+    def test_schema2_violation_round_trip(self):
+        """Every violation in a schema-2 report — including the
+        interprocedural metadata — survives to_dict/from_dict."""
+        source = (
+            "import time\n"
+            "def helper():\n"
+            "    time.sleep(1)\n"
+            "async def handler():\n"
+            "    return helper()\n"
+        )
+        violations = check_source(source, "mod.py")
+        assert any(v.rule_id == "C1" for v in violations)
+        report = json.loads(render_json_text(violations, 1))
+        assert report["schema"] == 2
+        restored = [Violation.from_dict(entry) for entry in report["violations"]]
+        assert restored == violations
+        c1 = next(v for v in restored if v.rule_id == "C1")
+        assert c1.call_path == ("handler", "helper")
+        assert c1.effect == "time.sleep"

@@ -1,0 +1,168 @@
+"""SARIF emission: structure, rule metadata, and schema conformance.
+
+The container has no network, so instead of fetching the official OASIS
+schema we validate against an inline structural subset of SARIF 2.1.0 —
+the required spine (version/runs/tool.driver/results with physical
+locations) that GitHub code scanning actually ingests.
+"""
+
+import json
+
+import jsonschema
+
+from repro.staticcheck import all_rules, check_units, get_rule, render_sarif
+from repro.staticcheck.sarif import SARIF_VERSION, render_sarif_text
+
+#: Structural subset of sarif-schema-2.1.0.json: everything the upload
+#: endpoint requires, spelled strictly enough to catch shape regressions.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+ASYNC_BAD = (
+    "import time\n"
+    "def helper():\n"
+    "    time.sleep(1)\n"
+    "async def handler():\n"
+    "    return helper()\n"
+)
+
+
+def _report(source=ASYNC_BAD, path="src/mod.py"):
+    violations = check_units([(path, source)])
+    return render_sarif(violations, all_rules()), violations
+
+
+def test_document_validates_against_sarif_subset():
+    document, violations = _report()
+    assert violations  # the fixture really produced findings
+    jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+
+
+def test_empty_run_still_validates():
+    document, _ = _report(source="x = 1\n")
+    jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+    assert document["runs"][0]["results"] == []
+
+
+def test_version_and_driver_rules_are_complete():
+    document, _ = _report()
+    assert document["version"] == SARIF_VERSION == "2.1.0"
+    driver = document["runs"][0]["tool"]["driver"]
+    assert {r["id"] for r in driver["rules"]} == {
+        rule.id for rule in all_rules()
+    }
+
+
+def test_result_carries_location_and_interprocedural_evidence():
+    document, violations = _report()
+    result = document["runs"][0]["results"][0]
+    assert result["ruleId"] == "C1"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/mod.py"
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    # ast cols are 0-based; SARIF columns are 1-based.
+    assert location["region"]["startColumn"] == violations[0].col + 1
+    assert result["properties"]["callPath"] == ["handler", "helper"]
+    assert result["properties"]["effect"] == "time.sleep"
+
+
+def test_render_text_is_json_with_trailing_newline():
+    violations = check_units([("src/mod.py", ASYNC_BAD)])
+    text = render_sarif_text(violations, [get_rule("C1")])
+    assert text.endswith("\n")
+    assert json.loads(text)["version"] == "2.1.0"
