@@ -22,7 +22,11 @@ writes them to ``BENCH_kernel.json``:
 * **serve throughput** — the ``repro serve`` daemon (``docs/service.md``)
   measured through a real HTTP client: cached submissions/second (the
   dedup + transport overhead) and cold single-job end-to-end jobs/second
-  (submit → queue → worker → SSE completion).
+  (submit → queue → worker → SSE completion);
+* **ingest throughput** — the streaming trace pipeline
+  (``docs/traces.md``): accesses/second and MB/s of a cold gzip k6
+  parse → page-run conversion, the streaming content digest cold, and
+  the stat-memoised digest lookup a warm bench matrix pays per job.
 
 Usage::
 
@@ -287,6 +291,104 @@ def measure_serve(scale: float, repeats: int) -> list[dict]:
     return rows
 
 
+#: Synthetic trace accesses per unit ``--scale`` for the ``ingest`` section.
+INGEST_ACCESSES_PER_SCALE = 400_000
+
+#: Memoised digest lookups timed per repeat by ``ingest-digest-cached``.
+INGEST_CACHED_LOOKUPS = 200
+
+
+def measure_ingest(scale: float, repeats: int) -> list[dict]:
+    """Streaming trace-ingestion throughput (docs/traces.md), three rows:
+
+    * ``ingest-cold-parse`` — accesses/second for a cold gzip k6 parse →
+      page-run conversion → :class:`Workload` build (digest skipped),
+      with the compressed-file read rate in ``mb_per_sec``;
+    * ``ingest-digest-cold`` — bytes/second of the streaming SHA-256
+      content digest with its stat-memo cleared;
+    * ``ingest-digest-cached`` — lookups/second once the (path, size,
+      mtime) memo is warm: the per-job fingerprint overhead a trace-backed
+      bench matrix actually pays.
+
+    All rows report their rate in the shared ``events_per_sec`` field so
+    :func:`check_regression` gates them like every other section.
+    """
+    from repro.workloads import ingest as ingest_mod
+    from repro.workloads.ingest import ingest_trace, synthesize_k6_trace, trace_digest
+
+    accesses = max(20_000, int(INGEST_ACCESSES_PER_SCALE * scale))
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-bench-") as tmp:
+        path = Path(tmp) / "k6_bench.trc.gz"
+        synthesize_k6_trace(path, accesses=accesses, footprint_pages=4096, seed=7)
+        file_bytes = path.stat().st_size
+
+        best = None
+        records = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = ingest_trace(path, compute_digest=False)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+            records = result.stats.records
+        rows.append({
+            "name": "ingest-cold-parse",
+            "scale": scale,
+            "accesses": records,
+            "file_bytes": file_bytes,
+            "wall_seconds": round(best, 6),
+            "events_per_sec": round(records / best, 1),
+            "mb_per_sec": round(file_bytes / best / 1e6, 3),
+        })
+        print(
+            f"ingest cold-parse         {records:>9,} accesses  {best:.3f}s  "
+            f"{records / best:>10,.0f} accesses/s  "
+            f"({file_bytes / best / 1e6:.1f} MB/s gzip)"
+        )
+
+        best = None
+        digest = ""
+        for _ in range(repeats):
+            ingest_mod._DIGEST_CACHE.clear()  # force the streaming hash
+            start = time.perf_counter()
+            digest = trace_digest(path)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+        rows.append({
+            "name": "ingest-digest-cold",
+            "scale": scale,
+            "file_bytes": file_bytes,
+            "wall_seconds": round(best, 6),
+            "events_per_sec": round(file_bytes / best, 1),
+            "mb_per_sec": round(file_bytes / best / 1e6, 3),
+        })
+        print(
+            f"ingest digest-cold        {file_bytes:>9,} bytes  {best:.3f}s  "
+            f"{file_bytes / best / 1e6:>10,.1f} MB/s"
+        )
+
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(INGEST_CACHED_LOOKUPS):
+                assert trace_digest(path) == digest, "digest memo broke"
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None or elapsed < best else best
+        rate = INGEST_CACHED_LOOKUPS / best
+        rows.append({
+            "name": "ingest-digest-cached",
+            "scale": scale,
+            "lookups": INGEST_CACHED_LOOKUPS,
+            "wall_seconds": round(best, 6),
+            "events_per_sec": round(rate, 1),
+        })
+        print(
+            f"ingest digest-cached      {INGEST_CACHED_LOOKUPS:>9,} lookups  "
+            f"{best:.3f}s  {rate:>10,.0f} lookups/s"
+        )
+    return rows
+
+
 def measure_matrix(benches: str, scale: float, jobs: int | None) -> dict:
     """Cold-serial vs warm-cache wall-clock over one matrix selection."""
     pairs = expand_matrix(select_benches(benches), scale=scale)
@@ -332,7 +434,7 @@ def check_regression(report: dict, baseline_path: Path, max_regression: float) -
         print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
         return 2
     failures = 0
-    for section in ("kernel", "fastpath", "vectorized", "serve"):
+    for section in ("kernel", "fastpath", "vectorized", "serve", "ingest"):
         base_rows = {row["name"]: row for row in baseline.get(section, [])}
         for row in report.get(section, []):
             base = base_rows.get(row["name"])
@@ -393,6 +495,7 @@ def main(argv: list[str] | None = None) -> int:
         args.scale, args.repeats, report["kernel"]
     )
     report["serve"] = measure_serve(args.scale, args.repeats)
+    report["ingest"] = measure_ingest(args.scale, args.repeats)
     if not args.skip_matrix:
         report["matrix"] = measure_matrix(
             args.matrix_benches,

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""CI smoke for the streaming trace-ingestion pipeline (docs/traces.md).
+
+Walks the trace contract end-to-end through the real CLI:
+
+1. synthesize a small deterministic gzip k6 trace fixture;
+2. ``repro ingest`` it and assert the calibration report classifies it
+   (MPKI class, closest paper application, sharing degrees);
+3. assert a malformed trace is rejected with exit 2 and a line-number
+   diagnostic;
+4. ``repro run --trace`` it on the event and functional backends and
+   assert the results are bit-identical;
+5. ``repro bench --trace`` its bench family twice against a fresh cache
+   and assert the second run is served entirely by content-addressed
+   cache hits.
+
+The ingest calibration report is written to ``--report`` (uploaded as a
+CI artifact) so a failing run leaves the trace's measured profile.
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_smoke.py --scale 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.workloads.ingest import synthesize_k6_trace  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def repro(*cli_args: str, env: dict[str, str] | None = None,
+          expect: int = 0) -> subprocess.CompletedProcess:
+    """Run ``repro <cli_args>`` as a subprocess; assert its exit code."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *cli_args],
+        capture_output=True, text=True,
+        env=dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"), **(env or {})),
+    )
+    if proc.returncode != expect:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        fail(f"repro {' '.join(cli_args[:3])}… exited {proc.returncode}, "
+             f"expected {expect}")
+    return proc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=60_000,
+                        help="fixture size in accesses (default 60000)")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="trace scale for the simulated steps")
+    parser.add_argument("--report", default="trace-ingest-report.json",
+                        help="calibration report destination (CI artifact)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-trace-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        fixture = tmp_path / "k6_smoke.trc.gz"
+        synthesize_k6_trace(fixture, accesses=args.accesses,
+                            footprint_pages=2048, seed=11)
+        check(fixture.stat().st_size > 0, f"synthesized gzip fixture {fixture.name}")
+
+        # 1. Ingest + calibrate through the CLI; the JSON report is the
+        #    CI artifact.
+        repro("ingest", str(fixture), "--scale", "1.0", "--json", args.report)
+        report = json.loads(Path(args.report).read_text())
+        trace, calibration = report["trace"], report["calibration"]
+        check(trace["format"] == "k6" and trace["compressed"],
+              "report identifies a gzip k6 trace")
+        check(trace["records"] == args.accesses,
+              f"ingest conserved all {args.accesses} accesses")
+        check(len(trace["digest"]) == 64,
+              "report carries the streaming content digest")
+        check(calibration["mpki_class"] in ("L", "M", "H"),
+              f"calibration classified MPKI {calibration['mean_mpki']:.3f} "
+              f"as {calibration['mpki_class']}")
+        check(calibration["closest_app"] != "",
+              f"calibration named closest paper app {calibration['closest_app']}")
+        check(abs(sum(calibration["sharing_degrees"].values()) - 1.0) < 1e-9,
+              "sharing degrees form a distribution")
+
+        # 2. Malformed input: typed rejection, usage exit code, pointer
+        #    at the offending line.
+        bad = tmp_path / "bad.trc"
+        bad.write_text("0x1000 P_MEM_RD 1\nnot a record\n")
+        proc = repro("ingest", str(bad), expect=2)
+        check("line 2" in proc.stderr and "not a record" in proc.stderr,
+              "malformed trace rejected with line diagnostics (exit 2)")
+
+        # 3. Same trace through both backends — bit-identical results.
+        results = {}
+        for backend in ("event", "functional"):
+            out = tmp_path / f"run-{backend}.json"
+            repro("run", "--trace", str(fixture), "--policy", "baseline",
+                  "--scale", str(args.scale), "--backend", backend,
+                  "--json", str(out))
+            results[backend] = json.loads(out.read_text())
+        for data in results.values():
+            data.pop("metadata")  # backend/provenance stamps may differ
+        check(results["event"] == results["functional"],
+              "event and functional backends agree bit-identically")
+
+        # 4. The trace bench family: cold run simulates, identical rerun
+        #    is all content-addressed cache hits.
+        env = {"REPRO_CACHE_DIR": str(tmp_path / "cache")}
+        summaries = []
+        for attempt in ("cold", "warm"):
+            out = tmp_path / f"bench-{attempt}.json"
+            repro("bench", "--trace", str(fixture), "--only", "trace_k6_smoke",
+                  "--scale", str(args.scale), "--json", str(out), env=env)
+            summaries.append(json.loads(out.read_text()))
+        cold, warm = summaries
+        check(cold["cache_hits"] == 0 and cold["simulated"] == cold["jobs"] > 0
+              and cold["failed"] == 0,
+              f"cold bench simulated all {cold['jobs']} trace jobs")
+        check(warm["simulated"] == 0 and warm["cache_hits"] == warm["jobs"]
+              and warm["failed"] == 0,
+              "identical rerun served entirely from the cache")
+        check({o["digest"] for o in cold["outcomes"]}
+              == {o["digest"] for o in warm["outcomes"]},
+              "trace fingerprints are stable across runs")
+
+    print("trace smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

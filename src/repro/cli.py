@@ -9,13 +9,18 @@
     repro characterize ST --scale 0.3            # MPKI, hit rates, reuse CDF
     repro bench --list                           # the experiment matrix
     repro bench --only 'fig1*' --jobs 4          # parallel, cached bench run
+    repro ingest trace.k6.gz --json report.json  # classify a foreign trace
+    repro run --trace trace.k6.gz --split address-hash
+    repro bench --trace trace.k6.gz              # trace-backed bench family
     repro lint src/                              # determinism static analysis
     repro lint src/ --format json --output lint.json
 
 Workload names resolve in order: a Table 3 application abbreviation
 (single-application-multi-GPU), a Table 4/5 ``W``-name (one app per GPU),
-a Table 6 mix name (two apps per GPU), or a path to a ``.npz`` workload
-file written by :func:`repro.workloads.trace_io.save_workload`.
+a Table 6 mix name (two apps per GPU), a path to a ``.npz`` workload
+file written by :func:`repro.workloads.trace_io.save_workload`, or a
+path to a k6/mase memory trace streamed in by
+:mod:`repro.workloads.ingest` (see ``docs/traces.md``).
 """
 
 from __future__ import annotations
@@ -37,7 +42,9 @@ from repro.sim.driver import simulate
 from repro.sim.results import SimulationResult
 from repro.sim.system import MultiGPUSystem
 from repro.telemetry import TelemetryConfig, export_chrome_trace, flame_summary
-from repro.workloads.applications import APPLICATIONS
+from repro.workloads.applications import APPLICATIONS, classify_mpki
+from repro.workloads.errors import TraceFormatError
+from repro.workloads.ingest import SPLIT_POLICIES, ingest_trace, sniff_format
 from repro.workloads.multi_app import (
     MIX_WORKLOADS,
     MULTI_APP_WORKLOADS,
@@ -47,7 +54,7 @@ from repro.workloads.multi_app import (
     build_single_app_workload,
 )
 from repro.workloads.trace import Workload
-from repro.workloads.trace_io import load_workload
+from repro.workloads.trace_io import load_workload, save_workload
 
 def _cli_error(message: str) -> SystemExit:
     """A usage error: ``error:``-prefixed message on stderr, exit status 2."""
@@ -86,9 +93,17 @@ def resolve_policy(name: str) -> str:
 
 
 def resolve_workload(
-    name: str, config: SystemConfig, scale: float, seed: int | None = None
+    name: str, config: SystemConfig, scale: float, seed: int | None = None,
+    *, split: str = "round-robin",
 ) -> Workload:
-    """Resolve an application/workload name or ``.npz`` path to a workload."""
+    """Resolve an application/workload name or a file path to a workload.
+
+    Paths resolve by content: ``.npz`` archives reload through
+    :func:`~repro.workloads.trace_io.load_workload`; anything else is
+    streamed through the k6/mase trace ingester (``split`` picks the
+    per-GPU interleaving policy).  Malformed files are usage errors
+    (exit 2), never tracebacks.
+    """
     upper = name.upper()
     if upper in APPLICATIONS:
         return build_single_app_workload(upper, config, scale=scale, seed=seed)
@@ -98,10 +113,17 @@ def resolve_workload(
         return build_mix_workload(upper, config, scale=scale, seed=seed)
     path = Path(name)
     if path.exists():
-        return load_workload(path)
+        try:
+            if path.suffix == ".npz":
+                return load_workload(path)
+            return ingest_trace(
+                path, config=config, split=split, scale=scale
+            ).workload
+        except TraceFormatError as exc:
+            raise _cli_error(str(exc)) from None
     raise _cli_error(
         f"unknown workload {name!r}: not an application, a workload name, "
-        "or an existing .npz file"
+        "or an existing .npz/trace file"
     )
 
 
@@ -164,6 +186,23 @@ def _profiled(call, *, sort: str = "cumulative", top: int = 25, dump: str | None
 DEFAULT_TRACE_OUT = "repro-trace.json"
 
 
+def _interpret_trace_flag(value: str | None) -> tuple[float | None, str | None]:
+    """Split the overloaded ``repro run --trace`` flag.
+
+    ``--trace`` historically takes a span-sampling *rate* (float, bare
+    flag = 0.05) and now also accepts a trace file *path* for replaying
+    an external k6/mase trace.  Returns ``(rate, path)`` with exactly one
+    side set.  A numeric value is always a rate — a trace file whose
+    name parses as a float needs a ``./`` prefix.
+    """
+    if value is None:
+        return None, None
+    try:
+        return float(value), None
+    except ValueError:
+        return None, value
+
+
 def _telemetry_config(
     trace_rate: float | None, timeline: int
 ) -> TelemetryConfig | None:
@@ -221,31 +260,41 @@ def _run_via_server(args: argparse.Namespace) -> int:
     from repro.reporting.export import result_from_dict
     from repro.serve.client import ServeClient, ServeClientError
 
+    trace_rate, trace_path = _interpret_trace_flag(args.trace)
     for flag, unsupported in (
         ("--profile", args.profile),
-        ("--trace", args.trace is not None),
+        ("--trace RATE", trace_rate is not None),
         ("--faults", args.faults is not None),
     ):
         if unsupported:
             raise _cli_error(f"{flag} is not supported in --server mode")
-    upper = args.workload.upper()
-    if not (upper in APPLICATIONS or upper in MULTI_APP_WORKLOADS
-            or upper in SCALED_WORKLOADS or upper in MIX_WORKLOADS):
-        raise _cli_error(
-            f"--server mode needs a named workload, got {args.workload!r} "
-            "(.npz paths only exist on this machine)"
-        )
     job: dict = {
-        "workload": upper,
         "policy": args.policy,
         "config": args.config,
         "scale": args.scale,
         "backend": args.backend,
         "shards": args.shards,
     }
+    if trace_path is not None:
+        # The daemon reads the file itself, so the path must be visible
+        # on the *server's* filesystem — resolve it so a localhost daemon
+        # started from another directory still finds it.
+        job["kind"] = "trace"
+        job["workload"] = str(Path(trace_path).resolve())
+    else:
+        upper = args.workload.upper()
+        if not (upper in APPLICATIONS or upper in MULTI_APP_WORKLOADS
+                or upper in SCALED_WORKLOADS or upper in MIX_WORKLOADS):
+            raise _cli_error(
+                f"--server mode needs a named workload or --trace PATH, got "
+                f"{args.workload!r} (.npz paths only exist on this machine)"
+            )
+        job["workload"] = upper
     if args.seed is not None:
         job["seed"] = args.seed
     options = _server_options(args)
+    if trace_path is not None:
+        options["split"] = args.split
     if options:
         job["options"] = options
 
@@ -291,6 +340,16 @@ def _run_via_server(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: one simulation, optionally exported to JSON."""
+    trace_rate, trace_path = _interpret_trace_flag(args.trace)
+    if trace_path is not None and args.workload is not None:
+        raise _cli_error(
+            "give a workload name or --trace PATH, not both "
+            f"(got {args.workload!r} and --trace {trace_path!r})"
+        )
+    if trace_path is None and args.workload is None:
+        raise _cli_error("a workload name (or --trace PATH) is required")
+    if trace_path is not None and not Path(trace_path).exists():
+        raise _cli_error(f"--trace: no such file: {trace_path!r}")
     if args.server:
         return _run_via_server(args)
     config = _apply_seed(resolve_config(args.config), args.seed)
@@ -306,8 +365,23 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"--faults: {sites} are runner-level chaos sites; use "
             "`repro bench --chaos` instead"
         )
-    telemetry = _telemetry_config(args.trace, args.timeline)
-    workload = resolve_workload(args.workload, config, args.scale, args.seed)
+    telemetry = _telemetry_config(trace_rate, args.timeline)
+    ingest_stats = None
+    if trace_path is not None and Path(trace_path).suffix != ".npz":
+        # Ingested directly (not via resolve_workload) so the stats can
+        # stamp the result with trace provenance, like run_trace does.
+        try:
+            ingested = ingest_trace(
+                trace_path, config=config, split=args.split, scale=args.scale
+            )
+        except TraceFormatError as exc:
+            raise _cli_error(str(exc)) from None
+        workload, ingest_stats = ingested.workload, ingested.stats
+    else:
+        workload = resolve_workload(
+            trace_path if trace_path is not None else args.workload,
+            config, args.scale, args.seed, split=args.split,
+        )
 
     if args.shards < 1:
         raise _cli_error(f"--shards must be >= 1, got {args.shards}")
@@ -386,19 +460,28 @@ def cmd_run(args: argparse.Namespace) -> int:
     except InvariantViolation as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    if ingest_stats is not None:
+        result.metadata["trace"] = {
+            "digest": ingest_stats.digest,
+            "split": ingest_stats.split,
+            "format": ingest_stats.format,
+            "records": ingest_stats.records,
+            "unique_pages": ingest_stats.unique_pages,
+            "path": str(trace_path),
+        }
     _print_result(result)
     if args.check_invariants:
         print(f"invariants OK ({result.metadata.get('invariant_checks', 0)} checks)")
     if system is not None and system.telemetry is not None:
         _print_telemetry(system.telemetry)
-    if system is not None and args.trace is not None:
+    if system is not None and trace_rate is not None:
         out = args.trace_out or DEFAULT_TRACE_OUT
         path = export_chrome_trace(
             system.telemetry.traces, out,
             run_info={
                 "workload": result.workload_name,
                 "policy": result.policy_name,
-                "sample_rate": args.trace,
+                "sample_rate": trace_rate,
             },
         )
         print(f"wrote Chrome trace {path} "
@@ -535,6 +618,105 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """``repro ingest``: stream a k6/mase trace in and calibrate it.
+
+    The calibration report places the foreign trace against the paper's
+    applications — footprint, MPKI class, sharing degree, read/write mix,
+    reuse-distance capture — so it can be slotted into the fig02–fig26
+    bench harness (``repro bench --trace``) with known characteristics.
+    """
+    import math
+
+    from repro.metrics.sharing import shared_fraction, sharing_degrees
+
+    config = _apply_seed(resolve_config(args.config), args.seed)
+    try:
+        ingested = ingest_trace(
+            args.trace, config=config, split=args.split, fmt=args.format,
+            scale=args.scale, name=args.name,
+        )
+    except (TraceFormatError, ValueError) as exc:
+        raise _cli_error(str(exc)) from None
+    stats = ingested.stats
+    workload = ingested.workload
+
+    compression = ", gzip" if stats.compressed else ""
+    print(f"ingested {stats.path} ({stats.format}{compression}, "
+          f"{_human_bytes(stats.file_bytes)})")
+    rows = [
+        ["records", f"{stats.records:,}"],
+        ["page runs", f"{stats.runs:,}"],
+        ["unique pages", f"{stats.unique_pages:,} "
+                         f"({_human_bytes(stats.unique_pages * stats.page_size)})"],
+        ["read fraction", f"{stats.read_fraction:.1%}"],
+        ["cycle span", f"{stats.min_cycle:,} – {stats.max_cycle:,}"],
+        ["split", f"{stats.split} over {len(workload.gpus_for(1))} GPU(s)"],
+        ["digest", f"sha256:{stats.digest[:16]}…"],
+    ]
+    if stats.non_monotonic:
+        rows.append(["non-monotonic cycles", f"{stats.non_monotonic:,} (clamped)"])
+    print(comparison_table(rows, ["property", "value"]))
+
+    calibration: dict | None = None
+    if not args.no_calibrate:
+        result = simulate(config, workload, "baseline", record_iommu_stream=True)
+        mean_mpki = result.mean_over_apps("mpki")
+        mpki_class = classify_mpki(mean_mpki)
+        # Closest Table 3 application by log-MPKI distance (MPKI spans
+        # three orders of magnitude, so ratio distance, not absolute).
+        def log_distance(paper_mpki: float) -> float:
+            return abs(math.log(mean_mpki + 1e-6) - math.log(paper_mpki + 1e-6))
+
+        closest_name, closest = min(
+            sorted(APPLICATIONS.items()),
+            key=lambda item: log_distance(item[1].paper_mpki),
+        )
+        degrees = sharing_degrees(workload)
+        shared = shared_fraction(workload)
+        distances = reuse_distances(result.iommu_stream)
+        capacity = config.iommu.tlb.num_entries
+        captured = fraction_within(distances, capacity)
+
+        print("\ncalibration (baseline policy):")
+        print(f"  MPKI {mean_mpki:.3f} -> class {mpki_class} "
+              f"(closest paper app: {closest_name}, "
+              f"paper MPKI {closest.paper_mpki:.3f}, class {closest.mpki_class})")
+        print(f"  pages shared by >=2 GPUs: {shared:.1%}  "
+              f"(degrees: "
+              + ", ".join(f"{k}:{f:.1%}" for k, f in sorted(degrees.items()))
+              + ")")
+        print(f"  IOMMU hit rate {result.mean_over_apps('iommu_hit_rate'):.1%}, "
+              f"L2 hit rate {result.mean_over_apps('l2_hit_rate'):.1%}")
+        print(f"  capturable by the {capacity}-entry IOMMU TLB: {captured:.1%}")
+        calibration = {
+            "mean_mpki": mean_mpki,
+            "mpki_class": mpki_class,
+            "closest_app": closest_name,
+            "closest_app_paper_mpki": closest.paper_mpki,
+            "closest_app_class": closest.mpki_class,
+            "shared_fraction": shared,
+            "sharing_degrees": {str(k): f for k, f in sorted(degrees.items())},
+            "mean_iommu_hit_rate": result.mean_over_apps("iommu_hit_rate"),
+            "mean_l2_hit_rate": result.mean_over_apps("l2_hit_rate"),
+            "iommu_requests": len(result.iommu_stream),
+            "iommu_tlb_capacity": capacity,
+            "capturable_fraction": captured,
+        }
+
+    if args.out:
+        _write_output(lambda: save_workload(workload, args.out), args.out)
+        print(f"\nwrote workload archive {args.out}")
+    if args.json:
+        payload = {"trace": stats.to_dict(), "calibration": calibration}
+        _write_output(
+            lambda: Path(args.json).write_text(json.dumps(payload, indent=2) + "\n"),
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _bench_via_server(args: argparse.Namespace) -> int:
     """``repro bench --server``: run the matrix on a daemon."""
     from repro.serve.client import ServeClient, ServeClientError
@@ -629,6 +811,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     rerun with ``--resume``).
     """
     # Imported here so plain ``repro run`` never pays for the runner.
+    import fnmatch
+
     from repro.faults.plan import FaultPlan, FaultPlanError
     from repro.sim.cache import ResultCache
     from repro.sim.parallel import (
@@ -639,22 +823,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
         matrix_summary,
         run_matrix,
         select_benches,
+        trace_bench_pairs,
+        trace_family,
     )
     from repro.sim.resilience import ChaosState, ResiliencePolicy, SweepJournal
+
+    family = None
+    if args.trace:
+        if args.server:
+            raise _cli_error(
+                "--trace is a local-runner flag (the file lives on this "
+                "machine); submit one trace job with "
+                "`repro run --server URL --trace PATH` instead"
+            )
+        if not Path(args.trace).is_file():
+            raise _cli_error(f"--trace: no such file: {args.trace!r}")
+        try:
+            sniff_format(args.trace)
+        except TraceFormatError as exc:
+            raise _cli_error(str(exc)) from None
+        family = trace_family(args.trace)
+
+    def matches_only(name: str) -> bool:
+        # select_benches' matching rule, applied to the dynamic family.
+        return (args.only is None or fnmatch.fnmatch(name, args.only)
+                or args.only in name)
 
     try:
         benches = select_benches(args.only)
     except KeyError:
-        raise _cli_error(
-            f"--only {args.only!r} matches no bench; choose from "
-            f"{', '.join(BENCH_MATRIX)}"
-        ) from None
+        if family is not None and matches_only(family):
+            benches = []  # --only selects the trace family alone
+        else:
+            choices = list(BENCH_MATRIX) + ([family] if family else [])
+            raise _cli_error(
+                f"--only {args.only!r} matches no bench; choose from "
+                f"{', '.join(choices)}"
+            ) from None
+    include_trace = family is not None and matches_only(family)
 
     if args.list:
         rows = [
             [name, len(BENCH_MATRIX[name](args.scale, args.seed))]
             for name in benches
         ]
+        if include_trace:
+            rows.append([
+                family,
+                len(trace_bench_pairs(args.trace, scale=args.scale,
+                                      seed=args.seed, split=args.split)),
+            ])
         print(comparison_table(rows, ["bench", "jobs"]))
         return 0
 
@@ -692,6 +910,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         benches, scale=args.scale, seed=args.seed, backend=args.backend,
         shards=args.shards,
     )
+    if include_trace:
+        pairs = pairs + trace_bench_pairs(
+            args.trace, scale=args.scale, seed=args.seed, split=args.split,
+            backend=args.backend, shards=args.shards,
+        )
     workers = args.jobs if args.jobs is not None else default_workers()
     if args.profile:
         workers = 1  # keep the whole run in-process so the profile sees it
@@ -1081,9 +1304,18 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_list
     )
 
-    def add_common(p: argparse.ArgumentParser) -> None:
+    def add_common(
+        p: argparse.ArgumentParser, *, optional_workload: bool = False
+    ) -> None:
         """Arguments shared by every simulation subcommand."""
-        p.add_argument("workload", help="application, workload name, or .npz path")
+        workload_help = (
+            "application, workload name, .npz path, or k6/mase trace path"
+        )
+        if optional_workload:
+            p.add_argument("workload", nargs="?", default=None,
+                           help=workload_help)
+        else:
+            p.add_argument("workload", help=workload_help)
         p.add_argument("--scale", type=float, default=0.3,
                        help="trace-length scale (default 0.3)")
         p.add_argument("--config", default="baseline",
@@ -1092,7 +1324,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the workload/config random seed")
 
     run = sub.add_parser("run", help="run one simulation")
-    add_common(run)
+    add_common(run, optional_workload=True)
     run.add_argument("--policy", default="baseline",
                      help=f"translation policy ({', '.join(policy_names())})")
     run.add_argument("--backend", choices=("event", "functional", "vectorized"),
@@ -1122,10 +1354,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run under cProfile and print the top-25 report to stderr")
     run.add_argument("--profile-dump", default=None, metavar="FILE",
                      help="with --profile: also write the raw pstats dump here")
-    run.add_argument("--trace", nargs="?", const=0.05, type=float, default=None,
-                     metavar="RATE",
-                     help="sample translation requests for span tracing "
-                          "(default rate 0.05) and write a Chrome trace")
+    run.add_argument("--trace", nargs="?", const="0.05", default=None,
+                     metavar="RATE|PATH",
+                     help="a number samples translation requests for span "
+                          "tracing (default rate 0.05, Chrome trace output); "
+                          "a file path replays that k6/mase trace instead of "
+                          "a named workload (see docs/traces.md)")
+    run.add_argument("--split", choices=SPLIT_POLICIES, default="round-robin",
+                     help="per-GPU splitting policy for ingested traces "
+                          "(default round-robin)")
     run.add_argument("--trace-out", default=None, metavar="FILE",
                      help=f"Chrome trace output path (default {DEFAULT_TRACE_OUT})")
     run.add_argument("--timeline", type=int, default=0, metavar="CYCLES",
@@ -1165,6 +1402,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list bench families and their job counts, then exit")
     bench.add_argument("--only", default=None, metavar="PATTERN",
                        help="run only bench families matching this glob/substring")
+    bench.add_argument("--trace", default=None, metavar="PATH",
+                       help="add a dynamic trace-backed bench family from this "
+                            "k6/mase trace file (see docs/traces.md)")
+    bench.add_argument("--split", choices=SPLIT_POLICIES, default="round-robin",
+                       help="per-GPU splitting policy for --trace "
+                            "(default round-robin)")
     bench.add_argument("--scale", type=float, default=0.3,
                        help="trace-length scale for every job (default 0.3)")
     bench.add_argument("--seed", type=int, default=None,
@@ -1328,6 +1571,37 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--json", default=None, metavar="FILE",
                               help="write the characterization to this JSON file")
     characterize.set_defaults(func=cmd_characterize)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a k6/mase memory trace in and calibrate it against "
+             "the paper's applications (see docs/traces.md)",
+    )
+    ingest.add_argument("trace", help="trace file path (plain text or .gz)")
+    ingest.add_argument("--config", default="baseline",
+                        help=f"config preset ({', '.join(sorted(CONFIG_PRESETS))})")
+    ingest.add_argument("--seed", type=int, default=None,
+                        help="override the config random seed for calibration")
+    ingest.add_argument("--scale", type=float, default=1.0,
+                        help="truncate every CU stream to this fraction of its "
+                             "runs (default 1.0 = the full trace)")
+    ingest.add_argument("--split", choices=SPLIT_POLICIES, default="round-robin",
+                        help="per-GPU splitting policy (default round-robin)")
+    ingest.add_argument("--format", choices=("k6", "mase"), default=None,
+                        help="force the trace format (default: sniff from the "
+                             "file name or first data line)")
+    ingest.add_argument("--name", default=None,
+                        help="workload name (default: derived from the file name)")
+    ingest.add_argument("--out", default=None, metavar="FILE.npz",
+                        help="also save the ingested workload as a reloadable "
+                             ".npz archive")
+    ingest.add_argument("--no-calibrate", action="store_true",
+                        help="skip the calibration simulation (ingest and "
+                             "report trace statistics only)")
+    ingest.add_argument("--json", default=None, metavar="FILE",
+                        help="write the ingest + calibration report to this "
+                             "JSON file")
+    ingest.set_defaults(func=cmd_ingest)
 
     return parser
 

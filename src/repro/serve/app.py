@@ -262,21 +262,26 @@ class ServeApp:
         double-run a job."""
         prefetched: dict[str, Any] | None = None
         if self.state == "serving" and self.cache.enabled:
-            try:
-                parsed = parse_request(payload)
-            except RequestError:
-                parsed = None  # submit() produces the 400
-            if parsed is not None:
+            # One thread hop covers parsing, fingerprinting, and the
+            # cache reads: a trace job's fingerprint digests the file
+            # (I/O), and the digest memo warmed here makes the re-parse
+            # inside the sync :meth:`submit` a dict hit.  The inflight
+            # probe in the thread is only an optimisation — submit()
+            # re-checks on the loop, so the race merely wastes a read.
+            def prefetch() -> dict[str, Any] | None:
+                try:
+                    parsed = parse_request(payload)
+                except RequestError:
+                    return None  # submit() produces the 400
                 lookups = [
                     (digest, fingerprint)
                     for _spec, fingerprint, digest, _benches
                     in dedupe_jobs(parsed.pairs)
                     if self.store.inflight(digest) is None
                 ]
-                if lookups:
-                    prefetched = await asyncio.to_thread(
-                        lambda: {d: self.cache.get(fp) for d, fp in lookups}
-                    )
+                return {d: self.cache.get(fp) for d, fp in lookups}
+
+            prefetched = await asyncio.to_thread(prefetch)
         return self.submit(payload, fallback_client, prefetched=prefetched)
 
     def submit(

@@ -35,7 +35,10 @@ Semantics mirror the CLI exactly:
 * ``kind`` may be omitted for explicit jobs — it is inferred from the
   workload name the same way ``repro run`` resolves one ("single" for a
   Table 3 application, "multi" for a Table 4/5 W-name, "mix" for a
-  Table 6 mix name); ``alone`` runs must name their kind explicitly.
+  Table 6 mix name); ``alone`` and ``trace`` runs must name their kind
+  explicitly — a ``trace`` job's workload is a path to a k6/mase trace
+  file on the server's filesystem (fingerprinted by content digest), and
+  its GPU ``split`` policy rides in ``options``.
 
 Anything malformed raises :class:`RequestError` (→ HTTP 400) with a
 message naming the offending field.
@@ -44,6 +47,7 @@ message naming the offending field.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.config.presets import CONFIG_PRESETS, resolve_preset
@@ -52,6 +56,7 @@ from repro.sim.backends import BACKENDS
 from repro.sim.parallel import JobSpec, expand_matrix, select_benches
 from repro.telemetry import TelemetryConfig
 from repro.workloads.applications import APPLICATIONS
+from repro.workloads.ingest import SPLIT_POLICIES
 from repro.workloads.multi_app import (
     MIX_WORKLOADS,
     MULTI_APP_WORKLOADS,
@@ -74,6 +79,7 @@ _OPTION_KEYS = {
     "max_cycles": "max_cycles",
     "max_events": "max_events",
     "check_invariants": "check_invariants",
+    "split": "split",
 }
 
 
@@ -136,8 +142,19 @@ def _validate_workload(kind: str, workload: str) -> str:
         "alone": upper in APPLICATIONS,
         "multi": upper in MULTI_APP_WORKLOADS or upper in SCALED_WORKLOADS,
         "mix": upper in MIX_WORKLOADS,
+        "trace": True,  # validated below: a server-local trace file path
     }
     _require(kind in tables, f"unknown job kind {kind!r}; choose from {sorted(tables)}")
+    if kind == "trace":
+        # ``trace`` jobs name a file on the *server's* filesystem; the
+        # fingerprint is content-addressed, so the path is identity only
+        # for locating the bytes.  Existence is the only submission-time
+        # check (a stat, safe on the event loop — reading the file here
+        # would block it); a malformed trace surfaces as the executing
+        # task's typed TraceFormatError.
+        _require(Path(workload).is_file(),
+                 f"trace file {workload!r} does not exist on the server")
+        return workload
     _require(tables[kind], f"workload {workload!r} is not a {kind!r} workload")
     return upper
 
@@ -155,6 +172,11 @@ def parse_options(payload: Any) -> tuple[tuple[str, Any], ...]:
             _require(isinstance(value, bool), f"options.{key} must be a boolean")
             if value:
                 options[_OPTION_KEYS[key]] = True
+        elif key == "split":
+            _require(isinstance(value, str) and value in SPLIT_POLICIES,
+                     f"options.split must be one of {', '.join(SPLIT_POLICIES)}, "
+                     f"got {value!r}")
+            options["split"] = value
         elif key == "timeline":
             interval = _as_int(value, "options.timeline", minimum=0)
             if interval:
@@ -204,6 +226,17 @@ def parse_job(payload: Any) -> JobSpec:
              f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}")
     shards = _as_int(payload.get("shards", 1), "job.shards", minimum=1)
 
+    options = parse_options(payload.get("options"))
+    if kind == "trace":
+        # The split policy keys the cache fingerprint; default it
+        # explicitly so served trace jobs canonicalize identically to
+        # ``repro bench --trace`` (which always records it).
+        if not any(name == "split" for name, _ in options):
+            options = tuple(sorted((*options, ("split", "round-robin"))))
+    else:
+        _require(not any(name == "split" for name, _ in options),
+                 "options.split only applies to trace jobs")
+
     # ``repro run`` semantics: an explicit seed derives the config seed
     # too, so a served job is bit-identical to the local command.
     config = resolve_preset(preset)
@@ -219,7 +252,7 @@ def parse_job(payload: Any) -> JobSpec:
         config=spec_config,
         scale=scale,
         seed=seed,
-        options=parse_options(payload.get("options")),
+        options=options,
         backend=backend,
         shards=shards,
     )

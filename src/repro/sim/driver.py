@@ -152,3 +152,48 @@ def run_alone(
     scale = default_scale() if scale is None else scale
     workload = build_alone_workload(app_name, config, scale=scale, seed=seed)
     return simulate(config, workload, policy, **system_kwargs)
+
+
+def run_trace(
+    trace_path: str,
+    config: SystemConfig | None = None,
+    policy: str = "baseline",
+    *,
+    scale: float | None = None,
+    seed: int | None = None,  # accepted for driver-signature parity; unused
+    split: str = "round-robin",
+    trace_format: str | None = None,
+    page_size: int | None = None,
+    **system_kwargs: Any,
+) -> SimulationResult:
+    """Replay an ingested k6/mase trace file across the GPUs.
+
+    The trace is streamed into a :class:`Workload` (see
+    :mod:`repro.workloads.ingest`), split across GPUs by ``split``, and
+    simulated like any synthetic workload — every policy and backend
+    applies unchanged.  Ingestion is fully deterministic, so ``seed`` is
+    ignored (it exists for signature parity with the other drivers and
+    participates in cache fingerprints like everywhere else).
+
+    The result's ``metadata`` records the trace digest, split policy,
+    and ingest statistics for provenance.
+    """
+    from repro.workloads.ingest import ingest_trace
+
+    config = config or baseline_config()
+    scale = default_scale() if scale is None else scale
+    del seed  # ingestion has no stochastic step
+    ingested = ingest_trace(
+        trace_path, config=config, split=split, fmt=trace_format,
+        page_size=page_size, scale=scale,
+    )
+    result = simulate(config, ingested.workload, policy, **system_kwargs)
+    result.metadata["trace"] = {
+        "digest": ingested.stats.digest,
+        "split": split,
+        "format": ingested.stats.format,
+        "records": ingested.stats.records,
+        "unique_pages": ingested.stats.unique_pages,
+        "path": str(trace_path),
+    }
+    return result

@@ -42,8 +42,9 @@ from repro.config.presets import (
 from repro.config.system import SystemConfig
 from repro.sim.backends import validate_backend
 from repro.sim.cache import ResultCache, fingerprint_digest, run_fingerprint
-from repro.sim.driver import run_alone, run_mix, run_multi_app, run_single_app
+from repro.sim.driver import run_alone, run_mix, run_multi_app, run_single_app, run_trace
 from repro.sim.results import SimulationResult
+from repro.workloads.ingest import default_trace_name, trace_workload_key
 from repro.workloads.multi_app import (
     MIX_WORKLOADS,
     MULTI_APP_WORKLOADS,
@@ -56,6 +57,7 @@ _RUNNERS: dict[str, Callable[..., SimulationResult]] = {
     "multi": run_multi_app,
     "mix": run_mix,
     "alone": run_alone,
+    "trace": run_trace,
 }
 
 
@@ -100,10 +102,19 @@ class JobSpec:
         return f"{self.kind}:{self.workload}/{self.policy}@{self.scale:g}{suffix}"
 
     def fingerprint(self) -> dict[str, Any]:
-        """The spec's persistent-cache fingerprint."""
+        """The spec's persistent-cache fingerprint.
+
+        ``trace`` jobs are content-addressed: the workload key is the
+        streaming SHA-256 of the trace file's bytes, not its path, so
+        renaming or copying a trace preserves its cached results and
+        editing it invalidates them.
+        """
+        workload: str | dict[str, str] = self.workload
+        if self.kind == "trace":
+            workload = trace_workload_key(self.workload)
         return run_fingerprint(
             kind=self.kind,
-            workload=self.workload,
+            workload=workload,
             policy=self.policy,
             config=self.resolved_config(),
             scale=self.scale,
@@ -341,6 +352,45 @@ def expand_matrix(
                 spec = replace(spec, backend=backend, shards=shards)
             pairs.append((bench, spec))
     return pairs
+
+
+#: Policies a trace-backed bench family compares (the paper's headline pair).
+TRACE_FAMILY_POLICIES = ("baseline", "least-tlb")
+
+
+def trace_family(path: str) -> str:
+    """The dynamic bench-family name of an ingested trace file."""
+    return f"trace_{default_trace_name(path)}"
+
+
+def trace_bench_pairs(
+    path: str,
+    *,
+    scale: float,
+    seed: int | None = None,
+    split: str = "round-robin",
+    backend: str = "event",
+    shards: int = 1,
+) -> list[tuple[str, JobSpec]]:
+    """Expand one ingested trace into a ``(bench, spec)`` family.
+
+    The family mirrors the perf figures' shape — the trace under every
+    :data:`TRACE_FAMILY_POLICIES` policy — so a foreign trace slots into
+    ``run_matrix`` (dedup, cache, resilience) exactly like a fig02–fig26
+    family.  The ``split`` policy always rides in ``options`` so it keys
+    the cache fingerprint.
+    """
+    family = trace_family(path)
+    return [
+        (
+            family,
+            JobSpec(
+                "trace", path, policy, None, scale, seed,
+                options=(("split", split),), backend=backend, shards=shards,
+            ),
+        )
+        for policy in TRACE_FAMILY_POLICIES
+    ]
 
 
 # -- execution ---------------------------------------------------------------

@@ -20,6 +20,18 @@ from repro.workloads.multi_app import (
     build_single_app_workload,
     workload_category,
 )
+from repro.workloads.errors import TraceFormatError
+from repro.workloads.ingest import (
+    SPLIT_POLICIES,
+    IngestResult,
+    IngestStats,
+    ingest_trace,
+    iter_trace_chunks,
+    sniff_format,
+    synthesize_k6_trace,
+    trace_digest,
+    write_k6_trace,
+)
 from repro.workloads.patterns import (
     PATTERNS,
     PatternParams,
@@ -45,6 +57,16 @@ __all__ = [
     "build_multi_app_workload",
     "build_single_app_workload",
     "workload_category",
+    "TraceFormatError",
+    "SPLIT_POLICIES",
+    "IngestResult",
+    "IngestStats",
+    "ingest_trace",
+    "iter_trace_chunks",
+    "sniff_format",
+    "synthesize_k6_trace",
+    "trace_digest",
+    "write_k6_trace",
     "PATTERNS",
     "PatternParams",
     "generate_page_runs",

@@ -1,0 +1,45 @@
+"""Typed errors for workload and trace I/O.
+
+Every path that reads external data — ``.npz`` workload archives, k6/mase
+memory traces, gzip streams — raises :class:`TraceFormatError` on
+malformed input instead of leaking the underlying traceback
+(``BadGzipFile``, ``JSONDecodeError``, ``KeyError``…).  The CLI maps it
+to a usage error (``error:`` prefix, exit 2), the service to HTTP 400.
+"""
+
+from __future__ import annotations
+
+
+class TraceFormatError(ValueError):
+    """A trace or workload file could not be parsed.
+
+    Carries enough structure for an actionable diagnostic: the file, the
+    1-based line number and offending text (for line-oriented formats),
+    and the underlying cause (for container formats like gzip/npz).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line: int | None = None,
+        text: str | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.text = text
+        self.cause = cause
+        parts = []
+        if path is not None:
+            parts.append(str(path))
+        if line is not None:
+            parts.append(f"line {line}")
+        parts.append(message)
+        full = ": ".join(parts)
+        if text is not None:
+            full += f": {text!r}"
+        if cause is not None:
+            full += f" ({type(cause).__name__}: {cause})"
+        super().__init__(full)

@@ -18,10 +18,12 @@ exactly (dtypes included).
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.workloads.errors import TraceFormatError
 from repro.workloads.trace import CUStream, Placement, Workload
 
 FORMAT_VERSION = 1
@@ -69,44 +71,68 @@ def save_workload(workload: Workload, path: str | Path) -> Path:
 
 
 def load_workload(path: str | Path) -> Workload:
-    """Reload a workload previously written by :func:`save_workload`."""
-    with np.load(Path(path)) as archive:
-        manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
-        if manifest.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported workload file version: {manifest.get('version')!r}"
-            )
-        placements = []
-        for placement in manifest["placements"]:
-            streams = [
-                CUStream(
-                    vpns=archive[f"{s['prefix']}_vpns"],
-                    gaps=archive[f"{s['prefix']}_gaps"],
-                    repeats=archive[f"{s['prefix']}_repeats"],
-                    warmup_runs=s["warmup_runs"],
+    """Reload a workload previously written by :func:`save_workload`.
+
+    Raises :class:`~repro.workloads.errors.TraceFormatError` (with the
+    path and underlying cause) on a truncated, corrupt, or
+    wrong-version archive instead of leaking ``BadZipFile`` /
+    ``JSONDecodeError`` / ``KeyError`` tracebacks — the CLI maps it to a
+    usage error (exit 2).
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+            if manifest.get("version") != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported workload file version: "
+                    f"{manifest.get('version')!r} (expected {FORMAT_VERSION})",
+                    path=str(path),
                 )
-                for s in placement["streams"]
-            ]
-            placements.append(
-                Placement(
-                    gpu_id=placement["gpu_id"],
-                    pid=placement["pid"],
-                    app_name=placement["app_name"],
-                    cu_ids=list(placement["cu_ids"]),
-                    streams=streams,
+            placements = []
+            for placement in manifest["placements"]:
+                streams = [
+                    CUStream(
+                        vpns=archive[f"{s['prefix']}_vpns"],
+                        gaps=archive[f"{s['prefix']}_gaps"],
+                        repeats=archive[f"{s['prefix']}_repeats"],
+                        warmup_runs=s["warmup_runs"],
+                    )
+                    for s in placement["streams"]
+                ]
+                placements.append(
+                    Placement(
+                        gpu_id=placement["gpu_id"],
+                        pid=placement["pid"],
+                        app_name=placement["app_name"],
+                        cu_ids=list(placement["cu_ids"]),
+                        streams=streams,
+                    )
                 )
-            )
-        app_names = {int(pid): name for pid, name in manifest["app_names"].items()}
-        footprints = {
-            pid: archive[f"footprint_{pid}"] for pid in app_names
-        }
-    return Workload(
-        name=manifest["name"],
-        kind=manifest["kind"],
-        placements=placements,
-        app_names=app_names,
-        footprints=footprints,
-    )
+            app_names = {int(pid): name for pid, name in manifest["app_names"].items()}
+            footprints = {
+                pid: archive[f"footprint_{pid}"] for pid in app_names
+            }
+        return Workload(
+            name=manifest["name"],
+            kind=manifest["kind"],
+            placements=placements,
+            app_names=app_names,
+            footprints=footprints,
+        )
+    except TraceFormatError:
+        raise
+    except (
+        OSError,
+        EOFError,
+        KeyError,
+        TypeError,
+        ValueError,  # covers JSONDecodeError and bad-array shape errors
+        zipfile.BadZipFile,
+    ) as exc:
+        raise TraceFormatError(
+            "corrupt or unreadable workload archive", path=str(path), cause=exc
+        ) from exc
 
 
 def workload_from_page_streams(

@@ -105,3 +105,43 @@ class TestBringYourOwnTrace:
             "fp", {0: np.array([5, 9, 5, 3])}, num_cus=1
         )
         assert set(workload.footprints[1].tolist()) == {3, 5, 9}
+
+
+class TestCorruptArchives:
+    """load_workload raises typed TraceFormatError (docs/traces.md)."""
+
+    def test_truncated_archive(self, tmp_path):
+        from repro.workloads.errors import TraceFormatError
+
+        original = build_single_app_workload("FIR", baseline_config(), scale=0.05)
+        path = save_workload(original, tmp_path / "fir.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_workload(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.cause is not None
+
+    def test_non_archive_bytes(self, tmp_path):
+        from repro.workloads.errors import TraceFormatError
+
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(TraceFormatError):
+            load_workload(path)
+
+    def test_version_mismatch_is_typed(self, tmp_path):
+        import json
+
+        from repro.workloads.errors import TraceFormatError
+
+        original = build_single_app_workload("FIR", baseline_config(), scale=0.05)
+        path = save_workload(original, tmp_path / "fir.npz")
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode())
+        manifest["version"] = 99
+        arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(TraceFormatError, match="version"):
+            load_workload(path)
